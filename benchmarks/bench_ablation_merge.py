@@ -1,0 +1,73 @@
+"""A1 — Ablation: the loop-merging pass (the paper's admitted weakness).
+
+The published algorithm "performs poorly in ... combining into a single loop
+those equations which though not recursively related, nevertheless depend on
+the same subscript(s)". This bench quantifies it: loop count and simulated
+cycles with and without the merging pass on a module of independent
+element-wise equations, plus proof the pass refuses unsafe merges.
+"""
+
+from repro.graph.build import build_dependency_graph
+from repro.machine.cost import MachineModel
+from repro.machine.simulator import simulate_flowchart
+from repro.ps.parser import parse_module
+from repro.ps.semantics import analyze_module
+from repro.schedule.merge import merge_loops
+from repro.schedule.scheduler import schedule_module
+
+MULTI_EQ = (
+    "Pipeline: module (X: array[I,J] of real; n: int):\n"
+    "   [U: array[I,J] of real; V: array[I,J] of real; W: array[I,J] of real];\n"
+    "type I = 0 .. n; J = 0 .. n;\n"
+    "define U = X * 2; V = X + 1; W = U + V;\nend Pipeline;"
+)
+
+UNSAFE = (
+    "Shift: module (X: array[0 .. 8] of real): [V: array[I] of real];\n"
+    "type I = 1 .. 8;\n"
+    "var U: array[0 .. 8] of real;\n"
+    "define U = X * 2; V[I] = U[I-1] + 1;\nend Shift;"
+)
+
+
+def test_a1_merge_reduces_loops(benchmark, artifact):
+    analyzed = analyze_module(parse_module(MULTI_EQ))
+    graph = build_dependency_graph(analyzed)
+    flow = schedule_module(analyzed, graph)
+
+    merged = benchmark(lambda: merge_loops(flow, graph))
+
+    before = len(flow.loops())
+    after = len(merged.loops())
+    assert before == 6  # three I(J(..)) nests
+    assert after == 2  # one fused nest
+
+    model = MachineModel(processors=8, doall_fork=100, doall_barrier=100)
+    args: dict[str, int] = {"n": 63}
+    c_before = simulate_flowchart(analyzed, flow, args, model).cycles
+    c_after = simulate_flowchart(analyzed, merged, args, model).cycles
+    assert c_after < c_before  # fewer fork/barrier pairs
+
+    lines = [
+        "A1 - loop-merging ablation (three element-wise equations, 64x64)",
+        f"{'variant':<22} {'loops':>6} {'simulated cycles (P=8)':>24}",
+        f"{'published scheduler':<22} {before:>6} {c_before:>24}",
+        f"{'with merging pass':<22} {after:>6} {c_after:>24}",
+        "",
+        f"cycle reduction: {(1 - c_after / c_before) * 100:.1f}%",
+    ]
+    artifact("ablation_merge.txt", "\n".join(lines))
+
+
+def test_a1_unsafe_merge_refused(benchmark):
+    """V[I] = U[I-1] reads a sibling DOALL iteration: must not merge."""
+    analyzed = analyze_module(parse_module(UNSAFE))
+    graph = build_dependency_graph(analyzed)
+    flow = schedule_module(analyzed, graph)
+
+    merged = benchmark(lambda: merge_loops(flow, graph))
+    assert len(merged.loops()) == len(flow.loops())
+
+    from repro.analysis.validate import validate_flowchart_order
+
+    assert validate_flowchart_order(analyzed, merged, {}) == []

@@ -1,0 +1,93 @@
+"""A2 — Ablation: window allocation on vs off (section 3.4).
+
+Quantifies the memory-reuse design choice across problem sizes: elements
+allocated for the recurrence array with windows on and off, for both module
+variants and the transformed program, with a runtime check that windowed
+execution is exact. Benchmarks windowed execution.
+"""
+
+import numpy as np
+
+from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
+from repro.hyperplane.pipeline import hyperplane_transform
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.values import array_bounds
+from repro.runtime.wavefront import execute_transformed_windowed
+from repro.schedule.scheduler import schedule_module
+
+
+def _alloc(analyzed, flow, bounds, use_windows):
+    sym = analyzed.symbol("A")
+    ab = array_bounds(sym.type, bounds)
+    full = int(np.prod([hi - lo + 1 for lo, hi in ab]))
+    if not use_windows:
+        return full
+    out = full
+    for d, w in flow.window_of("A").items():
+        extent = ab[d][1] - ab[d][0] + 1
+        out = out // extent * w
+    return out
+
+
+def test_a2_allocation_table(benchmark, artifact):
+    jac = jacobi_analyzed()
+    jac_flow = schedule_module(jac)
+
+    def build_table():
+        rows = []
+        for m, maxk in [(16, 20), (32, 50), (64, 100), (128, 200)]:
+            bounds = {"M": m, "maxK": maxk}
+            full = _alloc(jac, jac_flow, bounds, use_windows=False)
+            win = _alloc(jac, jac_flow, bounds, use_windows=True)
+            rows.append((m, maxk, full, win))
+        return rows
+
+    rows = benchmark(build_table)
+    for m, maxk, full, win in rows:
+        assert win == 2 * (m + 2) ** 2
+        assert full == maxk * (m + 2) ** 2
+
+    lines = [
+        "A2 - window-allocation ablation, array A (elements)",
+        f"{'M':>5} {'maxK':>6} {'windows off':>14} {'windows on':>12} {'saving':>8}",
+    ]
+    for m, maxk, full, win in rows:
+        lines.append(f"{m:>5} {maxk:>6} {full:>14} {win:>12} {full / win:>7.1f}x")
+
+    res = hyperplane_transform(gauss_seidel_analyzed())
+    comp = res.storage_comparison({"M": 64, "maxK": 100})
+    lines += [
+        "",
+        "transformed array (section 4, M=64, maxK=100):",
+        f"  windows off : {comp['full']} elements",
+        f"  windows on  : {comp['transformed_window']} elements "
+        f"({comp['full'] / comp['transformed_window']:.1f}x saving)",
+    ]
+    artifact("ablation_windows.txt", "\n".join(lines))
+
+
+def test_a2_windowed_execution_exact(benchmark):
+    analyzed = gauss_seidel_analyzed()
+    m, maxk = 8, 10
+    rng = np.random.default_rng(3)
+    args = {"InitialA": rng.random((m + 2, m + 2)), "M": m, "maxK": maxk}
+    expected = execute_module(analyzed, args)["newA"]
+
+    windowed = benchmark(
+        lambda: execute_module(
+            analyzed, args, options=ExecutionOptions(use_windows=True)
+        )
+    )
+    np.testing.assert_allclose(windowed["newA"], expected)
+
+
+def test_a2_transformed_windowed_execution(benchmark):
+    res = hyperplane_transform(gauss_seidel_analyzed())
+    m, maxk = 6, 8
+    rng = np.random.default_rng(4)
+    args = {"InitialA": rng.random((m + 2, m + 2)), "M": m, "maxK": maxk}
+    expected = execute_module(res.original, args)["newA"]
+
+    report = benchmark(lambda: execute_transformed_windowed(res, args, debug=False))
+    np.testing.assert_allclose(report.results["newA"], expected, rtol=1e-12)
+    assert report.allocated_elements[res.new_array] == 3 * maxk * (m + 2)

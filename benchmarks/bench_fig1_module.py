@@ -1,0 +1,41 @@
+"""F1 — Figure 1: the Relaxation module.
+
+Reproduces: the PS source of the paper's running example parses, analyzes,
+and round-trips through the pretty-printer. Benchmarks the front end.
+"""
+
+from repro.core.paper import RELAXATION_JACOBI_SOURCE
+from repro.ps.parser import parse_module
+from repro.ps.printer import format_module
+from repro.ps.semantics import analyze_module
+
+
+def test_fig1_parse_and_analyze(benchmark, artifact):
+    def front_end():
+        return analyze_module(parse_module(RELAXATION_JACOBI_SOURCE))
+
+    analyzed = benchmark(front_end)
+
+    assert analyzed.name == "Relaxation"
+    assert [p for p in analyzed.param_names] == ["InitialA", "M", "maxK"]
+    assert analyzed.result_names == ["newA"]
+    assert [eq.label for eq in analyzed.equations] == ["eq.1", "eq.2", "eq.3"]
+    a = analyzed.symbol("A").type
+    assert a.rank == 3  # "dimensionality which is the sum of subscripts and superscripts"
+
+    text = format_module(analyzed.module)
+    reparsed = analyze_module(parse_module(text))
+    assert [eq.label for eq in reparsed.equations] == ["eq.1", "eq.2", "eq.3"]
+    artifact("fig1_module.txt", text)
+
+
+def test_fig1_round_trip_stability(benchmark):
+    """format(parse(format(x))) is a fixed point."""
+    module = parse_module(RELAXATION_JACOBI_SOURCE)
+    once = format_module(module)
+
+    def round_trip():
+        return format_module(parse_module(once))
+
+    twice = benchmark(round_trip)
+    assert twice == once

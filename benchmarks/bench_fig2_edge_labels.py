@@ -1,0 +1,58 @@
+"""F2 — Figure 2: edge label attributes.
+
+Reproduces: the classification of subscript expressions into the paper's
+three classes ("I", "I - constant", any other expression), with offset
+amounts and upper-bound detection. Benchmarks the classifier.
+"""
+
+from repro.graph.labels import SubscriptClass, classify_subscript
+from repro.ps.parser import parse_expression
+from repro.ps.semantics import EquationDim
+from repro.ps.types import SubrangeType
+
+
+def _dims():
+    K = SubrangeType("K", parse_expression("2"), parse_expression("maxK"))
+    I = SubrangeType("I", parse_expression("0"), parse_expression("M+1"))
+    J = SubrangeType("J", parse_expression("0"), parse_expression("M+1"))
+    return [EquationDim("K", K), EquationDim("I", I), EquationDim("J", J)]
+
+
+CASES = [
+    # (expression, expected class, expected offset)
+    ("K", SubscriptClass.IDENTITY, None),
+    ("I", SubscriptClass.IDENTITY, None),
+    ("K - 1", SubscriptClass.OFFSET, 1),
+    ("K - 2", SubscriptClass.OFFSET, 2),
+    ("I + 1", SubscriptClass.OTHER, None),
+    ("J + 1", SubscriptClass.OTHER, None),
+    ("2 * K", SubscriptClass.OTHER, None),
+    ("I + J", SubscriptClass.OTHER, None),
+    ("maxK", SubscriptClass.OTHER, None),
+    ("1", SubscriptClass.OTHER, None),
+]
+
+
+def test_fig2_classification(benchmark, artifact):
+    dims = _dims()
+    exprs = [(parse_expression(text), text) for text, _, _ in CASES]
+    k_dim = SubrangeType("Kdim", parse_expression("1"), parse_expression("maxK"))
+
+    def classify_all():
+        return [classify_subscript(e, 0, dims, k_dim) for e, _ in exprs]
+
+    infos = benchmark(classify_all)
+
+    lines = ["Figure 2 - Edge Label Attributes (reproduced)",
+             f"{'expression':<12} {'class':<16} {'offset':<8} {'upper bound?'}"]
+    for (text, expected_cls, expected_off), info in zip(CASES, infos):
+        assert info.cls is expected_cls, text
+        assert info.offset == expected_off, text
+        lines.append(
+            f"{text:<12} {info.cls.value:<16} {str(info.offset):<8} "
+            f"{info.is_upper_bound}"
+        )
+    # A[maxK] where maxK is the declared upper bound (section 3.4, rule 2).
+    ub = classify_subscript(parse_expression("maxK"), 0, dims, k_dim)
+    assert ub.is_upper_bound
+    artifact("fig2_edge_labels.txt", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""F4 — Figure 4: the flowchart descriptor.
+
+Reproduces: the two descriptor species (dependency-graph node vs subrange
+type), the iterative/parallel flag, and the recursive nesting structure.
+Benchmarks flowchart assembly and traversal.
+"""
+
+from repro.core.paper import jacobi_analyzed
+from repro.schedule.flowchart import Flowchart, LoopDescriptor, NodeDescriptor
+from repro.schedule.scheduler import schedule_module
+
+
+def test_fig4_descriptor_structure(benchmark, artifact):
+    analyzed = jacobi_analyzed()
+    flow = schedule_module(analyzed)
+
+    def traverse():
+        rows = []
+        for d in flow.walk():
+            if isinstance(d, LoopDescriptor):
+                rows.append(
+                    ("subrange type", d.index,
+                     "parallel" if d.parallel else "iterative",
+                     len(d.body))
+                )
+            else:
+                rows.append(("graph node", d.node.id, "-", 0))
+        return rows
+
+    rows = benchmark(traverse)
+
+    lines = ["Figure 4 - Flowchart descriptors (reproduced for Figure 6)",
+             f"{'descriptor type':<16} {'item':<8} {'loop kind':<10} {'nested'}"]
+    for kind, item, loop_kind, nested in rows:
+        lines.append(f"{kind:<16} {item:<8} {loop_kind:<10} {nested}")
+    artifact("fig4_flowchart_descriptors.txt", "\n".join(lines))
+
+    loop_rows = [r for r in rows if r[0] == "subrange type"]
+    node_rows = [r for r in rows if r[0] == "graph node"]
+    assert len(loop_rows) == 7  # 2 + 3 + 2 loops in Figure 6
+    assert len(node_rows) == 3  # eq.1, eq.3, eq.2
+    # "A subrange type descriptor also contains a list of descriptors which
+    # are contained within the scope of the loop" — every loop nests >= 1.
+    assert all(r[3] >= 1 for r in loop_rows)
+
+
+def test_fig4_shape_fingerprint(benchmark):
+    analyzed = jacobi_analyzed()
+    flow = schedule_module(analyzed)
+    shape = benchmark(flow.shape)
+    assert shape[0][0] == "DOALL"
+    assert shape[1][0] == "DO"

@@ -1,0 +1,61 @@
+"""F6 — Figure 6: the flowchart for the Relaxation module (Jacobi).
+
+Reproduces the exact printed flowchart: a parallel I/J nest for eq.1, an
+iterative K loop around a parallel I/J nest for eq.3, and a parallel I/J
+nest for eq.2. Benchmarks the end-to-end scheduling pipeline.
+"""
+
+from repro.core.paper import jacobi_analyzed
+from repro.graph.build import build_dependency_graph
+from repro.schedule.scheduler import schedule_module
+
+FIGURE_6 = """\
+DOALL I (
+    DOALL J (
+        eq.1
+    )
+)
+DO K (
+    DOALL I (
+        DOALL J (
+            eq.3
+        )
+    )
+)
+DOALL I (
+    DOALL J (
+        eq.2
+    )
+)"""
+
+
+def test_fig6_flowchart(benchmark, artifact):
+    analyzed = jacobi_analyzed()
+
+    flow = benchmark(lambda: schedule_module(analyzed))
+
+    assert flow.pretty() == FIGURE_6
+    artifact("fig6_flowchart.txt", flow.pretty())
+
+
+def test_fig6_schedule_from_source(benchmark):
+    """Front end + graph + scheduler, end to end from source text."""
+    from repro.core.paper import RELAXATION_JACOBI_SOURCE
+    from repro.ps.parser import parse_module
+    from repro.ps.semantics import analyze_module
+
+    def pipeline():
+        analyzed = analyze_module(parse_module(RELAXATION_JACOBI_SOURCE))
+        return schedule_module(analyzed, build_dependency_graph(analyzed))
+
+    flow = pipeline()
+    benchmark(pipeline)
+    assert flow.pretty() == FIGURE_6
+
+
+def test_fig6_window_two(benchmark):
+    """Section 3.4 alongside Figure 6: A's first dimension is virtual with
+    a window of two."""
+    analyzed = jacobi_analyzed()
+    flow = benchmark(lambda: schedule_module(analyzed))
+    assert flow.window_of("A") == {0: 2}

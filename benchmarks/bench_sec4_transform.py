@@ -1,0 +1,51 @@
+"""S4c — Section 4: the coordinate change and its inverse.
+
+Reproduces: K' = 2K + I + J, I' = K, J' = I; inverse K = I', I = J',
+J = K' - 2I' - J'; unimodularity of the transformation. Benchmarks the
+completion and exact inversion.
+"""
+
+from repro.hyperplane.unimodular import (
+    complete_to_unimodular,
+    determinant,
+    integer_inverse,
+    matvec,
+)
+
+
+def test_sec4_coordinate_change(benchmark, artifact):
+    T = benchmark(lambda: complete_to_unimodular((2, 1, 1)))
+
+    assert T == [[2, 1, 1], [1, 0, 0], [0, 1, 0]]
+    assert determinant(T) in (1, -1)
+    Tinv = integer_inverse(T)
+    assert Tinv == [[0, 1, 0], [0, 0, 1], [1, -2, -1]]
+
+    # Paper's worked example: (K,I,J) -> (K',I',J') and back.
+    for x in [(1, 0, 0), (3, 2, 5), (10, 0, 9)]:
+        y = matvec(T, x)
+        assert y[0] == 2 * x[0] + x[1] + x[2]
+        assert y[1] == x[0]
+        assert y[2] == x[1]
+        assert matvec(Tinv, y) == x
+
+    lines = [
+        "Section 4 - coordinate transformation (reproduced)",
+        "K' = 2K + I + J      I' = K      J' = I",
+        "K  = I'              I  = J'     J  = K' - 2I' - J'",
+        f"T    = {T}",
+        f"Tinv = {Tinv}",
+        f"det(T) = {determinant(T)}",
+    ]
+    artifact("sec4_transform.txt", "\n".join(lines))
+
+
+def test_sec4_inverse_round_trip(benchmark):
+    T = complete_to_unimodular((2, 1, 1))
+
+    Tinv = benchmark(lambda: integer_inverse(T))
+    identity = [
+        [sum(T[i][k] * Tinv[k][j] for k in range(3)) for j in range(3)]
+        for i in range(3)
+    ]
+    assert identity == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]

@@ -1,0 +1,53 @@
+"""P3 — Section 4: the hyperplane wavefront profile.
+
+Regenerates the hyperplane sweep for t = 2K + I + J: plane sizes across t,
+exact single coverage of every array point, and the comparison between the
+hyperplane schedule's step count and the true critical path from the
+element-level dataflow graph. Benchmarks profile computation.
+"""
+
+from repro.analysis.element_graph import build_element_graph
+from repro.analysis.wavefront import wavefront_profile
+
+PI = (2, 1, 1)
+VECTORS = [(1, 0, 0), (0, 0, 1), (0, 1, 0), (1, 0, -1), (1, -1, 0)]
+
+
+def test_p3_profile(benchmark, artifact):
+    m, maxk = 16, 12
+    bounds = [(1, maxk), (0, m + 1), (0, m + 1)]
+
+    prof = benchmark(lambda: wavefront_profile(PI, bounds))
+
+    assert prof.covers_box_exactly()
+    assert prof.t_min == 2
+    assert prof.t_max == 2 * maxk + 2 * (m + 1)
+
+    g = build_element_graph(bounds, VECTORS)
+    # The hyperplane schedule can never beat the exact critical path.
+    assert g.span <= prof.n_hyperplanes
+
+    lines = [
+        f"P3 - hyperplane profile, t = 2K + I + J, M={m}, maxK={maxk}",
+        f"planes: t = {prof.t_min} .. {prof.t_max}  ({prof.n_hyperplanes} steps)",
+        f"total points: {prof.total_points} (= maxK x (M+2)^2 = "
+        f"{maxk * (m + 2) ** 2})",
+        f"widest plane: {prof.max_width} elements",
+        f"exact critical path (element DAG): {g.span} steps",
+        f"average parallelism (work/span): {g.average_parallelism():.1f}",
+        "",
+        "plane sizes:",
+    ]
+    scale = 40 / prof.max_width
+    for t, size in zip(range(prof.t_min, prof.t_max + 1), prof.sizes):
+        lines.append(f"  t={t:>3} |{'#' * int(size * scale):<40}| {size}")
+    artifact("wavefront_profile.txt", "\n".join(lines))
+
+
+def test_p3_element_dag_levels(benchmark):
+    bounds = [(1, 8), (0, 9), (0, 9)]
+
+    g = benchmark(lambda: build_element_graph(bounds, VECTORS))
+    assert g.work == 8 * 10 * 10
+    assert g.max_parallelism() > 1
+    assert sum(g.level_sizes()) == g.work

@@ -1,0 +1,65 @@
+"""W1 — Sections 3.4 + 4: virtual dimensions and window sizes.
+
+Reproduces the three window results: Jacobi A -> window 2, Gauss-Seidel A ->
+window 2 ("the virtual dimension analysis gives the same result"), and the
+transformed A' -> window 3 (references K'-1 and K'-2), plus the storage
+comparison 3 x maxK x M' versus 2 x M' x M'. Benchmarks the analysis.
+"""
+
+from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
+from repro.graph.build import build_dependency_graph
+from repro.graph.scc import condensation_order
+from repro.hyperplane.pipeline import hyperplane_transform
+from repro.schedule.scheduler import schedule_module
+from repro.schedule.virtual import virtual_dimension_report
+
+
+def test_w1_window_sizes(benchmark, artifact):
+    jac = jacobi_analyzed()
+    gs = gauss_seidel_analyzed()
+
+    def analyze_windows():
+        return (
+            schedule_module(jac).window_of("A"),
+            schedule_module(gs).window_of("A"),
+            hyperplane_transform(gs).recurrence_window,
+        )
+
+    jac_win, gs_win, transformed_win = benchmark(analyze_windows)
+
+    assert jac_win == {0: 2}
+    assert gs_win == {0: 2}
+    assert transformed_win == 3
+
+    res = hyperplane_transform(gs)
+    m, maxk = 64, 100
+    comp = res.storage_comparison({"M": m, "maxK": maxk})
+    assert comp["untransformed_window"] == 2 * (m + 2) ** 2
+    assert comp["transformed_window"] == 3 * maxk * (m + 2)
+    assert comp["full"] == maxk * (m + 2) ** 2
+
+    lines = [
+        "Windows (reproduced; sections 3.4 and 4)",
+        f"{'variant':<28} {'array':<6} {'virtual dim':<12} {'window'}",
+        f"{'Jacobi (Eq. 1)':<28} {'A':<6} {'0 (K)':<12} {jac_win[0]}",
+        f"{'Gauss-Seidel (Eq. 2)':<28} {'A':<6} {'0 (K)':<12} {gs_win[0]}",
+        f"{'transformed (section 4)':<28} {'Ap':<6} {'0 (Kp)':<12} {transformed_win}",
+        "",
+        f"storage for M={m}, maxK={maxk} (elements):",
+        f"  full 3-d array          : {comp['full']}",
+        f"  untransformed, window 2 : {comp['untransformed_window']}  (2 x M'^2)",
+        f"  transformed, window 3   : {comp['transformed_window']}  (3 x maxK x M')",
+    ]
+    artifact("windows.txt", "\n".join(lines))
+
+
+def test_w1_virtual_dimension_report(benchmark):
+    """The section-3.4 rule evaluated for every dimension of every local
+    array in its component: only dimension 0 qualifies ('the other two ...
+    have edges with subscript expression I + constant')."""
+    analyzed = jacobi_analyzed()
+    graph = build_dependency_graph(analyzed)
+    comps = condensation_order(graph.full_view())
+
+    report = benchmark(lambda: virtual_dimension_report(graph, comps))
+    assert [(v.node_id, v.dim, v.window) for v in report] == [("A", 0, 2)]

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every bench regenerates one paper artifact (figure, table, or derivation),
+asserts its structure, writes the regenerated text to ``benchmarks/out/``
+(so the reproduction is inspectable without re-running), and benchmarks the
+implementing code path with pytest-benchmark.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+@pytest.fixture()
+def artifact():
+    """Writer for regenerated paper artifacts: artifact(name, text)."""
+
+    def write(name: str, text: str) -> pathlib.Path:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / name
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return write

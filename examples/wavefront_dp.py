@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Beyond relaxation: hyperplane scheduling of a dynamic-programming table.
+
+The paper's transformation is not specific to PDE stencils. This example
+writes a Needleman-Wunsch-style alignment-cost recurrence in PS (each cell
+depends on its west, north and north-west neighbours), shows that the naive
+schedule is fully iterative, derives the anti-diagonal time function
+t = I + J, and measures the exposed parallelism.
+
+Run:  python examples/wavefront_dp.py
+"""
+
+import numpy as np
+
+from repro.analysis.element_graph import build_element_graph
+from repro.analysis.wavefront import wavefront_profile
+from repro.hyperplane.pipeline import hyperplane_transform
+from repro.ps.parser import parse_module
+from repro.ps.printer import format_module
+from repro.ps.semantics import analyze_module
+from repro.runtime.executor import execute_module
+from repro.schedule.scheduler import schedule_module
+
+DP_SOURCE = """\
+(* Alignment-cost table: D[I,J] depends on west, north and north-west. *)
+Align: module (CostA: array[1 .. n] of real;
+               CostB: array[1 .. n] of real;
+               gap: real; n: int):
+       [score: real];
+type
+    I, J = 1 .. n;
+var
+    D: array [0 .. n, 0 .. n] of real;
+define
+    D[0] = 0.0;
+    D[I, 0] = I * gap;
+    D[I, J] = min(D[I-1, J-1] + abs(CostA[I] - CostB[J]),
+                  min(D[I-1, J] + gap, D[I, J-1] + gap));
+    score = D[n, n];
+end Align;
+"""
+
+
+def main() -> None:
+    analyzed = analyze_module(parse_module(DP_SOURCE))
+    print("=" * 72)
+    print("PS source")
+    print("=" * 72)
+    print(DP_SOURCE)
+
+    flow = schedule_module(analyzed)
+    print("=" * 72)
+    print("Naive schedule: the DP loops are iterative")
+    print("=" * 72)
+    print(flow.pretty())
+
+    res = hyperplane_transform(analyzed, array="D")
+    print()
+    print("=" * 72)
+    print("Hyperplane derivation")
+    print("=" * 72)
+    print("dependence vectors:", res.dependences.vectors)
+    print("inequalities:", "; ".join(res.inequalities))
+    print("time vector:", res.pi, "->", res.time_equation)
+    print()
+    print("Transformed schedule (anti-diagonal wavefronts):")
+    print(res.transformed_flowchart.pretty())
+
+    print()
+    print("=" * 72)
+    print("Exposed parallelism")
+    print("=" * 72)
+    n = 24
+    prof = wavefront_profile(res.pi, [(0, n), (0, n)])
+    g = build_element_graph([(0, n), (0, n)], res.dependences.vectors)
+    print(f"table: {(n + 1)}x{(n + 1)} = {g.work} cells")
+    print(f"hyperplanes: {prof.n_hyperplanes}, widest = {prof.max_width} cells")
+    print(f"critical path (exact): {g.span} steps; "
+          f"average parallelism = {g.average_parallelism():.1f}")
+    bars = prof.sizes
+    scale = 48 / max(bars)
+    for t, s in zip(range(prof.t_min, prof.t_max + 1), bars):
+        if t % 4 == 0:
+            print(f"  t={t:>3} |{'#' * int(s * scale):<48}| {s}")
+
+    print()
+    print("=" * 72)
+    print("Numeric check: transformed module computes the same score")
+    print("=" * 72)
+    rng = np.random.default_rng(7)
+    n_run = 12
+    args = {
+        "CostA": rng.random(n_run),
+        "CostB": rng.random(n_run),
+        "gap": 0.45,
+        "n": n_run,
+    }
+    s1 = execute_module(analyzed, args)["score"]
+    s2 = execute_module(res.transformed, args)["score"]
+    print(f"original score    = {s1:.6f}")
+    print(f"transformed score = {s2:.6f}")
+    assert abs(s1 - s2) < 1e-12
+
+
+if __name__ == "__main__":
+    main()

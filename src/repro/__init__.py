@@ -1,0 +1,80 @@
+"""repro — reproduction of Gokhale (1987), "Exploiting Loop Level
+Parallelism in Nonprocedural Dataflow Programs" (ICASE 87-23).
+
+The package implements the PS nonprocedural dataflow language, the
+dependency-graph scheduler that emits iterative (DO) and concurrent (DOALL)
+loops, the virtual-dimension (memory window) analysis, and the hyperplane
+restructuring transformation of section 4 — plus the execution substrates
+needed to evaluate them: a flowchart interpreter, a vectorised NumPy backend,
+a C code generator, and a simulated MIMD machine.
+
+Quickstart::
+
+    import repro
+    result = repro.compile_source(repro.RELAXATION_JACOBI_SOURCE)
+    print(result.flowchart.pretty())
+    print(result.c_source)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CodegenError,
+    CoverageError,
+    ExecutionError,
+    InconsistentPositionError,
+    InfeasibleScheduleError,
+    LexError,
+    ParseError,
+    ReproError,
+    ScheduleError,
+    SemanticError,
+    SourceError,
+    TransformError,
+)
+
+__all__ = [
+    "CodegenError",
+    "CoverageError",
+    "ExecutionError",
+    "InconsistentPositionError",
+    "InfeasibleScheduleError",
+    "LexError",
+    "ParseError",
+    "ReproError",
+    "ScheduleError",
+    "SemanticError",
+    "SourceError",
+    "TransformError",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazy re-exports of the main API, avoiding import cycles during
+    package construction."""
+    from importlib import import_module
+
+    lazy = {
+        "parse_module": "repro.ps.parser",
+        "parse_program": "repro.ps.parser",
+        "analyze_module": "repro.ps.semantics",
+        "analyze_program": "repro.ps.semantics",
+        "format_module": "repro.ps.printer",
+        "ModuleBuilder": "repro.ps.builder",
+        "build_dependency_graph": "repro.graph.build",
+        "schedule_module": "repro.schedule.scheduler",
+        "Flowchart": "repro.schedule.flowchart",
+        "hyperplane_transform": "repro.hyperplane.pipeline",
+        "compile_source": "repro.core.pipeline",
+        "compile_module": "repro.core.pipeline",
+        "CompilerOptions": "repro.core.pipeline",
+        "RELAXATION_JACOBI_SOURCE": "repro.core.paper",
+        "RELAXATION_GAUSS_SEIDEL_SOURCE": "repro.core.paper",
+        "execute_module": "repro.runtime.executor",
+        "MachineModel": "repro.machine.cost",
+        "simulate_flowchart": "repro.machine.simulator",
+    }
+    if name in lazy:
+        return getattr(import_module(lazy[name]), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,15 @@
+"""Element-level analyses: the per-element dataflow graph the paper appeals
+to in section 4 ("The dataflow graph for A in which each array element is a
+node"), wavefront profiles, and an execution-order validator for schedules."""
+
+from repro.analysis.element_graph import ElementGraph, build_element_graph
+from repro.analysis.validate import validate_flowchart_order
+from repro.analysis.wavefront import WavefrontProfile, wavefront_profile
+
+__all__ = [
+    "ElementGraph",
+    "WavefrontProfile",
+    "build_element_graph",
+    "validate_flowchart_order",
+    "wavefront_profile",
+]

@@ -1,0 +1,67 @@
+"""Hyperplane (wavefront) profiles.
+
+Section 4: "All array elements A[K,I,J] such that 2K + I + J = t will be
+defined at time t. For given t, these entries comprise a 'hyperplane'. As t
+is increased from 0 to t_max ... we find a sequence of such hyperplanes
+which cover every point in the array."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class WavefrontProfile:
+    pi: tuple[int, ...]
+    bounds: list[tuple[int, int]]
+    t_min: int
+    t_max: int
+    sizes: list[int]  # lattice points per hyperplane, t_min..t_max
+
+    @property
+    def n_hyperplanes(self) -> int:
+        return self.t_max - self.t_min + 1
+
+    @property
+    def total_points(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def max_width(self) -> int:
+        return max(self.sizes) if self.sizes else 0
+
+    def covers_box_exactly(self) -> bool:
+        """Every point of the box lies on exactly one hyperplane."""
+        box = 1
+        for lo, hi in self.bounds:
+            box *= hi - lo + 1
+        return self.total_points == box
+
+
+def wavefront_profile(
+    pi: tuple[int, ...], bounds: list[tuple[int, int]]
+) -> WavefrontProfile:
+    """Exact hyperplane sizes over a box domain (vectorised convolution of
+    per-dimension value histograms, so large boxes stay cheap)."""
+    # Each dimension contributes pi_i * x_i with x_i in [lo, hi]; the
+    # distribution of the sum is the convolution of per-dim distributions.
+    dists: list[tuple[int, np.ndarray]] = []  # (offset, histogram)
+    for p, (lo, hi) in zip(pi, bounds):
+        values = p * np.arange(lo, hi + 1)
+        vmin, vmax = int(values.min()), int(values.max())
+        hist = np.zeros(vmax - vmin + 1, dtype=np.int64)
+        np.add.at(hist, values - vmin, 1)
+        dists.append((vmin, hist))
+
+    offset = 0
+    acc = np.array([1], dtype=np.int64)
+    for vmin, hist in dists:
+        acc = np.convolve(acc, hist)
+        offset += vmin
+    t_min = offset
+    t_max = offset + len(acc) - 1
+    return WavefrontProfile(tuple(pi), list(bounds), t_min, t_max, acc.tolist())

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command> module.ps``.
+
+Commands
+--------
+schedule   print the flowchart (Figure-6 style) and window analysis
+graph      print the dependency graph (text or Graphviz dot)
+compile    print generated C or Python
+transform  run the section-4 hyperplane derivation and print the report
+run        execute a module (scalars via --set, array inputs random or
+           loaded from .npy via --load)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.pipeline import CompilerOptions, compile_source
+from repro.errors import ReproError
+from repro.graph.build import build_dependency_graph
+from repro.graph.dot import to_dot, to_text
+from repro.hyperplane.pipeline import hyperplane_transform
+from repro.ps.parser import parse_module
+from repro.ps.printer import format_module
+from repro.ps.semantics import analyze_module
+from repro.ps.types import ArrayType
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.values import array_bounds
+from repro.schedule.scheduler import schedule_module
+
+
+def _read_module(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_module(fh.read())
+
+
+def _cmd_schedule(args) -> int:
+    analyzed = analyze_module(_read_module(args.module))
+    flow = schedule_module(analyzed)
+    print(flow.pretty())
+    if flow.windows:
+        print()
+        print("virtual dimensions (windows):")
+        for name, dims in sorted(flow.windows.items()):
+            for d, w in sorted(dims.items()):
+                print(f"  {name} dimension {d}: window of {w}")
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    analyzed = analyze_module(_read_module(args.module))
+    graph = build_dependency_graph(analyzed)
+    print(to_dot(graph) if args.dot else to_text(graph))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    with open(args.module, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    options = CompilerOptions(
+        merge_loops=args.merge,
+        hyperplane=args.hyperplane,
+        use_windows=not args.no_windows,
+    )
+    result = compile_source(source, options)
+    for w in result.warnings:
+        print(f"warning: {w}", file=sys.stderr)
+    if args.emit == "c":
+        if result.c_source is None:
+            print("error: C generation failed (see warnings)", file=sys.stderr)
+            return 1
+        print(result.c_source)
+    elif args.emit == "python":
+        if result.python_source is None:
+            print("error: Python generation failed (see warnings)", file=sys.stderr)
+            return 1
+        print(result.python_source)
+    else:
+        print(result.flowchart.pretty())
+    return 0
+
+
+def _cmd_transform(args) -> int:
+    analyzed = analyze_module(_read_module(args.module))
+    res = hyperplane_transform(analyzed, array=args.array)
+    print(f"recursive array     : {res.array}")
+    print(f"dependence vectors  : {res.dependences.vectors}")
+    print(f"inequalities        : {'; '.join(res.inequalities)}")
+    print(f"time vector         : {res.pi}")
+    print(f"time equation       : {res.time_equation}")
+    print(f"transformation T    : {res.T}")
+    print(f"inverse             : {res.Tinv}")
+    print(f"recurrence window   : {res.recurrence_window}")
+    print()
+    print("schedule before:")
+    print(res.original_flowchart.pretty())
+    print()
+    print("schedule after:")
+    print(res.transformed_flowchart.pretty())
+    if args.emit_module:
+        print()
+        print(format_module(res.transformed_module))
+    return 0
+
+
+def _parse_assignments(pairs: Sequence[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--set expects NAME=INT, got {pair!r}")
+        name, _, value = pair.partition("=")
+        out[name] = int(value)
+    return out
+
+
+def _cmd_run(args) -> int:
+    analyzed = analyze_module(_read_module(args.module))
+    run_args: dict = dict(_parse_assignments(args.set or []))
+    for pair in args.load or []:
+        name, _, path = pair.partition("=")
+        run_args[name] = np.load(path)
+    # Fill remaining array parameters with seeded random data.
+    rng = np.random.default_rng(args.seed)
+    scalars = {k: v for k, v in run_args.items() if isinstance(v, int)}
+    for pname in analyzed.param_names:
+        if pname in run_args:
+            continue
+        sym = analyzed.symbol(pname)
+        if isinstance(sym.type, ArrayType):
+            bounds = array_bounds(sym.type, scalars)
+            shape = tuple(hi - lo + 1 for lo, hi in bounds)
+            run_args[pname] = rng.random(shape)
+            print(f"note: filled {pname} with random{shape} (seed {args.seed})",
+                  file=sys.stderr)
+    options = ExecutionOptions(
+        vectorize=not args.scalar, use_windows=args.windows
+    )
+    results = execute_module(analyzed, run_args, options=options)
+    with np.printoptions(precision=6, suppress=True):
+        for name, value in results.items():
+            print(f"{name} =")
+            print(value)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PS compiler reproduction (Gokhale 1987): scheduling, "
+        "windows, hyperplane transformation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="print the flowchart and windows")
+    p.add_argument("module", help="PS source file")
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("graph", help="print the dependency graph")
+    p.add_argument("module")
+    p.add_argument("--dot", action="store_true", help="Graphviz output")
+    p.set_defaults(func=_cmd_graph)
+
+    p = sub.add_parser("compile", help="generate code")
+    p.add_argument("module")
+    p.add_argument("--emit", choices=["c", "python", "flowchart"], default="c")
+    p.add_argument("--merge", action="store_true", help="merge compatible loops")
+    p.add_argument("--hyperplane", action="store_true",
+                   help="apply the section-4 transformation first")
+    p.add_argument("--no-windows", action="store_true",
+                   help="disable window allocation")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("transform", help="hyperplane derivation report")
+    p.add_argument("module")
+    p.add_argument("--array", default=None, help="recursive array to transform")
+    p.add_argument("--emit-module", action="store_true",
+                   help="also print the transformed PS source")
+    p.set_defaults(func=_cmd_transform)
+
+    p = sub.add_parser("run", help="execute a module")
+    p.add_argument("module")
+    p.add_argument("--set", action="append", metavar="NAME=INT",
+                   help="scalar parameter")
+    p.add_argument("--load", action="append", metavar="NAME=FILE.npy",
+                   help="array parameter from a .npy file")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for auto-filled array parameters")
+    p.add_argument("--scalar", action="store_true",
+                   help="use the scalar reference interpreter")
+    p.add_argument("--windows", action="store_true",
+                   help="allocate virtual dimensions as windows")
+    p.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

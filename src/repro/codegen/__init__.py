@@ -1,0 +1,12 @@
+"""Code generation from flowcharts.
+
+``cgen`` emits the paper's artifact: C declarations and loops, each loop
+annotated iterative/concurrent, with window allocation for virtual
+dimensions. ``pygen`` emits an executable Python function used to cross-
+check the interpreter (and to give downstream users standalone code).
+"""
+
+from repro.codegen.cgen import generate_c
+from repro.codegen.pygen import compile_python, generate_python
+
+__all__ = ["compile_python", "generate_c", "generate_python"]

@@ -1,0 +1,37 @@
+"""Identifier mangling shared by the code generators."""
+
+from __future__ import annotations
+
+_C_KEYWORDS = {
+    "auto", "break", "case", "char", "const", "continue", "default", "do",
+    "double", "else", "enum", "extern", "float", "for", "goto", "if", "int",
+    "long", "register", "return", "short", "signed", "sizeof", "static",
+    "struct", "switch", "typedef", "union", "unsigned", "void", "volatile",
+    "while",
+}
+
+_PY_KEYWORDS = {
+    "False", "None", "True", "and", "as", "assert", "async", "await",
+    "break", "class", "continue", "def", "del", "elif", "else", "except",
+    "finally", "for", "from", "global", "if", "import", "in", "is",
+    "lambda", "nonlocal", "not", "or", "pass", "raise", "return", "try",
+    "while", "with", "yield", "np",
+}
+
+
+def c_name(name: str) -> str:
+    mangled = name.replace(".", "_").replace("'", "p")
+    if mangled in _C_KEYWORDS:
+        mangled += "_"
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def py_name(name: str) -> str:
+    mangled = name.replace(".", "_").replace("'", "p")
+    if mangled in _PY_KEYWORDS:
+        mangled += "_"
+    if mangled and mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled

@@ -1,0 +1,19 @@
+"""Top-level compilation pipeline and canonical paper artifacts."""
+
+from repro.core.paper import (
+    RELAXATION_GAUSS_SEIDEL_SOURCE,
+    RELAXATION_JACOBI_SOURCE,
+    gauss_seidel_analyzed,
+    gauss_seidel_module,
+    jacobi_analyzed,
+    jacobi_module,
+)
+
+__all__ = [
+    "RELAXATION_GAUSS_SEIDEL_SOURCE",
+    "RELAXATION_JACOBI_SOURCE",
+    "gauss_seidel_analyzed",
+    "gauss_seidel_module",
+    "jacobi_analyzed",
+    "jacobi_module",
+]

@@ -1,0 +1,88 @@
+"""Canonical paper artifacts: the Figure-1 Relaxation module.
+
+Two variants, matching the paper's two relaxation equations:
+
+* **Jacobi** (Equation 1 / Figure 1): every interior element is computed from
+  the *previous* iteration, ``A[K-1, ...]`` only. Its schedule is Figure 6:
+  an outer iterative DO over ``K`` with inner parallel DOALLs.
+* **Gauss–Seidel** (Equation 2 / section 4): west and north neighbours come
+  from the *current* iteration (``A[K,I,J-1]``, ``A[K,I-1,J]``). Its naive
+  schedule is Figure 7 (fully iterative); the hyperplane transformation of
+  section 4 recovers the Figure-6 shape.
+"""
+
+from __future__ import annotations
+
+from repro.ps.ast import Module
+from repro.ps.parser import parse_module
+from repro.ps.semantics import AnalyzedModule, analyze_module
+
+RELAXATION_JACOBI_SOURCE = """\
+(* Figure 1 of Gokhale 1987: simplified standard relaxation (Equation 1). *)
+Relaxation: module (InitialA: array[I,J] of real;
+                    M: int; maxK: int):
+            [newA: array[I,J] of real];
+type
+    I, J = 0 .. M+1;
+    K = 2 .. maxK;
+var
+    A: array [1 .. maxK] of array[I,J] of real;
+    (* A denotes the succession of grids *)
+define
+    (* eq.1 *) A[1] = InitialA;          (* the first grid is input *)
+    (* eq.2 *) newA = A[maxK];           (* the grid returned is from
+                                            the last iteration *)
+    (* eq.3 *) A[K,I,J] = if (I = 0)
+                  or (J = 0)
+                  or (I = M+1)
+                  or (J = M+1)
+               then A[K-1,I,J]           (* carry over boundary points *)
+               else ( A[K-1,I,J-1]
+                    + A[K-1,I-1,J]
+                    + A[K-1,I,J+1]
+                    + A[K-1,I+1,J] ) / 4;
+end Relaxation;
+"""
+
+RELAXATION_GAUSS_SEIDEL_SOURCE = """\
+(* Section 4 of Gokhale 1987: the more standard relaxation (Equation 2). *)
+Relaxation: module (InitialA: array[I,J] of real;
+                    M: int; maxK: int):
+            [newA: array[I,J] of real];
+type
+    I, J = 0 .. M+1;
+    K = 2 .. maxK;
+var
+    A: array [1 .. maxK] of array[I,J] of real;
+define
+    (* eq.1 *) A[1] = InitialA;
+    (* eq.2 *) newA = A[maxK];
+    (* eq.3 *) A[K,I,J] = if (I = 0)
+                  or (J = 0)
+                  or (I = M+1)
+                  or (J = M+1)
+               then A[K-1,I,J]           (* carry over boundary points *)
+               else ( A[K,I,J-1]
+                    + A[K,I-1,J]
+                    + A[K-1,I,J+1]
+                    + A[K-1,I+1,J] ) / 4;
+end Relaxation;
+"""
+
+
+def jacobi_module() -> Module:
+    """Parse tree of the Figure-1 (Equation 1) Relaxation module."""
+    return parse_module(RELAXATION_JACOBI_SOURCE)
+
+
+def gauss_seidel_module() -> Module:
+    """Parse tree of the section-4 (Equation 2) Relaxation module."""
+    return parse_module(RELAXATION_GAUSS_SEIDEL_SOURCE)
+
+
+def jacobi_analyzed() -> AnalyzedModule:
+    return analyze_module(jacobi_module())
+
+
+def gauss_seidel_analyzed() -> AnalyzedModule:
+    return analyze_module(gauss_seidel_module())

@@ -1,0 +1,125 @@
+"""The top-level compiler pipeline.
+
+Mirrors the paper's three compiler components — front end, scheduler, code
+generator — and adds the optional passes this repo reproduces: loop merging
+(the paper's future-work item), the hyperplane transformation (section 4),
+and window allocation (section 3.4).
+
+    result = compile_source(RELAXATION_JACOBI_SOURCE)
+    result.flowchart.pretty()   # Figure 6
+    result.c_source             # annotated C
+    result.run({...})           # execute via the interpreter
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.codegen.cgen import generate_c
+from repro.codegen.pygen import compile_python, generate_python
+from repro.errors import CodegenError, TransformError
+from repro.graph.build import build_dependency_graph
+from repro.graph.depgraph import DependencyGraph
+from repro.hyperplane.pipeline import HyperplaneResult, hyperplane_transform
+from repro.ps.ast import Module
+from repro.ps.parser import parse_module
+from repro.ps.semantics import AnalyzedModule, AnalyzedProgram, analyze_module
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.schedule.flowchart import Flowchart
+from repro.schedule.merge import merge_loops
+from repro.schedule.scheduler import schedule_module
+
+
+@dataclass
+class CompilerOptions:
+    merge_loops: bool = False  # apply the loop-merging improvement pass
+    hyperplane: bool = False  # restructure recursive components (section 4)
+    use_windows: bool = True  # window allocation in generated code
+    emit_c: bool = True
+    emit_python: bool = True
+
+
+@dataclass
+class CompileResult:
+    module: Module
+    analyzed: AnalyzedModule
+    graph: DependencyGraph
+    flowchart: Flowchart
+    options: CompilerOptions
+    c_source: str | None = None
+    python_source: str | None = None
+    hyperplane_result: HyperplaneResult | None = None
+    warnings: list[str] = field(default_factory=list)
+
+    def run(
+        self, args: dict[str, Any], execution: ExecutionOptions | None = None
+    ) -> dict[str, Any]:
+        """Execute the (possibly transformed) module on the interpreter."""
+        return execute_module(
+            self.analyzed, args, flowchart=self.flowchart, options=execution
+        )
+
+    def compile_python(self) -> Callable:
+        """Exec the generated Python and return the callable."""
+        return compile_python(
+            self.analyzed, self.flowchart, use_windows=self.options.use_windows
+        )
+
+
+def compile_module(
+    module: Module,
+    options: CompilerOptions | None = None,
+    program: AnalyzedProgram | None = None,
+) -> CompileResult:
+    """Run the full pipeline on a parsed module."""
+    options = options or CompilerOptions()
+    analyzed = analyze_module(module, program)
+    hyper: HyperplaneResult | None = None
+
+    if options.hyperplane:
+        hyper = hyperplane_transform(analyzed, program=program)
+        analyzed = hyper.transformed
+        module = hyper.transformed_module
+
+    graph = build_dependency_graph(analyzed)
+    flowchart = schedule_module(analyzed, graph)
+    if options.merge_loops:
+        flowchart = merge_loops(flowchart, graph)
+
+    c_source = None
+    python_source = None
+    warnings = list(analyzed.warnings)
+    if options.emit_c:
+        try:
+            c_source = generate_c(analyzed, flowchart, use_windows=options.use_windows)
+        except CodegenError as exc:
+            warnings.append(f"C generation skipped: {exc}")
+    if options.emit_python:
+        try:
+            python_source = generate_python(
+                analyzed, flowchart, use_windows=options.use_windows
+            )
+        except CodegenError as exc:
+            warnings.append(f"Python generation skipped: {exc}")
+
+    return CompileResult(
+        module=module,
+        analyzed=analyzed,
+        graph=graph,
+        flowchart=flowchart,
+        options=options,
+        c_source=c_source,
+        python_source=python_source,
+        hyperplane_result=hyper,
+        warnings=warnings,
+    )
+
+
+def compile_source(
+    source: str,
+    options: CompilerOptions | None = None,
+    program: AnalyzedProgram | None = None,
+) -> CompileResult:
+    """Parse and compile a single-module PS source text."""
+    return compile_module(parse_module(source), options, program)

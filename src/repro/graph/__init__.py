@@ -1,0 +1,36 @@
+"""Dependency-graph substrate (paper section 3.1).
+
+Nodes are the module's data items and equations; directed edges run from
+producer to consumer. Each node carries one label per dimension and each
+reference edge carries per-subscript labels (position in target, subscript
+expression class, offset) — the attributes of the paper's Figure 2.
+"""
+
+from repro.graph.build import build_dependency_graph
+from repro.graph.depgraph import (
+    DependencyGraph,
+    DimLabel,
+    Edge,
+    EdgeKind,
+    GraphView,
+    Node,
+    NodeKind,
+)
+from repro.graph.labels import SubscriptClass, SubscriptInfo, classify_subscript
+from repro.graph.scc import condensation_order, strongly_connected_components
+
+__all__ = [
+    "DependencyGraph",
+    "DimLabel",
+    "Edge",
+    "EdgeKind",
+    "GraphView",
+    "Node",
+    "NodeKind",
+    "SubscriptClass",
+    "SubscriptInfo",
+    "build_dependency_graph",
+    "classify_subscript",
+    "condensation_order",
+    "strongly_connected_components",
+]

@@ -1,0 +1,138 @@
+"""Dependency-graph construction from an analyzed module (paper section 3.1).
+
+Edge inventory, following the paper:
+
+* "data dependency edges from all variables on the right hand side of an
+  equation to the equation" — one edge per textual reference, labelled with
+  the Figure-2 subscript attributes;
+* "from the equation to the variable on the left hand side" — the LHS edge,
+  labelled with the (identity/constant) target subscripts;
+* "from variables defining a subrange bound to variables using that
+  subrange" — e.g. ``M -> InitialA, A, newA`` and ``maxK -> A``;
+* bound edges also run to equations whose *dimension* bounds use the
+  variable (the generated loop needs the bound before it can run);
+* "hierarchical edges ... between the fields of a record and the record
+  itself".
+"""
+
+from __future__ import annotations
+
+from repro.graph.depgraph import DependencyGraph, DimLabel, Edge, EdgeKind, Node, NodeKind
+from repro.graph.labels import SubscriptInfo, classify_subscript
+from repro.ps.ast import Name, walk_expr
+from repro.ps.semantics import AnalyzedEquation, AnalyzedModule
+from repro.ps.types import ArrayType, RecordType, SubrangeType
+
+
+def _dim_labels(t) -> list[DimLabel]:
+    if isinstance(t, ArrayType):
+        return [DimLabel(d.name, d) for d in t.dims]
+    return []
+
+
+def _add_field_nodes(
+    g: DependencyGraph, base_id: str, rec: RecordType, order: tuple[int, int]
+) -> None:
+    for fname, ftype in rec.fields.items():
+        fid = f"{base_id}.{fname}"
+        node = Node(
+            fid,
+            NodeKind.DATA,
+            _dim_labels(ftype),
+            order,
+            symbol=None,
+            fieldpath=tuple(fid.split(".")[1:]),
+        )
+        g.add_node(node)
+        g.add_edge(base_id, fid, EdgeKind.HIERARCHICAL)
+        if isinstance(ftype, RecordType):
+            _add_field_nodes(g, fid, ftype, order)
+
+
+def _bound_symbols(sub: SubrangeType, table) -> list[str]:
+    names: list[str] = []
+    for bound in (sub.lo, sub.hi):
+        for node in walk_expr(bound):
+            if isinstance(node, Name) and table.symbol(node.ident) is not None:
+                if node.ident not in names:
+                    names.append(node.ident)
+    return names
+
+
+def _classify_ref(
+    eq: AnalyzedEquation, subscripts, src_node: Node
+) -> list[SubscriptInfo]:
+    infos: list[SubscriptInfo] = []
+    for pos, sub in enumerate(subscripts):
+        dim_sub = src_node.dims[pos].subrange if pos < len(src_node.dims) else None
+        infos.append(classify_subscript(sub, pos, eq.dims, dim_sub))
+    return infos
+
+
+def build_dependency_graph(analyzed: AnalyzedModule) -> DependencyGraph:
+    g = DependencyGraph()
+    table = analyzed.table
+
+    # -- data nodes (declaration order) --------------------------------------
+    for sym in table.symbols.values():
+        node = Node(sym.name, NodeKind.DATA, _dim_labels(sym.type), (0, sym.order), symbol=sym)
+        g.add_node(node)
+        if isinstance(sym.type, RecordType):
+            _add_field_nodes(g, sym.name, sym.type, (0, sym.order))
+
+    # -- equation nodes -------------------------------------------------------
+    for i, eq in enumerate(analyzed.equations):
+        dims = [DimLabel(d.index, d.subrange) for d in eq.dims]
+        g.add_node(Node(eq.label, NodeKind.EQUATION, dims, (1, i), equation=eq))
+
+    # -- bound edges to arrays --------------------------------------------------
+    seen_bound: set[tuple[str, str]] = set()
+    for sym in table.symbols.values():
+        if isinstance(sym.type, ArrayType):
+            for dim in sym.type.dims:
+                for name in _bound_symbols(dim, table):
+                    if (name, sym.name) not in seen_bound:
+                        seen_bound.add((name, sym.name))
+                        g.add_edge(name, sym.name, EdgeKind.BOUND)
+
+    # -- per-equation edges -------------------------------------------------------
+    for eq in analyzed.equations:
+        # RHS reference edges (one per textual reference).
+        for ref in eq.refs:
+            src_id = ref.name + "".join(f".{f}" for f in ref.fieldpath)
+            src_node = g.node(src_id)
+            infos = _classify_ref(eq, ref.subscripts, src_node)
+            g.add_edge(src_id, eq.label, EdgeKind.DATA, subscripts=infos, ref=ref)
+
+        # Bound edges for the equation's own loop dimensions.
+        for name in eq.bound_uses:
+            if (name, eq.label) not in seen_bound:
+                seen_bound.add((name, eq.label))
+                g.add_edge(name, eq.label, EdgeKind.BOUND)
+
+        # LHS edge(s): equation -> defined variable.
+        for target in eq.targets:
+            dst_node = g.node(target.name)
+            infos = _classify_ref(eq, target.subscripts, dst_node)
+            g.add_edge(eq.label, target.name, EdgeKind.DATA, subscripts=infos, is_lhs=True)
+
+    return g
+
+
+def data_adjacency(g: DependencyGraph) -> dict[str, set[str]]:
+    """Aggregated (deduplicated) adjacency over DATA edges — the shape shown
+    in the paper's Figure 3."""
+    adj: dict[str, set[str]] = {n: set() for n in g.nodes}
+    for e in g.edges.values():
+        if e.kind is EdgeKind.DATA:
+            adj[e.src].add(e.dst)
+    return adj
+
+
+def bound_adjacency(g: DependencyGraph) -> dict[str, set[str]]:
+    """Aggregated adjacency over BOUND edges."""
+    adj: dict[str, set[str]] = {n: set() for n in g.nodes}
+    for e in g.edges.values():
+        if e.kind is EdgeKind.BOUND:
+            adj[e.src].add(e.dst)
+    return adj

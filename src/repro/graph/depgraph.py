@@ -1,0 +1,209 @@
+"""The dependency graph G = (N, E) of a PS module (paper section 3.1).
+
+* **Nodes** are the data items and the equations of the module. Each node is
+  annotated with one label per dimension (``A[K,I,J]`` has three).
+* **Edges** are directed producer -> consumer. There is one *reference edge*
+  per textual array/scalar reference (the paper labels each with the
+  subscript-expression attributes of Figure 2), one *LHS edge* from each
+  equation to the item it defines, *bound edges* from variables that define a
+  subrange bound to the items using that subrange, and *hierarchical edges*
+  from a record to its fields.
+
+The scheduler works on progressively smaller *views* of the graph (after
+deleting ``I - c`` edges, step 4 of Schedule-Component); :class:`GraphView`
+provides those without copying.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graph.labels import SubscriptInfo
+from repro.ps.semantics import AnalyzedEquation, Reference
+from repro.ps.symbols import Symbol
+from repro.ps.types import SubrangeType
+
+
+class NodeKind(enum.Enum):
+    DATA = "data"
+    EQUATION = "equation"
+
+
+class EdgeKind(enum.Enum):
+    DATA = "data"  # producer -> consumer reference (or LHS definition)
+    BOUND = "bound"  # bound variable -> item whose subrange uses it
+    HIERARCHICAL = "hierarchical"  # record -> field
+
+
+@dataclass
+class DimLabel:
+    """One node label: the subrange occupying one dimension of the node."""
+
+    name: str  # index-variable / subrange name
+    subrange: SubrangeType
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DimLabel({self.name})"
+
+
+@dataclass
+class Node:
+    id: str
+    kind: NodeKind
+    dims: list[DimLabel]
+    order: tuple[int, int]  # (0, decl order) for data, (1, eq order) for eqs
+    symbol: Symbol | None = None
+    equation: AnalyzedEquation | None = None
+    fieldpath: tuple[str, ...] = ()
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind is NodeKind.DATA
+
+    @property
+    def is_equation(self) -> bool:
+        return self.kind is NodeKind.EQUATION
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Node({self.id})"
+
+
+@dataclass
+class Edge:
+    id: int
+    src: str
+    dst: str
+    kind: EdgeKind
+    subscripts: list[SubscriptInfo] = field(default_factory=list)
+    ref: Reference | None = None
+    is_lhs: bool = False  # True for equation -> defined-variable edges
+
+    def __repr__(self) -> str:  # pragma: no cover
+        tag = {EdgeKind.DATA: "", EdgeKind.BOUND: " [bound]", EdgeKind.HIERARCHICAL: " [hier]"}
+        return f"Edge({self.src} -> {self.dst}{tag[self.kind]})"
+
+
+class DependencyGraph:
+    """A labelled multigraph. Node ids are symbol names (``A``), field paths
+    (``p.x``) or equation labels (``eq.3``)."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, Node] = {}
+        self.edges: dict[int, Edge] = {}
+        self._next_edge = 0
+        self._out: dict[str, list[int]] = {}
+        self._in: dict[str, list[int]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.id in self.nodes:
+            raise ValueError(f"duplicate node {node.id!r}")
+        self.nodes[node.id] = node
+        self._out[node.id] = []
+        self._in[node.id] = []
+        return node
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        kind: EdgeKind = EdgeKind.DATA,
+        subscripts: list[SubscriptInfo] | None = None,
+        ref: Reference | None = None,
+        is_lhs: bool = False,
+    ) -> Edge:
+        if src not in self.nodes or dst not in self.nodes:
+            raise ValueError(f"edge endpoints must exist: {src} -> {dst}")
+        edge = Edge(
+            self._next_edge,
+            src,
+            dst,
+            kind,
+            subscripts=subscripts or [],
+            ref=ref,
+            is_lhs=is_lhs,
+        )
+        self._next_edge += 1
+        self.edges[edge.id] = edge
+        self._out[src].append(edge.id)
+        self._in[dst].append(edge.id)
+        return edge
+
+    # -- queries -------------------------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        return self.nodes[node_id]
+
+    def out_edges(self, node_id: str) -> list[Edge]:
+        return [self.edges[e] for e in self._out[node_id]]
+
+    def in_edges(self, node_id: str) -> list[Edge]:
+        return [self.edges[e] for e in self._in[node_id]]
+
+    def successors(self, node_id: str) -> list[str]:
+        return [self.edges[e].dst for e in self._out[node_id]]
+
+    def predecessors(self, node_id: str) -> list[str]:
+        return [self.edges[e].src for e in self._in[node_id]]
+
+    def edges_between(self, src: str, dst: str) -> list[Edge]:
+        return [self.edges[e] for e in self._out[src] if self.edges[e].dst == dst]
+
+    def data_nodes(self) -> list[Node]:
+        return [n for n in self.nodes.values() if n.is_data]
+
+    def equation_nodes(self) -> list[Node]:
+        return [n for n in self.nodes.values() if n.is_equation]
+
+    def full_view(self) -> "GraphView":
+        return GraphView(self, frozenset(self.nodes), frozenset(self.edges))
+
+
+@dataclass(frozen=True)
+class GraphView:
+    """An induced sub-multigraph: a node subset and an edge subset. Edges
+    whose endpoints fall outside the node set are excluded implicitly."""
+
+    graph: DependencyGraph
+    node_ids: frozenset[str]
+    edge_ids: frozenset[int]
+
+    def contains_edge(self, edge: Edge) -> bool:
+        return (
+            edge.id in self.edge_ids
+            and edge.src in self.node_ids
+            and edge.dst in self.node_ids
+        )
+
+    def nodes(self) -> list[Node]:
+        return [self.graph.nodes[n] for n in sorted(self.node_ids)]
+
+    def edges(self) -> list[Edge]:
+        return [
+            self.graph.edges[e]
+            for e in sorted(self.edge_ids)
+            if self.contains_edge(self.graph.edges[e])
+        ]
+
+    def successors(self, node_id: str) -> list[str]:
+        return [
+            e.dst for e in self.graph.out_edges(node_id) if self.contains_edge(e)
+        ]
+
+    def out_edges(self, node_id: str) -> list[Edge]:
+        return [e for e in self.graph.out_edges(node_id) if self.contains_edge(e)]
+
+    def in_edges(self, node_id: str) -> list[Edge]:
+        return [e for e in self.graph.in_edges(node_id) if self.contains_edge(e)]
+
+    def restrict_nodes(self, node_ids: frozenset[str]) -> "GraphView":
+        return GraphView(self.graph, node_ids & self.node_ids, self.edge_ids)
+
+    def without_edges(self, edge_ids: set[int]) -> "GraphView":
+        return GraphView(self.graph, self.node_ids, self.edge_ids - frozenset(edge_ids))

@@ -1,0 +1,52 @@
+"""Rendering of dependency graphs: Graphviz dot and a plain-text listing
+(used by the Figure-3 benchmark to print the Relaxation graph)."""
+
+from __future__ import annotations
+
+from repro.graph.depgraph import DependencyGraph, EdgeKind
+
+
+def to_dot(g: DependencyGraph, name: str = "depgraph") -> str:
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for node in g.nodes.values():
+        shape = "box" if node.is_equation else "ellipse"
+        dims = ",".join(d.name for d in node.dims)
+        label = node.id if not dims else f"{node.id}[{dims}]"
+        lines.append(f'  "{node.id}" [shape={shape}, label="{label}"];')
+    for e in g.edges.values():
+        attrs = []
+        if e.kind is EdgeKind.BOUND:
+            attrs.append("style=dashed")
+        elif e.kind is EdgeKind.HIERARCHICAL:
+            attrs.append("style=dotted")
+        if e.subscripts and not e.is_lhs:
+            label = ",".join(s.describe() for s in e.subscripts)
+            attrs.append(f'label="{label}"')
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{e.src}" -> "{e.dst}"{attr_text};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(g: DependencyGraph) -> str:
+    """Deterministic plain-text listing: one line per edge, grouped by kind."""
+    lines: list[str] = []
+    by_kind = {EdgeKind.DATA: [], EdgeKind.BOUND: [], EdgeKind.HIERARCHICAL: []}
+    for e in g.edges.values():
+        if e.is_lhs:
+            desc = f"{e.src} -> {e.dst}  (defines)"
+        elif e.subscripts:
+            label = ", ".join(s.describe() for s in e.subscripts)
+            desc = f"{e.src} -> {e.dst}  [{label}]"
+        else:
+            desc = f"{e.src} -> {e.dst}"
+        by_kind[e.kind].append(desc)
+    for kind, title in (
+        (EdgeKind.DATA, "data dependency edges"),
+        (EdgeKind.BOUND, "subrange-bound edges"),
+        (EdgeKind.HIERARCHICAL, "hierarchical edges"),
+    ):
+        if by_kind[kind]:
+            lines.append(f"{title}:")
+            lines.extend(f"  {d}" for d in sorted(by_kind[kind]))
+    return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Edge-label attributes (paper Figure 2).
+
+Every subscript of an array reference is classified as one of
+
+* ``I``            — the bare index variable (class ``IDENTITY``);
+* ``I - constant`` — the index variable minus a positive constant (class
+  ``OFFSET``; the offset amount is recorded);
+* *any other expression* (class ``OTHER``).
+
+The paper's scheduling algorithm (step 3) only accepts ``I`` and ``I - c`` in
+a dimension being scheduled, and deletes the ``I - c`` edges to break
+recursion (step 4). Forward references such as ``I + 1`` fall into ``OTHER``
+— but their *delta* is still recorded because the hyperplane transformation
+of section 4 needs the full constant-offset dependence vector.
+
+The label also records whether a constant subscript is structurally equal to
+the *upper bound* of the dimension's subrange (``A[maxK]``): that is the
+second virtual-dimension criterion of section 3.4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ps.ast import BinOp, Expr, IntLit, Name, UnOp, expr_equal, names_in
+from repro.ps.semantics import EquationDim
+from repro.ps.types import SubrangeType
+
+
+class SubscriptClass(enum.Enum):
+    IDENTITY = "I"
+    OFFSET = "I - constant"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+def _symbolic_offset(expr: Expr, index: str) -> str | None:
+    """Detect ``index - name`` where ``name`` is a non-index identifier —
+    the symbolic-offset form of Myers & Gokhale [14] ("an extension to the
+    method which handles certain forms of symbolic offsets in recursive
+    equations"). Returns the offset name or None."""
+    if (
+        isinstance(expr, BinOp)
+        and expr.op == "-"
+        and isinstance(expr.left, Name)
+        and expr.left.ident == index
+        and isinstance(expr.right, Name)
+        and expr.right.ident != index
+    ):
+        return expr.right.ident
+    return None
+
+
+@dataclass
+class SubscriptInfo:
+    """Classification of one subscript position of one array reference."""
+
+    array_pos: int  # which dimension of the referenced array
+    expr: Expr  # the (normalised) subscript expression
+    cls: SubscriptClass
+    eq_dim: int | None = None  # matching equation-dimension position
+    index: str | None = None  # the single index variable involved, if any
+    delta: int | None = None  # expr == index + delta, when affine with slope 1
+    const: int | None = None  # literal value, when the expr is index-free
+    is_upper_bound: bool = False  # expr == declared upper bound of the dim
+    indices: frozenset[str] = frozenset()  # all index variables mentioned
+    symbolic_offset: str | None = None  # m in "I - m" (the [14] extension)
+
+    @property
+    def offset(self) -> int | None:
+        """The paper's "offset amount": c in ``I - c`` (positive), else None."""
+        if self.cls is SubscriptClass.OFFSET:
+            assert self.delta is not None
+            return -self.delta
+        return None
+
+    def describe(self) -> str:
+        """Human-readable label, Figure-2 style."""
+        if self.cls is SubscriptClass.IDENTITY:
+            return f"{self.index}"
+        if self.cls is SubscriptClass.OFFSET:
+            return f"{self.index} - {self.offset}"
+        if self.symbolic_offset is not None:
+            return f"{self.index} - {self.symbolic_offset}"
+        if self.const is not None or (self.index is None and not self.indices):
+            tag = "=hi" if self.is_upper_bound else ""
+            return f"const{tag}"
+        if self.delta is not None and self.delta > 0:
+            return f"{self.index} + {self.delta}"
+        return "other"
+
+
+def _literal_int(expr: Expr) -> int | None:
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, UnOp) and expr.op in ("-", "+"):
+        v = _literal_int(expr.operand)
+        if v is None:
+            return None
+        return -v if expr.op == "-" else v
+    if isinstance(expr, BinOp) and expr.op in ("+", "-", "*"):
+        left = _literal_int(expr.left)
+        right = _literal_int(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        return left * right
+    return None
+
+
+def _probe(expr: Expr, index: str, value: int) -> int | None:
+    """Evaluate ``expr`` with ``index := value``; None if any other name or a
+    non-linear construct appears."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Name):
+        return value if expr.ident == index else None
+    if isinstance(expr, UnOp) and expr.op in ("-", "+"):
+        v = _probe(expr.operand, index, value)
+        if v is None:
+            return None
+        return -v if expr.op == "-" else v
+    if isinstance(expr, BinOp) and expr.op in ("+", "-", "*", "div", "mod"):
+        left = _probe(expr.left, index, value)
+        right = _probe(expr.right, index, value)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "div":
+            return None if right == 0 else int(left / right)
+        return None if right == 0 else left - right * int(left / right)
+    return None
+
+
+def classify_subscript(
+    expr: Expr,
+    array_pos: int,
+    dims: list[EquationDim],
+    dim_subrange: SubrangeType | None,
+) -> SubscriptInfo:
+    """Classify one subscript expression of an array reference appearing in
+    an equation quantified over ``dims``. ``dim_subrange`` is the declared
+    subrange of the referenced array's dimension ``array_pos`` (used for the
+    upper-bound test)."""
+    index_names = [d.index for d in dims]
+    mentioned = names_in(expr) & set(index_names)
+
+    if not mentioned:
+        const = _literal_int(expr)
+        is_ub = bool(dim_subrange is not None and expr_equal(expr, dim_subrange.hi))
+        return SubscriptInfo(
+            array_pos=array_pos,
+            expr=expr,
+            cls=SubscriptClass.OTHER,
+            const=const,
+            is_upper_bound=is_ub,
+            indices=frozenset(),
+        )
+
+    if len(mentioned) > 1:
+        return SubscriptInfo(
+            array_pos=array_pos,
+            expr=expr,
+            cls=SubscriptClass.OTHER,
+            indices=frozenset(mentioned),
+        )
+
+    index = next(iter(mentioned))
+    eq_dim = index_names.index(index)
+    # Numeric probing: expr must be index + delta (slope exactly 1).
+    f0 = _probe(expr, index, 0)
+    f1 = _probe(expr, index, 1)
+    f2 = _probe(expr, index, 2)
+    if f0 is not None and f1 is not None and f2 is not None and f1 - f0 == 1 and f2 - f1 == 1:
+        delta = f0
+        if delta == 0:
+            cls = SubscriptClass.IDENTITY
+        elif delta < 0:
+            cls = SubscriptClass.OFFSET
+        else:
+            cls = SubscriptClass.OTHER  # "I + constant" is any-other-expression
+        return SubscriptInfo(
+            array_pos=array_pos,
+            expr=expr,
+            cls=cls,
+            eq_dim=eq_dim,
+            index=index,
+            delta=delta,
+            indices=frozenset({index}),
+        )
+    return SubscriptInfo(
+        array_pos=array_pos,
+        expr=expr,
+        cls=SubscriptClass.OTHER,
+        eq_dim=eq_dim,
+        index=index,
+        indices=frozenset({index}),
+        symbolic_offset=_symbolic_offset(expr, index),
+    )

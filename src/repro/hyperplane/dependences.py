@@ -1,0 +1,124 @@
+"""Extraction of constant-offset dependence vectors (paper section 4).
+
+"Our fundamental constraint is that data must be produced before it can be
+used. Thus A[K,I,J] cannot be created until after A[K-1,I,J], A[K,I,J-1],
+A[K,I-1,J], A[K-1,I,J+1], and A[K,I+1,J] are available."
+
+For each self-reference of the recursive array the dependence vector is
+``consumer - producer``: a reference ``A[K-1, I+1, J]`` in the equation for
+``A[K,I,J]`` has deltas ``(-1, +1, 0)`` and dependence vector ``(1, -1, 0)``.
+The method requires every self-reference subscript to be *uniform* — the
+matching index variable plus a constant ([10] treats exactly this class;
+[14] extends it to certain symbolic offsets, which we reject with a clear
+error)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TransformError
+from repro.graph.depgraph import DependencyGraph, EdgeKind
+from repro.graph.scc import condensation_order
+from repro.ps.semantics import AnalyzedEquation
+
+
+@dataclass
+class DependenceSet:
+    """The uniform dependence structure of one recursive array."""
+
+    array: str
+    dim_names: list[str]  # index variable names, in dimension order
+    vectors: list[tuple[int, ...]]  # deduplicated, in first-appearance order
+    #: every raw reference's delta vector (producer = consumer + delta),
+    #: including duplicates — useful for window sizing and provenance
+    deltas: list[tuple[int, ...]] = field(default_factory=list)
+    equations: list[AnalyzedEquation] = field(default_factory=list)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dim_names)
+
+    def describe(self) -> list[str]:
+        out = []
+        for v in self.vectors:
+            parts = [
+                f"{name}{'-' if d > 0 else '+'}{abs(d)}" if d else name
+                for name, d in zip(self.dim_names, v)
+            ]
+            out.append(f"{self.array}[{', '.join(parts)}]")
+        return out
+
+
+def find_recursive_components(graph: DependencyGraph) -> list[frozenset[str]]:
+    """MSCCs with more than one node (array(s) + equation(s)), in
+    producer-first order."""
+    return [c for c in condensation_order(graph.full_view()) if len(c) > 1]
+
+
+def extract_dependences(
+    graph: DependencyGraph, component: frozenset[str]
+) -> DependenceSet:
+    """Extract the uniform dependence vectors of a recursive component.
+
+    Requirements (TransformError otherwise):
+    * exactly one data node (single-array recurrence — the multi-array
+      extension is [14]'s symbolic method, out of scope);
+    * every in-component self-reference has slope-1 affine subscripts in the
+      matching dimension's index variable.
+    """
+    data_nodes = [n for n in sorted(component) if graph.node(n).is_data]
+    eq_nodes = [n for n in sorted(component) if graph.node(n).is_equation]
+    if len(data_nodes) != 1:
+        raise TransformError(
+            f"hyperplane transformation requires a single recursive array; "
+            f"component has {len(data_nodes)}: {data_nodes}"
+        )
+    if not eq_nodes:
+        raise TransformError("component has no equation node")
+    array = data_nodes[0]
+    array_node = graph.node(array)
+    rank = array_node.rank
+
+    equations = [graph.node(e).equation for e in eq_nodes]
+    dim_names = [d.index for d in equations[0].dims]  # type: ignore[union-attr]
+    if len(dim_names) != rank:
+        raise TransformError(
+            f"equation dimensionality {len(dim_names)} does not match array "
+            f"rank {rank}"
+        )
+
+    vectors: list[tuple[int, ...]] = []
+    deltas: list[tuple[int, ...]] = []
+    for eq_label in eq_nodes:
+        for edge in graph.edges_between(array, eq_label):
+            if edge.kind is not EdgeKind.DATA:
+                continue
+            delta: list[int] = []
+            for info in edge.subscripts:
+                if info.delta is None:
+                    raise TransformError(
+                        f"reference on {edge.src} -> {edge.dst} has "
+                        f"non-uniform subscript {info.describe()!r} at "
+                        f"position {info.array_pos} — the constant-offset "
+                        f"method of [10] does not apply"
+                    )
+                if info.eq_dim != info.array_pos:
+                    raise TransformError(
+                        f"reference on {edge.src} -> {edge.dst} uses index "
+                        f"{info.index!r} at position {info.array_pos} "
+                        f"(inconsistent position)"
+                    )
+                delta.append(info.delta)
+            dtuple = tuple(delta)
+            deltas.append(dtuple)
+            vec = tuple(-d for d in delta)
+            if all(v == 0 for v in vec):
+                raise TransformError(
+                    f"self-dependence with zero distance in {edge.dst}: the "
+                    f"equation is circular"
+                )
+            if vec not in vectors:
+                vectors.append(vec)
+    if not vectors:
+        raise TransformError(f"no self-references of {array!r} found")
+    return DependenceSet(array, dim_names, vectors, deltas, equations)

@@ -1,0 +1,414 @@
+"""Source-level module rewriting for the hyperplane transformation.
+
+Given a module, its recursive array ``X`` and the coordinate change
+``y = T x`` (first row = the time vector), this produces a *new PS module*
+in which:
+
+* ``X`` is replaced by a transformed array ``Xp`` declared over the new
+  coordinates (time extent ``[pi . lo, pi . hi]`` over the declared box);
+* all defining equations of ``X`` are merged into one equation over the new
+  index variables, guarded by (a) a padding test for lattice points outside
+  the image of the original box and (b) each original equation's definition
+  domain mapped through the inverse transformation;
+* every self-reference ``X[x + delta]`` becomes ``Xp[y + T delta]`` — the
+  paper's "replace each reference to A'[K',I',J'] by A[I',J',K'-2I'-J']"
+  carried out in the opposite (preferable) direction: the program works
+  entirely in the transformed array;
+* references to ``X`` from *other* equations are rewritten through ``T``
+  (``A[maxK,I,J]`` becomes ``Ap[2*maxK+I+J, maxK, I]``) — the rotate-out.
+
+The rewrite requires the non-time rows of ``T`` to be standard basis vectors
+(the paper's construction guarantees this for its example; the greedy
+completion produces such rows whenever possible) and a non-negative time
+vector, so subrange bounds stay symbolic without needing min/max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransformError
+from repro.hyperplane.dependences import DependenceSet
+from repro.hyperplane.exprutil import conjoin, linear_combination, offset, substitute
+from repro.hyperplane.unimodular import Matrix, integer_inverse
+from repro.ps.ast import (
+    ArrayTypeExpr,
+    BinOp,
+    BoolLit,
+    Equation,
+    Expr,
+    Index,
+    IntLit,
+    LhsItem,
+    Module,
+    Name,
+    NamedTypeExpr,
+    RangeTypeExpr,
+    RealLit,
+    TypeDecl,
+    VarDecl,
+    expr_equal,
+    walk_expr,
+)
+from repro.ps.semantics import AnalyzedModule
+from repro.ps.types import ArrayType, RealType, SubrangeType
+
+
+@dataclass
+class RewritePlan:
+    array: str
+    new_array: str
+    dim_names: list[str]  # original index variables (K, I, J)
+    new_names: list[str]  # transformed index variables (Kp, Ip, Jp)
+    T: Matrix
+    Tinv: Matrix
+    orig_exprs: list[Expr]  # original coords as expressions in new indices
+
+
+def _fresh_name(base: str, taken: set[str]) -> str:
+    candidate = base
+    while candidate in taken:
+        candidate += "p"
+    return candidate
+
+
+def _probe_delta(expr: Expr, index: str) -> int | None:
+    """expr == index + delta with slope 1, or None."""
+    from repro.graph.labels import _probe
+
+    f0 = _probe(expr, index, 0)
+    f1 = _probe(expr, index, 1)
+    if f0 is None or f1 is None or f1 - f0 != 1:
+        return None
+    return f0
+
+
+def _literal(expr: Expr) -> int | None:
+    from repro.graph.labels import _literal_int
+
+    return _literal_int(expr)
+
+
+def _zero_for(element_type) -> Expr:
+    if element_type == RealType:
+        return RealLit(0.0)
+    if getattr(element_type, "kind", None) == "bool":
+        return BoolLit(False)
+    return IntLit(0)
+
+
+def rewrite_module(
+    analyzed: AnalyzedModule,
+    deps: DependenceSet,
+    T: Matrix,
+    new_module_name: str | None = None,
+) -> Module:
+    """Produce the transformed PS module."""
+    module = analyzed.module
+    array = deps.array
+    sym = analyzed.table.symbol(array)
+    if sym is None or not isinstance(sym.type, ArrayType):
+        raise TransformError(f"{array!r} is not an array of the module")
+    arr_type: ArrayType = sym.type
+    n = arr_type.rank
+    pi = tuple(T[0])
+    if any(p < 0 for p in pi):
+        raise TransformError(
+            "source-level rewrite requires a non-negative time vector "
+            f"(got {pi}); use the numeric wavefront executor instead"
+        )
+    # Non-time rows must be standard basis vectors for symbolic bounds.
+    selected: list[int] = []
+    for row in T[1:]:
+        ones = [i for i, v in enumerate(row) if v == 1]
+        if len(ones) != 1 or any(v not in (0, 1) for v in row) or sum(row) != 1:
+            raise TransformError(
+                "source-level rewrite requires basis-vector completion rows; "
+                f"got {row}"
+            )
+        selected.append(ones[0])
+    Tinv = integer_inverse(T)
+
+    taken = set(analyzed.table.symbols) | set(analyzed.table.subranges) | set(
+        analyzed.table.enums
+    )
+    new_array = _fresh_name(array + "p", taken)
+    taken.add(new_array)
+    new_names = [
+        _fresh_name(deps.dim_names[i] + "p", taken) for i in range(n)
+    ]
+    taken.update(new_names)
+
+    # Original coordinates as expressions of the new indices: x = Tinv y.
+    new_name_exprs: list[Expr] = [Name(nm) for nm in new_names]
+    orig_exprs = [
+        linear_combination(list(Tinv[i]), new_name_exprs) for i in range(n)
+    ]
+
+    plan = RewritePlan(array, new_array, deps.dim_names, new_names, T, Tinv, orig_exprs)
+
+    # ---- new subrange declarations ------------------------------------------
+    decl_los = [d.lo for d in arr_type.dims]
+    decl_his = [d.hi for d in arr_type.dims]
+    time_lo = linear_combination(list(pi), decl_los)
+    time_hi = linear_combination(list(pi), decl_his)
+    new_typedecls = list(module.typedecls)
+    new_typedecls.append(TypeDecl([new_names[0]], RangeTypeExpr(time_lo, time_hi)))
+    for j, src_dim in enumerate(selected):
+        sub = arr_type.dims[src_dim]
+        new_typedecls.append(
+            TypeDecl([new_names[j + 1]], RangeTypeExpr(sub.lo, sub.hi))
+        )
+
+    # ---- new variable declarations ------------------------------------------
+    elem_te = _element_typeexpr(arr_type)
+    new_dims_te = [NamedTypeExpr(nm) for nm in new_names]
+    new_vardecls: list[VarDecl] = []
+    for decl in module.vardecls:
+        names = [nm for nm in decl.names if nm != array]
+        if names:
+            new_vardecls.append(VarDecl(names, decl.typeexpr))
+    new_vardecls.append(VarDecl([new_array], ArrayTypeExpr(new_dims_te, elem_te)))
+
+    # ---- split equations -------------------------------------------------------
+    defining = [eq for eq in module.equations if any(l.name == array for l in eq.lhs)]
+
+    merged = _merge_defining_equations(analyzed, defining, arr_type, plan)
+
+    # Foreign equations are rewritten from their *normalised* forms so that
+    # partial references like A[maxK] appear with full subscripts.
+    analyzed_by_label = {aeq.label: aeq for aeq in analyzed.equations}
+    new_equations: list[Equation] = []
+    label = 1
+    inserted = False
+    for eq in module.equations:
+        if any(l.name == array for l in eq.lhs):
+            if not inserted:
+                merged.label = f"eq.{label}"
+                label += 1
+                new_equations.append(merged)
+                inserted = True
+            continue
+        new_eq = _rewrite_foreign_equation(analyzed_by_label[eq.label], arr_type, plan)
+        new_eq.label = f"eq.{label}"
+        label += 1
+        new_equations.append(new_eq)
+
+    return Module(
+        name=new_module_name or module.name + "Hyper",
+        params=list(module.params),
+        results=list(module.results),
+        typedecls=new_typedecls,
+        vardecls=new_vardecls,
+        equations=new_equations,
+    )
+
+
+def _element_typeexpr(arr_type: ArrayType):
+    if arr_type.element == RealType:
+        return NamedTypeExpr("real")
+    kind = getattr(arr_type.element, "kind", None)
+    if kind in ("int", "bool"):
+        return NamedTypeExpr(kind)
+    raise TransformError(
+        f"unsupported element type {arr_type.element} for the rewrite"
+    )
+
+
+def _merge_defining_equations(
+    analyzed: AnalyzedModule,
+    defining: list[Equation],
+    arr_type: ArrayType,
+    plan: RewritePlan,
+) -> Equation:
+    """One equation over the new coordinates, with padding + domain guards."""
+    n = arr_type.rank
+    zero = _zero_for(arr_type.element)
+
+    # Padding guard: original coordinates produced by non-trivial inverse
+    # rows must lie inside the declared box. An original coordinate i is
+    # trivially in range when some non-time row j of T is the basis vector
+    # e_i — then the new dimension j *is* x_i and was declared with exactly
+    # x_i's bounds.
+    pad_conds: list[Expr] = []
+    for i in range(n):
+        covered = any(
+            sum(abs(v) for v in plan.T[j]) == 1 and plan.T[j][i] == 1
+            for j in range(1, n)
+        )
+        if covered:
+            continue
+        expr = plan.orig_exprs[i]
+        sub = arr_type.dims[i]
+        pad_conds.append(BinOp("<", expr, sub.lo))
+        pad_conds.append(BinOp(">", expr, sub.hi))
+    padding: Expr | None = None
+    for c in pad_conds:
+        padding = c if padding is None else BinOp("or", padding, c)
+
+    # Branches, one per defining equation, in source order.
+    analyzed_by_label = {eq.label: eq for eq in analyzed.equations}
+    branches: list[tuple[Expr | None, Expr]] = []
+    for eq in defining:
+        aeq = analyzed_by_label[eq.label]
+        guard, body = _transform_defining(aeq, arr_type, plan)
+        branches.append((guard, body))
+
+    # Assemble if-cascade, innermost first. The final else is the last
+    # branch's body (domains partition the box), so no guard is wasted.
+    result: Expr = branches[-1][1]
+    for guard, body in reversed(branches[:-1]):
+        assert guard is not None, "only the last branch may be unguarded"
+        result = _if(guard, body, result)
+    if padding is not None:
+        result = _if(padding, zero, result)
+
+    lhs = LhsItem(plan.new_array, [Name(nm) for nm in plan.new_names])
+    return Equation([lhs], result)
+
+
+def _if(cond: Expr, then: Expr, orelse: Expr) -> Expr:
+    from repro.ps.ast import IfExpr
+
+    return IfExpr(cond, then, orelse)
+
+
+def _transform_defining(
+    aeq, arr_type: ArrayType, plan: RewritePlan
+) -> tuple[Expr | None, Expr]:
+    """Guard + transformed body for one defining equation of the array."""
+    n = arr_type.rank
+    target = next(t for t in aeq.targets if t.name == plan.array)
+
+    # Substitution of the equation's index variables by inverse expressions.
+    mapping: dict[str, Expr] = {}
+    conds: list[Expr] = []
+    for i, sub_expr in enumerate(target.subscripts):
+        if isinstance(sub_expr, Name) and any(
+            d.index == sub_expr.ident for d in aeq.dims
+        ):
+            v = sub_expr.ident
+            mapping[v] = plan.orig_exprs[i]
+            dim = next(d for d in aeq.dims if d.index == v)
+            # In-range guard where the equation's subrange is narrower than
+            # the declared dimension (e.g. K = 2..maxK inside 1..maxK).
+            if not expr_equal(dim.subrange.lo, arr_type.dims[i].lo):
+                conds.append(BinOp(">=", plan.orig_exprs[i], dim.subrange.lo))
+            if not expr_equal(dim.subrange.hi, arr_type.dims[i].hi):
+                conds.append(BinOp("<=", plan.orig_exprs[i], dim.subrange.hi))
+        else:
+            # Constant slice, e.g. A[1] = ... -> guard orig_expr == 1.
+            conds.append(BinOp("=", plan.orig_exprs[i], sub_expr))
+
+    body = _rewrite_refs(aeq.rhs, arr_type, plan, mapping)
+    return conjoin(conds), body
+
+
+def _rewrite_refs(
+    expr: Expr, arr_type: ArrayType, plan: RewritePlan, mapping: dict[str, Expr]
+) -> Expr:
+    """Rewrite self-references X[x + delta] -> Xp[y + T delta]; substitute
+    index variables everywhere else."""
+    if isinstance(expr, Index) and isinstance(expr.base, Name) and expr.base.ident == plan.array:
+        deltas: list[int] = []
+        for i, sub in enumerate(expr.subscripts):
+            # The subscript is v_i + delta where v_i is the equation's index
+            # variable for position i (guaranteed by extract_dependences).
+            d = _uniform_delta(sub)
+            if d is None:
+                raise TransformError(
+                    f"self-reference subscript at position {i} is not uniform"
+                )
+            deltas.append(d)
+        newdelta = [
+            sum(plan.T[j][i] * deltas[i] for i in range(len(deltas)))
+            for j in range(len(deltas))
+        ]
+        subs = [offset(plan.new_names[j], newdelta[j]) for j in range(len(deltas))]
+        return Index(Name(plan.new_array), subs)
+    if isinstance(expr, Index):
+        return Index(
+            expr.base if isinstance(expr.base, Name) else _rewrite_refs(expr.base, arr_type, plan, mapping),
+            [_rewrite_refs(s, arr_type, plan, mapping) for s in expr.subscripts],
+        )
+    if isinstance(expr, Name):
+        return mapping.get(expr.ident, expr)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rewrite_refs(expr.left, arr_type, plan, mapping),
+            _rewrite_refs(expr.right, arr_type, plan, mapping),
+        )
+    from repro.ps.ast import Call, FieldRef, IfExpr, UnOp
+
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _rewrite_refs(expr.operand, arr_type, plan, mapping))
+    if isinstance(expr, IfExpr):
+        return IfExpr(
+            _rewrite_refs(expr.cond, arr_type, plan, mapping),
+            _rewrite_refs(expr.then, arr_type, plan, mapping),
+            _rewrite_refs(expr.orelse, arr_type, plan, mapping),
+        )
+    if isinstance(expr, Call):
+        return Call(expr.func, [_rewrite_refs(a, arr_type, plan, mapping) for a in expr.args])
+    if isinstance(expr, FieldRef):
+        return FieldRef(_rewrite_refs(expr.base, arr_type, plan, mapping), expr.fieldname)
+    return expr
+
+
+def _uniform_delta(sub: Expr) -> int | None:
+    """Delta of a uniform subscript ``v + delta`` (slope 1 in its single
+    index variable), or None when the subscript is not of that form."""
+    candidates = {n.ident for n in walk_expr(sub) if isinstance(n, Name)}
+    if len(candidates) != 1:
+        return None
+    return _probe_delta(sub, next(iter(candidates)))
+
+
+def _rewrite_foreign_equation(
+    aeq, arr_type: ArrayType, plan: RewritePlan
+) -> Equation:
+    """Rewrite references to X in a non-defining (analyzed, normalised)
+    equation: X[e] -> Xp[T e]."""
+
+    def walk(expr: Expr) -> Expr:
+        if (
+            isinstance(expr, Index)
+            and isinstance(expr.base, Name)
+            and expr.base.ident == plan.array
+        ):
+            subs = [walk(s) for s in expr.subscripts]
+            if len(subs) != arr_type.rank:
+                raise TransformError(
+                    f"partial reference to {plan.array!r} outside its "
+                    f"defining component cannot be rewritten"
+                )
+            new_subs = [
+                linear_combination(list(plan.T[j]), subs) for j in range(arr_type.rank)
+            ]
+            return Index(Name(plan.new_array), new_subs)
+        if isinstance(expr, Index):
+            return Index(walk(expr.base) if not isinstance(expr.base, Name) else expr.base,
+                         [walk(s) for s in expr.subscripts])
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, walk(expr.left), walk(expr.right))
+        from repro.ps.ast import Call, FieldRef, IfExpr, UnOp
+
+        if isinstance(expr, UnOp):
+            return UnOp(expr.op, walk(expr.operand))
+        if isinstance(expr, IfExpr):
+            return IfExpr(walk(expr.cond), walk(expr.then), walk(expr.orelse))
+        if isinstance(expr, Call):
+            return Call(expr.func, [walk(a) for a in expr.args])
+        if isinstance(expr, FieldRef):
+            return FieldRef(walk(expr.base), expr.fieldname)
+        if isinstance(expr, Name) and expr.ident == plan.array:
+            raise TransformError(
+                f"whole-array reference to {plan.array!r} cannot be rewritten"
+            )
+        return expr
+
+    lhs = [
+        LhsItem(t.name, [walk(s) for s in t.subscripts]) for t in aeq.targets
+    ]
+    return Equation(lhs, walk(aeq.rhs))

@@ -1,0 +1,148 @@
+"""Exact integer matrix utilities and unimodular completion.
+
+The coordinate change of section 4 needs an integer matrix ``T`` whose first
+row is the time vector ``pi`` and whose determinant is ±1, so that the map
+``y = T x`` is a bijection of the integer lattice ("A method for obtaining
+the I' and J' dimensions after K' has been determined is given in [10]").
+
+:func:`complete_to_unimodular` first tries the paper's own choice — filling
+the remaining rows with standard basis vectors, smallest index first, which
+for ``pi = (2,1,1)`` yields ``I' = K`` and ``J' = I`` exactly as printed —
+and falls back to a general extended-gcd construction for primitive vectors
+the greedy selection cannot complete.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from math import gcd
+
+from repro.errors import TransformError
+
+Matrix = list[list[int]]
+
+
+def determinant(m: Matrix) -> int:
+    """Exact integer determinant (fraction-free Gaussian elimination)."""
+    n = len(m)
+    a = [[Fraction(x) for x in row] for row in m]
+    det = Fraction(1)
+    for col in range(n):
+        pivot_row = next((r for r in range(col, n) if a[r][col] != 0), None)
+        if pivot_row is None:
+            return 0
+        if pivot_row != col:
+            a[col], a[pivot_row] = a[pivot_row], a[col]
+            det = -det
+        det *= a[col][col]
+        inv = Fraction(1) / a[col][col]
+        for r in range(col + 1, n):
+            factor = a[r][col] * inv
+            if factor:
+                for c in range(col, n):
+                    a[r][c] -= factor * a[col][c]
+    assert det.denominator == 1
+    return int(det)
+
+
+def integer_inverse(m: Matrix) -> Matrix:
+    """Exact inverse of a unimodular integer matrix (entries are integers
+    because |det| = 1)."""
+    n = len(m)
+    det = determinant(m)
+    if det not in (1, -1):
+        raise TransformError(f"matrix is not unimodular (det = {det})")
+    a = [[Fraction(x) for x in row] + [Fraction(int(i == r)) for i in range(n)]
+         for r, row in enumerate(m)]
+    # Gauss-Jordan.
+    for col in range(n):
+        pivot_row = next(r for r in range(col, n) if a[r][col] != 0)
+        a[col], a[pivot_row] = a[pivot_row], a[col]
+        inv = Fraction(1) / a[col][col]
+        a[col] = [x * inv for x in a[col]]
+        for r in range(n):
+            if r != col and a[r][col]:
+                factor = a[r][col]
+                a[r] = [x - factor * y for x, y in zip(a[r], a[col])]
+    out = [[x for x in row[n:]] for row in a]
+    result = []
+    for row in out:
+        int_row = []
+        for x in row:
+            assert x.denominator == 1
+            int_row.append(int(x))
+        result.append(int_row)
+    return result
+
+
+def matvec(m: Matrix, v: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(sum(c * x for c, x in zip(row, v)) for row in m)
+
+
+def _greedy_completion(pi: tuple[int, ...]) -> Matrix | None:
+    """Try completing with n-1 standard basis rows, preferring small indices
+    — reproduces the paper's I' = K, J' = I for pi = (2,1,1)."""
+    n = len(pi)
+    for combo in itertools.combinations(range(n), n - 1):
+        rows = [list(pi)] + [
+            [int(j == i) for j in range(n)] for i in combo
+        ]
+        if determinant(rows) in (1, -1):
+            return rows
+    return None
+
+
+def _gcd_completion(pi: tuple[int, ...]) -> Matrix:
+    """General completion of a primitive vector to a unimodular matrix via
+    column operations: find unimodular V with pi V = e1, then T = V^{-1}."""
+    n = len(pi)
+    # V starts as identity; we apply the extended Euclid steps as column ops
+    # on a working copy of pi.
+    v = [[int(i == j) for j in range(n)] for i in range(n)]
+    work = list(pi)
+
+    def colop(dst: int, src: int, factor: int) -> None:
+        work[dst] += factor * work[src]
+        for r in range(n):
+            v[r][dst] += factor * v[r][src]
+
+    def colswap(a: int, b: int) -> None:
+        work[a], work[b] = work[b], work[a]
+        for r in range(n):
+            v[r][a], v[r][b] = v[r][b], v[r][a]
+
+    # Reduce work to (g, 0, ..., 0).
+    for j in range(1, n):
+        while work[j] != 0:
+            if work[0] == 0:
+                colswap(0, j)
+                continue
+            q = work[j] // work[0]
+            colop(j, 0, -q)
+            if work[j] != 0:
+                colswap(0, j)
+    if work[0] < 0:
+        for r in range(n):
+            v[r][0] = -v[r][0]
+        work[0] = -work[0]
+    if work[0] != 1:
+        raise TransformError(
+            f"time vector {pi} is not primitive (gcd = {work[0]})"
+        )
+    return integer_inverse(v)
+
+
+def complete_to_unimodular(pi: tuple[int, ...]) -> Matrix:
+    """Return an integer matrix T with first row ``pi`` and det ±1."""
+    if all(x == 0 for x in pi):
+        raise TransformError("time vector is zero")
+    g = 0
+    for x in pi:
+        g = gcd(g, abs(x))
+    if g != 1:
+        raise TransformError(f"time vector {pi} is not primitive (gcd = {g})")
+    greedy = _greedy_completion(pi)
+    if greedy is not None:
+        return greedy
+    return _gcd_completion(pi)  # pragma: no cover - greedy succeeds for n<=4

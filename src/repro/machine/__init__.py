@@ -1,0 +1,24 @@
+"""Simulated MIMD machine.
+
+The paper's compiler emitted annotated C for MIMD machines; we cannot run
+1987 hardware, so this package provides an idealised machine model that
+executes flowcharts under their DO/DOALL semantics: an iterative loop runs
+its iterations back-to-back on one processor; a concurrent loop distributes
+iterations over P processors with a fork/barrier cost. The absolute cycle
+counts are model artifacts; the *shapes* (who wins, where speedups saturate)
+are the reproduction targets.
+"""
+
+from repro.machine.cost import MachineModel, equation_cost, expression_cost
+from repro.machine.report import SpeedupTable, speedup_table
+from repro.machine.simulator import SimulationResult, simulate_flowchart
+
+__all__ = [
+    "MachineModel",
+    "SimulationResult",
+    "SpeedupTable",
+    "equation_cost",
+    "expression_cost",
+    "simulate_flowchart",
+    "speedup_table",
+]

@@ -1,0 +1,94 @@
+"""Cost model for the simulated MIMD machine.
+
+Costs are in abstract cycles. Defaults are loosely calibrated to a 1980s
+shared-memory multiprocessor (cheap scalar ops, noticeable fork/barrier
+overhead) — the regime the paper targets, where loop-level parallelism pays
+only when the loop body times the iteration count dominates the
+synchronisation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ps.ast import (
+    BinOp,
+    BoolLit,
+    Call,
+    Expr,
+    FieldRef,
+    IfExpr,
+    Index,
+    IntLit,
+    Name,
+    RealLit,
+    UnOp,
+)
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of the simulated machine."""
+
+    processors: int = 1
+    op_cost: int = 1  # one arithmetic/logical operation
+    memory_cost: int = 2  # one array element read or write
+    loop_overhead: int = 2  # per-iteration loop bookkeeping
+    doall_fork: int = 20  # spawning a concurrent loop
+    doall_barrier: int = 20  # joining it
+    call_cost: int = 50  # module invocation overhead
+
+    def with_processors(self, p: int) -> "MachineModel":
+        return MachineModel(
+            processors=p,
+            op_cost=self.op_cost,
+            memory_cost=self.memory_cost,
+            loop_overhead=self.loop_overhead,
+            doall_fork=self.doall_fork,
+            doall_barrier=self.doall_barrier,
+            call_cost=self.call_cost,
+        )
+
+
+def expression_cost(expr: Expr, model: MachineModel) -> int:
+    """Worst-case cycles to evaluate a (normalised, element-wise)
+    expression on one processor. ``if`` costs its condition plus the wider
+    branch — MIMD processors take one side, and the simulator charges the
+    worst case."""
+    if isinstance(expr, (IntLit, RealLit, BoolLit)):
+        return 0
+    if isinstance(expr, Name):
+        return 0  # scalar/index access folded into the op cost
+    if isinstance(expr, Index):
+        subs = sum(expression_cost(s, model) for s in expr.subscripts)
+        base = 0 if isinstance(expr.base, Name) else expression_cost(expr.base, model)
+        return base + subs + model.memory_cost
+    if isinstance(expr, FieldRef):
+        return model.memory_cost
+    if isinstance(expr, BinOp):
+        return (
+            model.op_cost
+            + expression_cost(expr.left, model)
+            + expression_cost(expr.right, model)
+        )
+    if isinstance(expr, UnOp):
+        return model.op_cost + expression_cost(expr.operand, model)
+    if isinstance(expr, IfExpr):
+        return expression_cost(expr.cond, model) + max(
+            expression_cost(expr.then, model), expression_cost(expr.orelse, model)
+        )
+    if isinstance(expr, Call):
+        args = sum(expression_cost(a, model) for a in expr.args)
+        from repro.ps.semantics import is_builtin
+
+        overhead = model.op_cost * 4 if is_builtin(expr.func) else model.call_cost
+        return args + overhead
+    raise TypeError(f"no cost rule for {type(expr).__name__}")
+
+
+def equation_cost(eq, model: MachineModel) -> int:
+    """Cycles for one element-wise execution of an equation: evaluate the
+    right-hand side, then store (subscript arithmetic is part of op flow)."""
+    rhs = expression_cost(eq.rhs, model)
+    store = model.memory_cost * len(eq.targets)
+    return rhs + store

@@ -1,0 +1,55 @@
+"""Speedup tables over processor counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cost import MachineModel
+from repro.machine.simulator import SimulationResult, simulate_flowchart
+from repro.ps.semantics import AnalyzedModule
+from repro.schedule.flowchart import Flowchart
+
+
+@dataclass
+class SpeedupTable:
+    processors: list[int]
+    cycles: list[int]
+
+    @property
+    def speedups(self) -> list[float]:
+        base = self.cycles[0]
+        return [base / c for c in self.cycles]
+
+    @property
+    def efficiencies(self) -> list[float]:
+        return [s / p for s, p in zip(self.speedups, self.processors)]
+
+    def rows(self) -> list[tuple[int, int, float, float]]:
+        return list(zip(self.processors, self.cycles, self.speedups, self.efficiencies))
+
+    def pretty(self, title: str = "") -> str:
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(f"{'P':>4}  {'cycles':>12}  {'speedup':>8}  {'efficiency':>10}")
+        for p, c, s, e in self.rows():
+            lines.append(f"{p:>4}  {c:>12}  {s:>8.2f}  {e:>10.2f}")
+        return "\n".join(lines)
+
+
+def speedup_table(
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    args: dict[str, int],
+    processors: list[int],
+    model: MachineModel | None = None,
+    collapse: bool = True,
+) -> SpeedupTable:
+    model = model or MachineModel()
+    cycles = []
+    for p in processors:
+        result = simulate_flowchart(
+            analyzed, flowchart, args, model.with_processors(p), collapse=collapse
+        )
+        cycles.append(result.cycles)
+    return SpeedupTable(list(processors), cycles)

@@ -1,0 +1,142 @@
+"""Flowchart simulator: cycle counts on the idealised MIMD machine.
+
+Semantics:
+
+* ``DO`` — iterations run back-to-back on the current processor team's
+  leader: ``n * (loop_overhead + body)``;
+* ``DOALL`` — iterations are distributed over ``P`` processors:
+  ``fork + ceil(n / P) * (loop_overhead + body) + barrier``. Nested DOALLs
+  do not multiply processors (the machine is flat): the *outermost* parallel
+  loop takes the team, inner DOALLs run sequentially inside an iteration —
+  matching how a 1987 MIMD runtime maps a DOALL nest, and keeping the model
+  pessimistic rather than magically square.
+
+An option models *collapsed* nests (``collapse=True``), where perfectly
+nested DOALLs share the team as one flattened iteration space; the paper's
+"DOALL I (DOALL J ...)" would typically be compiled that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+
+from repro.machine.cost import MachineModel, equation_cost
+from repro.ps.semantics import AnalyzedModule
+from repro.runtime.values import eval_bound
+from repro.schedule.flowchart import Descriptor, Flowchart, LoopDescriptor, NodeDescriptor
+
+
+@dataclass
+class SimulationResult:
+    cycles: int
+    model: MachineModel
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    def speedup_against(self, baseline: "SimulationResult") -> float:
+        return baseline.cycles / self.cycles if self.cycles else float("inf")
+
+
+def simulate_flowchart(
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    args: dict[str, int],
+    model: MachineModel,
+    collapse: bool = True,
+) -> SimulationResult:
+    """Simulate a scheduled module for given scalar parameter values."""
+    scalars = {k: int(v) for k, v in args.items()}
+    # Pre-resolve any scalar locals defined by constant equations? The
+    # simulator only needs loop bounds, which the paper's modules draw from
+    # parameters; computed bounds fall back to a conservative estimate.
+    breakdown: dict[str, int] = {}
+    total = 0
+    for desc in flowchart.descriptors:
+        c = _cost(desc, scalars, model, parallel_available=True, collapse=collapse)
+        label = _label(desc)
+        breakdown[label] = breakdown.get(label, 0) + c
+        total += c
+    return SimulationResult(total, model, breakdown)
+
+
+def _label(desc: Descriptor) -> str:
+    if isinstance(desc, NodeDescriptor):
+        return desc.node.id
+    eqs = _equations_inside(desc)
+    inner = ",".join(eqs) if eqs else "?"
+    return f"{desc.keyword} {desc.index} ({inner})"
+
+
+def _equations_inside(desc: Descriptor) -> list[str]:
+    if isinstance(desc, NodeDescriptor):
+        return [desc.node.id] if desc.node.is_equation else []
+    out: list[str] = []
+    for d in desc.body:
+        out.extend(_equations_inside(d))
+    return out
+
+
+def _extent(desc: LoopDescriptor, scalars: dict[str, int]) -> int:
+    lo = eval_bound(desc.subrange.lo, scalars)
+    hi = eval_bound(desc.subrange.hi, scalars)
+    return max(0, hi - lo + 1)
+
+
+def _collapsible(desc: LoopDescriptor) -> tuple[list[LoopDescriptor], list[Descriptor]]:
+    """The perfectly nested DOALL chain rooted at ``desc`` and its body."""
+    chain = [desc]
+    body = desc.body
+    while (
+        len(body) == 1
+        and isinstance(body[0], LoopDescriptor)
+        and body[0].parallel
+    ):
+        chain.append(body[0])
+        body = body[0].body
+    return chain, body
+
+
+def _cost(
+    desc: Descriptor,
+    scalars: dict[str, int],
+    model: MachineModel,
+    parallel_available: bool,
+    collapse: bool,
+) -> int:
+    if isinstance(desc, NodeDescriptor):
+        if desc.node.is_equation:
+            return equation_cost(desc.node.equation, model)
+        return 0
+    assert isinstance(desc, LoopDescriptor)
+
+    if desc.parallel and parallel_available:
+        if collapse:
+            chain, body = _collapsible(desc)
+            n = 1
+            for loop in chain:
+                n *= _extent(loop, scalars)
+            body_cost = sum(
+                _cost(d, scalars, model, parallel_available=False, collapse=collapse)
+                for d in body
+            )
+            per_iter = model.loop_overhead * len(chain) + body_cost
+            if n == 0:
+                return model.doall_fork + model.doall_barrier
+            chunks = ceil(n / model.processors)
+            return model.doall_fork + chunks * per_iter + model.doall_barrier
+        n = _extent(desc, scalars)
+        body_cost = sum(
+            _cost(d, scalars, model, parallel_available=False, collapse=collapse)
+            for d in desc.body
+        )
+        per_iter = model.loop_overhead + body_cost
+        chunks = ceil(n / model.processors)
+        return model.doall_fork + chunks * per_iter + model.doall_barrier
+
+    # Sequential execution (DO, or DOALL without a free team).
+    n = _extent(desc, scalars)
+    body_cost = sum(
+        _cost(d, scalars, model, parallel_available=parallel_available, collapse=collapse)
+        for d in desc.body
+    )
+    return n * (model.loop_overhead + body_cost)

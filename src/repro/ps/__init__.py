@@ -1,0 +1,93 @@
+"""PS ("Problem Specification") language front end.
+
+The paper's substrate: a very-high-level nonprocedural dataflow language with
+Pascal-like declarations and a ``define`` section of order-free equations
+(Gokhale 1987, section 2). This subpackage provides the lexer, parser, AST,
+type system, semantic analysis, a programmatic module builder, and a
+pretty-printer able to round-trip modules such as the paper's Figure 1.
+"""
+
+from repro.ps.ast import (
+    ArrayTypeExpr,
+    BinOp,
+    BoolLit,
+    Call,
+    EnumTypeExpr,
+    Equation,
+    FieldRef,
+    IfExpr,
+    Index,
+    IntLit,
+    LhsItem,
+    Module,
+    Name,
+    NamedTypeExpr,
+    Param,
+    Program,
+    RangeTypeExpr,
+    RealLit,
+    RecordTypeExpr,
+    TypeDecl,
+    UnOp,
+    VarDecl,
+)
+from repro.ps.lexer import Lexer, tokenize
+from repro.ps.parser import Parser, parse_expression, parse_module, parse_program
+from repro.ps.printer import format_expression, format_module, format_program
+from repro.ps.semantics import AnalyzedEquation, AnalyzedModule, analyze_module, analyze_program
+from repro.ps.types import (
+    ArrayType,
+    BoolType,
+    EnumType,
+    IntType,
+    RealType,
+    RecordType,
+    SubrangeType,
+    TupleType,
+)
+
+__all__ = [
+    "ArrayType",
+    "ArrayTypeExpr",
+    "AnalyzedEquation",
+    "AnalyzedModule",
+    "BinOp",
+    "BoolLit",
+    "BoolType",
+    "Call",
+    "EnumType",
+    "EnumTypeExpr",
+    "Equation",
+    "FieldRef",
+    "IfExpr",
+    "Index",
+    "IntLit",
+    "IntType",
+    "Lexer",
+    "LhsItem",
+    "Module",
+    "Name",
+    "NamedTypeExpr",
+    "Param",
+    "Parser",
+    "Program",
+    "RangeTypeExpr",
+    "RealLit",
+    "RealType",
+    "RecordType",
+    "RecordTypeExpr",
+    "SubrangeType",
+    "TupleType",
+    "TypeDecl",
+    "UnOp",
+    "VarDecl",
+    "analyze_module",
+    "analyze_program",
+    "format_expression",
+    "format_module",
+    "format_program",
+    "parse_expression",
+    "parse_module",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,169 @@
+"""Programmatic PS module builder.
+
+The paper's future-work list includes "a graphical front end, which can
+translate Equation 1 or Equation 2 into PS". This module provides the
+text-free equivalent for Python users: a fluent builder that assembles a PS
+:class:`~repro.ps.ast.Module` from equation strings or expression ASTs,
+suitable for the numerical-recurrence use case the paper motivates.
+
+Example — the paper's Relaxation module::
+
+    b = ModuleBuilder("Relaxation")
+    b.param("InitialA", "array[I,J] of real")
+    b.param("M", "int")
+    b.param("maxK", "int")
+    b.result("newA", "array[I,J] of real")
+    b.subrange("I", "0", "M+1")
+    b.subrange("J", "0", "M+1")
+    b.subrange("K", "2", "maxK")
+    b.var("A", "array[1 .. maxK] of array[I,J] of real")
+    b.equation("A[1] = InitialA")
+    b.equation("newA = A[maxK]")
+    b.equation("A[K,I,J] = if ... ;")
+    module = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.ps.ast import (
+    Equation,
+    Expr,
+    LhsItem,
+    Module,
+    Param,
+    RangeTypeExpr,
+    TypeDecl,
+    TypeExpr,
+    VarDecl,
+)
+from repro.ps.lexer import tokenize
+from repro.ps.parser import Parser, parse_expression
+from repro.ps.semantics import AnalyzedModule, AnalyzedProgram, analyze_module
+from repro.ps.tokens import TokenKind
+
+
+def parse_typeexpr_text(text: str) -> TypeExpr:
+    parser = Parser(tokenize(text))
+    te = parser.parse_typeexpr()
+    if parser.cur.kind is not TokenKind.EOF:
+        raise ParseError(f"unexpected input after type: {parser.cur.text!r}")
+    return te
+
+
+class ModuleBuilder:
+    """Assembles a PS module declaration by declaration."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._params: list[Param] = []
+        self._results: list[Param] = []
+        self._typedecls: list[TypeDecl] = []
+        self._vardecls: list[VarDecl] = []
+        self._equations: list[Equation] = []
+
+    # -- declarations --------------------------------------------------------
+
+    def param(self, name: str, typetext: str) -> "ModuleBuilder":
+        self._params.append(Param(name, parse_typeexpr_text(typetext)))
+        return self
+
+    def result(self, name: str, typetext: str) -> "ModuleBuilder":
+        self._results.append(Param(name, parse_typeexpr_text(typetext)))
+        return self
+
+    def subrange(self, name: str, lo: str | int, hi: str | int) -> "ModuleBuilder":
+        lo_e = parse_expression(str(lo))
+        hi_e = parse_expression(str(hi))
+        self._typedecls.append(TypeDecl([name], RangeTypeExpr(lo_e, hi_e)))
+        return self
+
+    def typedecl(self, name: str, typetext: str) -> "ModuleBuilder":
+        self._typedecls.append(TypeDecl([name], parse_typeexpr_text(typetext)))
+        return self
+
+    def var(self, name: str, typetext: str) -> "ModuleBuilder":
+        self._vardecls.append(VarDecl([name], parse_typeexpr_text(typetext)))
+        return self
+
+    # -- equations -------------------------------------------------------------
+
+    def equation(self, text: str) -> "ModuleBuilder":
+        """Add an equation from source text ``"lhs = rhs"`` (trailing ';'
+        optional)."""
+        text = text.strip()
+        if not text.endswith(";"):
+            text += ";"
+        parser = Parser(tokenize(text))
+        eq = parser._equation(len(self._equations) + 1)
+        if parser.cur.kind is not TokenKind.EOF:
+            raise ParseError(f"unexpected input after equation: {parser.cur.text!r}")
+        self._equations.append(eq)
+        return self
+
+    def define(self, lhs: str, rhs: Expr | str) -> "ModuleBuilder":
+        """Add an equation with a textual LHS and an AST or textual RHS."""
+        if isinstance(rhs, str):
+            rhs_expr = parse_expression(rhs)
+        else:
+            rhs_expr = rhs
+        parser = Parser(tokenize(lhs))
+        item = parser._lhsitem()
+        items = [item]
+        while parser.cur.kind is TokenKind.COMMA:
+            parser._advance()
+            items.append(parser._lhsitem())
+        if parser.cur.kind is not TokenKind.EOF:
+            raise ParseError(f"unexpected input in LHS: {parser.cur.text!r}")
+        eq = Equation(items, rhs_expr, label=f"eq.{len(self._equations) + 1}")
+        self._equations.append(eq)
+        return self
+
+    # -- assembly ----------------------------------------------------------------
+
+    def build(self) -> Module:
+        return Module(
+            name=self.name,
+            params=list(self._params),
+            results=list(self._results),
+            typedecls=list(self._typedecls),
+            vardecls=list(self._vardecls),
+            equations=list(self._equations),
+        )
+
+    def analyze(self, program: AnalyzedProgram | None = None) -> AnalyzedModule:
+        return analyze_module(self.build(), program)
+
+
+def relaxation_builder(gauss_seidel: bool = False) -> ModuleBuilder:
+    """The paper's Figure-1 module, via the builder API.
+
+    With ``gauss_seidel=False`` this is Equation 1 (Jacobi: all element
+    values from the previous iteration). With ``gauss_seidel=True`` it is
+    Equation 2 (the revised eq. 3 of section 4: west/north from the current
+    iteration).
+    """
+    b = ModuleBuilder("Relaxation")
+    b.param("InitialA", "array[I,J] of real")
+    b.param("M", "int")
+    b.param("maxK", "int")
+    b.result("newA", "array[I,J] of real")
+    b.subrange("I", "0", "M+1")
+    b.subrange("J", "0", "M+1")
+    b.subrange("K", "2", "maxK")
+    b.var("A", "array [1 .. maxK] of array[I,J] of real")
+    b.equation("A[1] = InitialA")
+    b.equation("newA = A[maxK]")
+    if gauss_seidel:
+        b.equation(
+            "A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)"
+            " then A[K-1,I,J]"
+            " else (A[K,I,J-1] + A[K,I-1,J] + A[K-1,I,J+1] + A[K-1,I+1,J]) / 4"
+        )
+    else:
+        b.equation(
+            "A[K,I,J] = if (I = 0) or (J = 0) or (I = M+1) or (J = M+1)"
+            " then A[K-1,I,J]"
+            " else (A[K-1,I,J-1] + A[K-1,I-1,J] + A[K-1,I,J+1] + A[K-1,I+1,J]) / 4"
+        )
+    return b

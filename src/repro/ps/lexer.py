@@ -1,0 +1,160 @@
+"""Hand-written lexer for PS source text."""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.ps.tokens import KEYWORDS, Token, TokenKind
+
+_SINGLE = {
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACK,
+    "]": TokenKind.RBRACK,
+    "=": TokenKind.EQ,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+}
+
+
+class Lexer:
+    """Tokenizes PS source. Use :func:`tokenize` for the common case."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level cursor ---------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    # -- token scanning -----------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and (possibly nested) ``(* ... *)`` comments."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "(" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance()
+                self._advance()
+                depth = 1
+                while depth > 0:
+                    if self.pos >= len(self.source):
+                        raise LexError("unterminated comment", start_line, start_col)
+                    if self._peek() == "(" and self._peek(1) == "*":
+                        self._advance()
+                        self._advance()
+                        depth += 1
+                    elif self._peek() == "*" and self._peek(1) == ")":
+                        self._advance()
+                        self._advance()
+                        depth -= 1
+                    else:
+                        self._advance()
+            else:
+                return
+
+    def _number(self) -> Token:
+        line, col = self.line, self.column
+        text = []
+        while self._peek().isdigit():
+            text.append(self._advance())
+        is_real = False
+        # A '.' begins a fraction only if not the '..' range operator.
+        if self._peek() == "." and self._peek(1) != "." and self._peek(1).isdigit():
+            is_real = True
+            text.append(self._advance())
+            while self._peek().isdigit():
+                text.append(self._advance())
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_real = True
+            text.append(self._advance())
+            if self._peek() in "+-":
+                text.append(self._advance())
+            while self._peek().isdigit():
+                text.append(self._advance())
+        kind = TokenKind.REAL if is_real else TokenKind.INT
+        return Token(kind, "".join(text), line, col)
+
+    def _ident(self) -> Token:
+        line, col = self.line, self.column
+        text = []
+        while self._peek().isalnum() or self._peek() == "_":
+            text.append(self._advance())
+        word = "".join(text)
+        kind = KEYWORDS.get(word.lower(), TokenKind.IDENT)
+        return Token(kind, word, line, col)
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self.line, self.column
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", line, col)
+        ch = self._peek()
+        if ch.isdigit():
+            return self._number()
+        if ch.isalpha() or ch == "_":
+            return self._ident()
+        if ch == ".":
+            self._advance()
+            if self._peek() == ".":
+                self._advance()
+                return Token(TokenKind.DOTDOT, "..", line, col)
+            return Token(TokenKind.DOT, ".", line, col)
+        if ch == "<":
+            self._advance()
+            if self._peek() == ">":
+                self._advance()
+                return Token(TokenKind.NE, "<>", line, col)
+            if self._peek() == "=":
+                self._advance()
+                return Token(TokenKind.LE, "<=", line, col)
+            return Token(TokenKind.LT, "<", line, col)
+        if ch == ">":
+            self._advance()
+            if self._peek() == "=":
+                self._advance()
+                return Token(TokenKind.GE, ">=", line, col)
+            return Token(TokenKind.GT, ">", line, col)
+        if ch in _SINGLE:
+            self._advance()
+            return Token(_SINGLE[ch], ch, line, col)
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole input, including the trailing EOF token."""
+        out: list[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize PS source text (returns a list ending with an EOF token)."""
+    return Lexer(source).tokens()

@@ -1,0 +1,468 @@
+"""Recursive-descent parser for PS.
+
+Grammar (see the paper, section 2, and Figure 1 for the concrete style)::
+
+    program     := module+
+    module      := IDENT ':' 'module' '(' [params] ')' ':'
+                   '[' results ']' ';' sections 'end' IDENT ';'
+    params      := param (';' param)*
+    param       := IDENT ':' typeexpr
+    results     := param (';' param)*
+    sections    := ['type' typedecl+] ['var' vardecl+] 'define' equation+
+    typedecl    := namelist '=' typeexpr ';'
+    vardecl     := namelist ':' typeexpr ';'
+    equation    := lhsitem (',' lhsitem)* '=' expr ';'
+    lhsitem     := IDENT ['[' exprlist ']']
+    typeexpr    := 'array' '[' dims ']' 'of' typeexpr
+                 | 'record' fields 'end'
+                 | '(' namelist ')'
+                 | 'int' | 'real' | 'bool'
+                 | expr '..' expr
+                 | IDENT
+    dims        := dim (',' dim)*
+    dim         := IDENT | expr '..' expr
+
+    expr        := disj
+    disj        := conj ('or' conj)*
+    conj        := rel ('and' rel)*
+    rel         := add [('='|'<>'|'<'|'<='|'>'|'>=') add]
+    add         := mul (('+'|'-') mul)*
+    mul         := unary (('*'|'/'|'div'|'mod') unary)*
+    unary       := ('-'|'+'|'not') unary | postfix
+    postfix     := primary ('[' exprlist ']' | '.' IDENT)*
+    primary     := INT | REAL | 'true' | 'false' | '(' expr ')'
+                 | 'if' expr 'then' expr 'else' expr
+                 | IDENT ['(' exprlist ')']
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.ps.ast import (
+    ArrayTypeExpr,
+    BinOp,
+    BoolLit,
+    Call,
+    EnumTypeExpr,
+    Equation,
+    Expr,
+    FieldRef,
+    IfExpr,
+    Index,
+    IntLit,
+    LhsItem,
+    Module,
+    Name,
+    NamedTypeExpr,
+    Param,
+    Program,
+    RangeTypeExpr,
+    RealLit,
+    RecordTypeExpr,
+    TypeDecl,
+    TypeExpr,
+    UnOp,
+    VarDecl,
+)
+from repro.ps.lexer import tokenize
+from repro.ps.tokens import Token, TokenKind
+
+_REL_OPS = {
+    TokenKind.EQ: "=",
+    TokenKind.NE: "<>",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+_ADD_OPS = {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
+_MUL_OPS = {
+    TokenKind.STAR: "*",
+    TokenKind.SLASH: "/",
+    TokenKind.DIV: "div",
+    TokenKind.MOD: "mod",
+}
+_PRIMITIVE_KINDS = {
+    TokenKind.INT_TYPE: "int",
+    TokenKind.REAL_TYPE: "real",
+    TokenKind.BOOL_TYPE: "bool",
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- cursor helpers -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self.cur.kind is kind
+
+    def _advance(self) -> Token:
+        tok = self.cur
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: TokenKind) -> Token:
+        if not self._at(kind):
+            raise ParseError(
+                f"expected {kind.value!r}, found {self.cur.text or self.cur.kind.value!r}",
+                self.cur.line,
+                self.cur.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        return self._advance() if self._at(kind) else None
+
+    # -- program / module ---------------------------------------------------
+
+    def parse_program(self) -> Program:
+        tok = self.cur
+        modules = [self.parse_module()]
+        while not self._at(TokenKind.EOF):
+            modules.append(self.parse_module())
+        return Program(modules, line=tok.line, column=tok.column)
+
+    def parse_module(self) -> Module:
+        name_tok = self._expect(TokenKind.IDENT)
+        self._expect(TokenKind.COLON)
+        self._expect(TokenKind.MODULE)
+        self._expect(TokenKind.LPAREN)
+        params: list[Param] = []
+        if not self._at(TokenKind.RPAREN):
+            params = self._param_list()
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.COLON)
+        self._expect(TokenKind.LBRACK)
+        results = self._param_list()
+        self._expect(TokenKind.RBRACK)
+        self._expect(TokenKind.SEMI)
+
+        typedecls: list[TypeDecl] = []
+        vardecls: list[VarDecl] = []
+        if self._accept(TokenKind.TYPE):
+            while self._at(TokenKind.IDENT):
+                typedecls.append(self._typedecl())
+        if self._accept(TokenKind.VAR):
+            while self._at(TokenKind.IDENT):
+                vardecls.append(self._vardecl())
+        self._expect(TokenKind.DEFINE)
+        equations: list[Equation] = []
+        while not self._at(TokenKind.END):
+            equations.append(self._equation(len(equations) + 1))
+        self._expect(TokenKind.END)
+        end_tok = self._expect(TokenKind.IDENT)
+        if end_tok.text != name_tok.text:
+            raise ParseError(
+                f"module {name_tok.text!r} terminated by 'end {end_tok.text}'",
+                end_tok.line,
+                end_tok.column,
+            )
+        self._expect(TokenKind.SEMI)
+        return Module(
+            name=name_tok.text,
+            params=params,
+            results=results,
+            typedecls=typedecls,
+            vardecls=vardecls,
+            equations=equations,
+            line=name_tok.line,
+            column=name_tok.column,
+        )
+
+    def _param_list(self) -> list[Param]:
+        params = [self._param()]
+        while self._accept(TokenKind.SEMI):
+            params.append(self._param())
+        return params
+
+    def _param(self) -> Param:
+        # Allow "a, b: int" as sugar for two parameters of the same type.
+        names = [self._expect(TokenKind.IDENT)]
+        while self._accept(TokenKind.COMMA):
+            names.append(self._expect(TokenKind.IDENT))
+        self._expect(TokenKind.COLON)
+        te = self.parse_typeexpr()
+        if len(names) == 1:
+            n = names[0]
+            return Param(n.text, te, line=n.line, column=n.column)
+        # Expand into a Param per name; caller flattens.
+        raise ParseError(
+            "parameter groups with several names are not supported in a "
+            "single Param node; separate with ';'",
+            names[1].line,
+            names[1].column,
+        )
+
+    def _namelist(self) -> list[Token]:
+        names = [self._expect(TokenKind.IDENT)]
+        while self._accept(TokenKind.COMMA):
+            names.append(self._expect(TokenKind.IDENT))
+        return names
+
+    def _typedecl(self) -> TypeDecl:
+        names = self._namelist()
+        self._expect(TokenKind.EQ)
+        te = self.parse_typeexpr()
+        self._expect(TokenKind.SEMI)
+        return TypeDecl(
+            [n.text for n in names], te, line=names[0].line, column=names[0].column
+        )
+
+    def _vardecl(self) -> VarDecl:
+        names = self._namelist()
+        self._expect(TokenKind.COLON)
+        te = self.parse_typeexpr()
+        self._expect(TokenKind.SEMI)
+        return VarDecl(
+            [n.text for n in names], te, line=names[0].line, column=names[0].column
+        )
+
+    def _equation(self, number: int) -> Equation:
+        first = self._lhsitem()
+        lhs = [first]
+        while self._accept(TokenKind.COMMA):
+            lhs.append(self._lhsitem())
+        self._expect(TokenKind.EQ)
+        rhs = self.parse_expr()
+        self._expect(TokenKind.SEMI)
+        return Equation(lhs, rhs, label=f"eq.{number}", line=first.line, column=first.column)
+
+    def _lhsitem(self) -> LhsItem:
+        name = self._expect(TokenKind.IDENT)
+        subs: list[Expr] = []
+        if self._accept(TokenKind.LBRACK):
+            subs.append(self.parse_expr())
+            while self._accept(TokenKind.COMMA):
+                subs.append(self.parse_expr())
+            self._expect(TokenKind.RBRACK)
+        return LhsItem(name.text, subs, line=name.line, column=name.column)
+
+    # -- types ----------------------------------------------------------------
+
+    def parse_typeexpr(self) -> TypeExpr:
+        tok = self.cur
+        if self._accept(TokenKind.ARRAY):
+            self._expect(TokenKind.LBRACK)
+            dims = [self._dim()]
+            while self._accept(TokenKind.COMMA):
+                dims.append(self._dim())
+            self._expect(TokenKind.RBRACK)
+            self._expect(TokenKind.OF)
+            element = self.parse_typeexpr()
+            return ArrayTypeExpr(dims, element, line=tok.line, column=tok.column)
+        if self._accept(TokenKind.RECORD):
+            fields: list[tuple[list[str], TypeExpr]] = []
+            names = self._namelist()
+            self._expect(TokenKind.COLON)
+            fields.append(([n.text for n in names], self.parse_typeexpr()))
+            while self._accept(TokenKind.SEMI):
+                if self._at(TokenKind.END):
+                    break
+                names = self._namelist()
+                self._expect(TokenKind.COLON)
+                fields.append(([n.text for n in names], self.parse_typeexpr()))
+            self._expect(TokenKind.END)
+            return RecordTypeExpr(fields, line=tok.line, column=tok.column)
+        if self.cur.kind in _PRIMITIVE_KINDS:
+            kind = _PRIMITIVE_KINDS[self._advance().kind]
+            return NamedTypeExpr(kind, line=tok.line, column=tok.column)
+        if self._at(TokenKind.LPAREN):
+            # Could be an enumeration "(a, b, c)" or a parenthesised bound
+            # expression starting a range "(M+1) .. N". Disambiguate: an
+            # enumeration is IDENT (',' IDENT)* ')' not followed by '..'.
+            save = self.pos
+            self._advance()
+            if self._at(TokenKind.IDENT):
+                names = [self._advance()]
+                ok = True
+                while self._accept(TokenKind.COMMA):
+                    if self._at(TokenKind.IDENT):
+                        names.append(self._advance())
+                    else:
+                        ok = False
+                        break
+                if ok and self._accept(TokenKind.RPAREN) and not self._at(TokenKind.DOTDOT):
+                    return EnumTypeExpr(
+                        [n.text for n in names], line=tok.line, column=tok.column
+                    )
+            self.pos = save
+            return self._range_typeexpr()
+        # IDENT alone is a named type, unless followed by '..'-style range or
+        # the IDENT begins a bound expression like "M+1 .. N".
+        if self._at(TokenKind.IDENT):
+            save = self.pos
+            ident = self._advance()
+            if not self.cur.kind in (
+                TokenKind.DOTDOT,
+                TokenKind.PLUS,
+                TokenKind.MINUS,
+                TokenKind.STAR,
+                TokenKind.SLASH,
+                TokenKind.DIV,
+                TokenKind.MOD,
+            ):
+                return NamedTypeExpr(ident.text, line=ident.line, column=ident.column)
+            self.pos = save
+            return self._range_typeexpr()
+        return self._range_typeexpr()
+
+    def _range_typeexpr(self) -> TypeExpr:
+        tok = self.cur
+        lo = self.parse_expr()
+        self._expect(TokenKind.DOTDOT)
+        hi = self.parse_expr()
+        return RangeTypeExpr(lo, hi, line=tok.line, column=tok.column)
+
+    def _dim(self) -> TypeExpr:
+        """One dimension inside ``array [...]``: a subrange name or range."""
+        return self.parse_typeexpr()
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._disj()
+
+    def _disj(self) -> Expr:
+        left = self._conj()
+        while self._at(TokenKind.OR):
+            tok = self._advance()
+            right = self._conj()
+            left = BinOp("or", left, right, line=tok.line, column=tok.column)
+        return left
+
+    def _conj(self) -> Expr:
+        left = self._rel()
+        while self._at(TokenKind.AND):
+            tok = self._advance()
+            right = self._rel()
+            left = BinOp("and", left, right, line=tok.line, column=tok.column)
+        return left
+
+    def _rel(self) -> Expr:
+        left = self._add()
+        if self.cur.kind in _REL_OPS:
+            tok = self._advance()
+            right = self._add()
+            return BinOp(_REL_OPS[tok.kind], left, right, line=tok.line, column=tok.column)
+        return left
+
+    def _add(self) -> Expr:
+        left = self._mul()
+        while self.cur.kind in _ADD_OPS:
+            tok = self._advance()
+            right = self._mul()
+            left = BinOp(_ADD_OPS[tok.kind], left, right, line=tok.line, column=tok.column)
+        return left
+
+    def _mul(self) -> Expr:
+        left = self._unary()
+        while self.cur.kind in _MUL_OPS:
+            tok = self._advance()
+            right = self._unary()
+            left = BinOp(_MUL_OPS[tok.kind], left, right, line=tok.line, column=tok.column)
+        return left
+
+    def _unary(self) -> Expr:
+        if self.cur.kind in (TokenKind.MINUS, TokenKind.PLUS):
+            tok = self._advance()
+            return UnOp(tok.text, self._unary(), line=tok.line, column=tok.column)
+        if self._at(TokenKind.NOT):
+            tok = self._advance()
+            return UnOp("not", self._unary(), line=tok.line, column=tok.column)
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while True:
+            if self._at(TokenKind.LBRACK):
+                tok = self._advance()
+                subs = [self.parse_expr()]
+                while self._accept(TokenKind.COMMA):
+                    subs.append(self.parse_expr())
+                self._expect(TokenKind.RBRACK)
+                expr = Index(expr, subs, line=tok.line, column=tok.column)
+            elif self._at(TokenKind.DOT):
+                tok = self._advance()
+                fieldname = self._expect(TokenKind.IDENT)
+                expr = FieldRef(expr, fieldname.text, line=tok.line, column=tok.column)
+            else:
+                return expr
+
+    def _primary(self) -> Expr:
+        tok = self.cur
+        if self._accept(TokenKind.INT):
+            return IntLit(int(tok.text), line=tok.line, column=tok.column)
+        if self._accept(TokenKind.REAL):
+            return RealLit(float(tok.text), line=tok.line, column=tok.column)
+        if self._accept(TokenKind.TRUE):
+            return BoolLit(True, line=tok.line, column=tok.column)
+        if self._accept(TokenKind.FALSE):
+            return BoolLit(False, line=tok.line, column=tok.column)
+        if self._accept(TokenKind.LPAREN):
+            expr = self.parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if self._accept(TokenKind.IF):
+            cond = self.parse_expr()
+            self._expect(TokenKind.THEN)
+            then = self.parse_expr()
+            self._expect(TokenKind.ELSE)
+            orelse = self.parse_expr()
+            return IfExpr(cond, then, orelse, line=tok.line, column=tok.column)
+        if self._at(TokenKind.IDENT):
+            ident = self._advance()
+            if self._at(TokenKind.LPAREN):
+                self._advance()
+                args: list[Expr] = []
+                if not self._at(TokenKind.RPAREN):
+                    args.append(self.parse_expr())
+                    while self._accept(TokenKind.COMMA):
+                        args.append(self.parse_expr())
+                self._expect(TokenKind.RPAREN)
+                return Call(ident.text, args, line=ident.line, column=ident.column)
+            return Name(ident.text, line=ident.line, column=ident.column)
+        raise ParseError(
+            f"unexpected token {self.cur.text or self.cur.kind.value!r} in expression",
+            tok.line,
+            tok.column,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole PS program (one or more modules)."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_module(source: str) -> Module:
+    """Parse a single PS module; trailing input must be empty."""
+    parser = Parser(tokenize(source))
+    module = parser.parse_module()
+    if not parser._at(TokenKind.EOF):
+        tok = parser.cur
+        raise ParseError(f"unexpected input after module: {tok.text!r}", tok.line, tok.column)
+    return module
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone PS expression (used by tests and the builder)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    if not parser._at(TokenKind.EOF):
+        tok = parser.cur
+        raise ParseError(
+            f"unexpected input after expression: {tok.text!r}", tok.line, tok.column
+        )
+    return expr

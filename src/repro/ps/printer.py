@@ -1,0 +1,159 @@
+"""Pretty-printer: AST -> PS source text.
+
+``parse(format(x))`` round-trips structurally (tested property-based), which
+lets the hyperplane pipeline emit *transformed modules as PS source* the way
+the paper presents its rewritten recurrence.
+"""
+
+from __future__ import annotations
+
+from repro.ps.ast import (
+    ArrayTypeExpr,
+    BinOp,
+    BoolLit,
+    Call,
+    EnumTypeExpr,
+    Equation,
+    Expr,
+    FieldRef,
+    IfExpr,
+    Index,
+    IntLit,
+    Module,
+    Name,
+    NamedTypeExpr,
+    Program,
+    RangeTypeExpr,
+    RealLit,
+    RecordTypeExpr,
+    TypeExpr,
+    UnOp,
+)
+
+# Operator precedence, mirroring the parser's grammar levels.
+_PREC = {
+    "or": 1,
+    "and": 2,
+    "=": 3,
+    "<>": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "div": 5,
+    "mod": 5,
+}
+_UNARY_PREC = 6
+
+
+def format_expression(expr: Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, RealLit):
+        text = repr(expr.value)
+        return text
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, Name):
+        return expr.ident
+    if isinstance(expr, BinOp):
+        prec = _PREC[expr.op]
+        # Left associative: the right child needs a strictly higher level.
+        # Relational operators are NON-associative in the grammar
+        # (rel := add [relop add]), so a relational child on either side
+        # must be parenthesised.
+        left_prec = prec + 1 if prec == 3 else prec
+        left = format_expression(expr.left, left_prec)
+        right = format_expression(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, UnOp):
+        inner = format_expression(expr.operand, _UNARY_PREC)
+        sep = " " if expr.op == "not" else ""
+        text = f"{expr.op}{sep}{inner}"
+        if _UNARY_PREC < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(expr, IfExpr):
+        text = (
+            f"if {format_expression(expr.cond)} "
+            f"then {format_expression(expr.then)} "
+            f"else {format_expression(expr.orelse)}"
+        )
+        # if-expressions always parenthesised inside larger expressions
+        if parent_prec > 0:
+            return f"({text})"
+        return text
+    if isinstance(expr, Index):
+        base = format_expression(expr.base, _UNARY_PREC + 1)
+        subs = ", ".join(format_expression(s) for s in expr.subscripts)
+        return f"{base}[{subs}]"
+    if isinstance(expr, FieldRef):
+        base = format_expression(expr.base, _UNARY_PREC + 1)
+        return f"{base}.{expr.fieldname}"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expression(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise TypeError(f"cannot format {type(expr).__name__}")
+
+
+def format_typeexpr(te: TypeExpr) -> str:
+    if isinstance(te, NamedTypeExpr):
+        return te.name
+    if isinstance(te, RangeTypeExpr):
+        return f"{format_expression(te.lo)} .. {format_expression(te.hi)}"
+    if isinstance(te, ArrayTypeExpr):
+        dims = ", ".join(format_typeexpr(d) for d in te.dims)
+        return f"array [{dims}] of {format_typeexpr(te.element)}"
+    if isinstance(te, RecordTypeExpr):
+        fields = "; ".join(
+            f"{', '.join(names)}: {format_typeexpr(ft)}" for names, ft in te.fields
+        )
+        return f"record {fields} end"
+    if isinstance(te, EnumTypeExpr):
+        return "(" + ", ".join(te.members) + ")"
+    raise TypeError(f"cannot format {type(te).__name__}")
+
+
+def format_equation(eq: Equation) -> str:
+    lhs_parts = []
+    for item in eq.lhs:
+        if item.subscripts:
+            subs = ", ".join(format_expression(s) for s in item.subscripts)
+            lhs_parts.append(f"{item.name}[{subs}]")
+        else:
+            lhs_parts.append(item.name)
+    return f"{', '.join(lhs_parts)} = {format_expression(eq.rhs)};"
+
+
+def format_module(module: Module) -> str:
+    lines: list[str] = []
+    params = "; ".join(f"{p.name}: {format_typeexpr(p.typeexpr)}" for p in module.params)
+    results = "; ".join(f"{r.name}: {format_typeexpr(r.typeexpr)}" for r in module.results)
+    lines.append(f"{module.name}: module ({params}):")
+    lines.append(f"    [{results}];")
+    if module.typedecls:
+        lines.append("type")
+        for decl in module.typedecls:
+            names = ", ".join(decl.names)
+            lines.append(f"    {names} = {format_typeexpr(decl.typeexpr)};")
+    if module.vardecls:
+        lines.append("var")
+        for decl in module.vardecls:
+            names = ", ".join(decl.names)
+            lines.append(f"    {names}: {format_typeexpr(decl.typeexpr)};")
+    lines.append("define")
+    for eq in module.equations:
+        lines.append(f"    {format_equation(eq)}")
+    lines.append(f"end {module.name};")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    return "\n\n".join(format_module(m) for m in program.modules)

@@ -1,0 +1,106 @@
+"""Token kinds for the PS language.
+
+PS keywords are case-insensitive (the paper typesets them in several cases);
+identifiers are case-sensitive. Comments are Pascal-style ``(* ... *)`` and
+may nest, which the paper's examples rely on for commented-out annotations
+such as ``(*$m+v+x+t -*)`` in Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    # Literals / names
+    IDENT = "identifier"
+    INT = "integer literal"
+    REAL = "real literal"
+
+    # Keywords
+    MODULE = "module"
+    TYPE = "type"
+    VAR = "var"
+    DEFINE = "define"
+    END = "end"
+    ARRAY = "array"
+    OF = "of"
+    RECORD = "record"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    DIV = "div"
+    MOD = "mod"
+    TRUE = "true"
+    FALSE = "false"
+    INT_TYPE = "int"
+    REAL_TYPE = "real"
+    BOOL_TYPE = "bool"
+
+    # Punctuation / operators
+    COLON = ":"
+    SEMI = ";"
+    COMMA = ","
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACK = "["
+    RBRACK = "]"
+    DOT = "."
+    DOTDOT = ".."
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+
+    EOF = "end of input"
+
+
+#: Keyword spelling (lower-case) -> token kind.
+KEYWORDS: dict[str, TokenKind] = {
+    "module": TokenKind.MODULE,
+    "type": TokenKind.TYPE,
+    "var": TokenKind.VAR,
+    "define": TokenKind.DEFINE,
+    "end": TokenKind.END,
+    "array": TokenKind.ARRAY,
+    "of": TokenKind.OF,
+    "record": TokenKind.RECORD,
+    "if": TokenKind.IF,
+    "then": TokenKind.THEN,
+    "else": TokenKind.ELSE,
+    "and": TokenKind.AND,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+    "div": TokenKind.DIV,
+    "mod": TokenKind.MOD,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "int": TokenKind.INT_TYPE,
+    "integer": TokenKind.INT_TYPE,  # accepted alias
+    "real": TokenKind.REAL_TYPE,
+    "bool": TokenKind.BOOL_TYPE,
+    "boolean": TokenKind.BOOL_TYPE,  # accepted alias
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,203 @@
+"""Semantic types for PS.
+
+The type system mirrors the paper's description of PS data declarations:
+"Standard Pascal data types are provided (primitive types, enumerations,
+arrays, records)" plus subrange types whose bounds are *expressions* over
+module parameters (``I, J = 0 .. M+1``). Because bounds are symbolic they
+are kept as AST expressions and only evaluated at run time.
+
+A PS array type is normalised to a flat list of subrange dimensions: the
+paper notes that ``A`` "has dimensionality which is the sum of subscripts and
+superscripts" even though it is declared as a nested
+``array [1..maxK] of array[I,J] of real``. :func:`ArrayType.dims` therefore
+contains three subranges for ``A``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.ps.ast import Expr, expr_equal
+
+_anon_counter = itertools.count(1)
+
+
+class Type:
+    """Base class for all semantic types."""
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # types are used in dict keys by identity
+        return id(self)
+
+
+@dataclass(frozen=True, eq=False)
+class PrimitiveType(Type):
+    kind: str  # "int" | "real" | "bool"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SubrangeType):
+            return self.kind == "int"
+        return isinstance(other, PrimitiveType) and self.kind == other.kind
+
+    def __hash__(self) -> int:
+        return hash(self.kind)
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+#: Singletons used throughout the compiler.
+IntType = PrimitiveType("int")
+RealType = PrimitiveType("real")
+BoolType = PrimitiveType("bool")
+
+
+@dataclass(eq=False)
+class SubrangeType(Type):
+    """An integer subrange ``lo .. hi`` with symbolic bounds.
+
+    ``name`` is the declared type name (``I``, ``J``, ``K``) or a synthetic
+    ``$rangeN`` for anonymous ranges such as ``array [1..maxK] of ...``.
+    The *name doubles as the index variable* when the subrange is used as an
+    array dimension — PS "does not differentiate" subscripts from
+    superscripts nor index variables from their range types (section 2).
+    """
+
+    name: str
+    lo: Expr
+    hi: Expr
+    anonymous: bool = False
+
+    @staticmethod
+    def fresh(lo: Expr, hi: Expr) -> "SubrangeType":
+        return SubrangeType(f"$range{next(_anon_counter)}", lo, hi, anonymous=True)
+
+    def bounds_equal(self, other: "SubrangeType") -> bool:
+        """Structural equality of the bound expressions."""
+        return expr_equal(self.lo, other.lo) and expr_equal(self.hi, other.hi)
+
+    def __eq__(self, other: object) -> bool:
+        # A subrange is assignment-compatible with int and with any subrange
+        # (Pascal semantics); *dimension* compatibility uses bounds_equal.
+        return isinstance(other, (SubrangeType,)) or (
+            isinstance(other, PrimitiveType) and other.kind == "int"
+        )
+
+    def __hash__(self) -> int:
+        return hash("subrange")
+
+    def __str__(self) -> str:
+        return self.name if not self.anonymous else f"{self.name}(..)"
+
+
+@dataclass(eq=False)
+class EnumType(Type):
+    name: str
+    members: list[str] = field(default_factory=list)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(eq=False)
+class ArrayType(Type):
+    """Flattened array type: ``dims`` are subranges; ``element`` is a
+    non-array type (nesting is normalised away)."""
+
+    dims: list[SubrangeType]
+    element: Type
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def drop_dims(self, n: int) -> Type:
+        """Type after indexing with ``n`` subscripts (partial indexing)."""
+        if n == self.rank:
+            return self.element
+        return ArrayType(self.dims[n:], self.element)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and self.rank == other.rank
+            and all(a.bounds_equal(b) for a, b in zip(self.dims, other.dims))
+            and self.element == other.element
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.rank))
+
+    def __str__(self) -> str:
+        dims = ",".join(str(d) for d in self.dims)
+        return f"array[{dims}] of {self.element}"
+
+
+@dataclass(eq=False)
+class RecordType(Type):
+    name: str
+    fields: dict[str, Type] = field(default_factory=dict)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RecordType)
+            and list(self.fields) == list(other.fields)
+            and all(self.fields[k] == other.fields[k] for k in self.fields)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("record", tuple(self.fields)))
+
+    def __str__(self) -> str:
+        inner = "; ".join(f"{k}: {v}" for k, v in self.fields.items())
+        return f"record {inner} end"
+
+
+@dataclass(eq=False)
+class TupleType(Type):
+    """The type of a multi-result module call or a multi-variable LHS."""
+
+    elements: list[Type]
+
+    @property
+    def arity(self) -> int:
+        return len(self.elements)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TupleType)
+            and self.arity == other.arity
+            and all(a == b for a, b in zip(self.elements, other.elements))
+        )
+
+    def __hash__(self) -> int:
+        return hash(("tuple", self.arity))
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(e) for e in self.elements) + ")"
+
+
+def is_numeric(t: Type) -> bool:
+    return t == IntType or t == RealType or isinstance(t, SubrangeType)
+
+
+def is_integral(t: Type) -> bool:
+    return t == IntType or isinstance(t, SubrangeType)
+
+
+def unify_numeric(a: Type, b: Type) -> Type | None:
+    """Result type of an arithmetic operation, or None if non-numeric."""
+    if not (is_numeric(a) and is_numeric(b)):
+        return None
+    if a == RealType or b == RealType:
+        return RealType
+    return IntType

@@ -1,0 +1,14 @@
+"""Execution substrate: runtime arrays (with window storage), an expression
+evaluator (scalar reference semantics and a vectorised NumPy path for DOALL
+dimensions), and the flowchart interpreter."""
+
+from repro.runtime.executor import ExecutionOptions, execute_module, execute_program_module
+from repro.runtime.values import RuntimeArray, eval_bound
+
+__all__ = [
+    "ExecutionOptions",
+    "RuntimeArray",
+    "eval_bound",
+    "execute_module",
+    "execute_program_module",
+]

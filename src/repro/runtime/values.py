@@ -1,0 +1,203 @@
+"""Runtime values: symbolic-bound evaluation and window-backed arrays.
+
+A PS array dimension declared ``lo .. hi`` is stored with origin ``lo``. A
+*virtual* dimension (section 3.4) is backed by a window of ``w`` planes
+addressed modulo ``w`` — valid because the scheduler proved every read is at
+most ``w - 1`` planes behind the write front. ``debug=True`` arms per-slot
+tags that catch any read of a plane that has already been overwritten (the
+failure-injection tests rely on this)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.ps.ast import BinOp, BoolLit, Expr, IntLit, Name, RealLit, UnOp
+from repro.ps.types import ArrayType, BoolType, IntType, RealType, Type
+
+
+def eval_bound(expr: Expr, env: dict[str, int]) -> int:
+    """Evaluate a subrange-bound expression with integer parameter values."""
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, Name):
+        if expr.ident not in env:
+            raise ExecutionError(f"unbound name {expr.ident!r} in subrange bound")
+        v = env[expr.ident]
+        return int(v)
+    if isinstance(expr, UnOp):
+        v = eval_bound(expr.operand, env)
+        if expr.op == "-":
+            return -v
+        if expr.op == "+":
+            return v
+        raise ExecutionError(f"invalid bound operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        a = eval_bound(expr.left, env)
+        b = eval_bound(expr.right, env)
+        if expr.op == "+":
+            return a + b
+        if expr.op == "-":
+            return a - b
+        if expr.op == "*":
+            return a * b
+        if expr.op == "div":
+            return a // b
+        if expr.op == "mod":
+            return a % b
+        raise ExecutionError(f"invalid bound operator {expr.op!r}")
+    raise ExecutionError(f"invalid bound expression {type(expr).__name__}")
+
+
+def dtype_for(element: Type):
+    if element == RealType:
+        return np.float64
+    if element == BoolType:
+        return np.bool_
+    return np.int64
+
+
+@dataclass
+class RuntimeArray:
+    """An array with per-dimension origins and optional window dimensions."""
+
+    name: str
+    los: list[int]
+    his: list[int]
+    storage: np.ndarray
+    windows: dict[int, int]  # dim -> window size
+    tags: np.ndarray | None = None  # debug: logical index stored per slot
+
+    @classmethod
+    def allocate(
+        cls,
+        name: str,
+        element: Type,
+        bounds: list[tuple[int, int]],
+        windows: dict[int, int] | None = None,
+        debug: bool = False,
+    ) -> "RuntimeArray":
+        windows = dict(windows or {})
+        los = [lo for lo, _ in bounds]
+        his = [hi for _, hi in bounds]
+        shape = []
+        for d, (lo, hi) in enumerate(bounds):
+            extent = hi - lo + 1
+            if extent < 0:
+                raise ExecutionError(
+                    f"dimension {d} of {name!r} has negative extent "
+                    f"({lo} .. {hi})"
+                )
+            if d in windows:
+                extent = min(extent, windows[d])
+                windows[d] = extent
+            shape.append(extent)
+        storage = np.zeros(shape, dtype=dtype_for(element))
+        tags = None
+        if debug and windows:
+            tags = np.full(shape, -(10**9), dtype=np.int64)
+        return cls(name, los, his, storage, windows, tags)
+
+    @property
+    def rank(self) -> int:
+        return len(self.los)
+
+    @property
+    def allocated_elements(self) -> int:
+        return int(self.storage.size)
+
+    def _map_index(self, d: int, idx):
+        rel = idx - self.los[d]
+        if d in self.windows:
+            return rel % self.windows[d]
+        return rel
+
+    def _check_range(self, d: int, idx) -> None:
+        lo, hi = self.los[d], self.his[d]
+        bad = (idx < lo) | (idx > hi)
+        if np.any(bad):
+            raise ExecutionError(
+                f"index {idx} out of range [{lo}, {hi}] in dimension {d} of "
+                f"{self.name!r}"
+            )
+
+    def get(self, indices, clip: bool = False):
+        """Read elements. ``clip`` clamps indices into range (used by the
+        vectorised evaluator, whose masked lanes may form out-of-range
+        subscripts that the `where` discards)."""
+        mapped = []
+        for d, idx in enumerate(indices):
+            idx = np.asarray(idx) if not np.isscalar(idx) and not isinstance(idx, (int, np.integer)) else idx
+            if clip:
+                idx = np.clip(idx, self.los[d], self.his[d])
+            else:
+                self._check_range(d, np.asarray(idx))
+            mapped.append(self._map_index(d, idx))
+        out = self.storage[tuple(mapped)]
+        if self.tags is not None and not clip:
+            expected = self._expected_tag(indices)
+            actual = self.tags[tuple(mapped)]
+            if np.any(actual != expected):
+                raise ExecutionError(
+                    f"window violation: read of {self.name} at {indices} "
+                    f"finds a plane that has been overwritten"
+                )
+        return out
+
+    def set(self, indices, value) -> None:
+        mapped = []
+        for d, idx in enumerate(indices):
+            self._check_range(d, np.asarray(idx))
+            mapped.append(self._map_index(d, idx))
+        self.storage[tuple(mapped)] = value
+        if self.tags is not None:
+            self.tags[tuple(mapped)] = self._expected_tag(indices)
+
+    def _expected_tag(self, indices):
+        """The logical windowed coordinate(s) encoded as a single tag."""
+        tag = 0
+        for d in sorted(self.windows):
+            tag = tag * (self.his[d] - self.los[d] + 2) + (
+                np.asarray(indices[d]) - self.los[d]
+            )
+        return tag
+
+    def to_numpy(self) -> np.ndarray:
+        """Dense copy (only valid when no window dims exist)."""
+        if self.windows:
+            raise ExecutionError(
+                f"{self.name!r} uses window storage; dense view unavailable"
+            )
+        return self.storage
+
+    @classmethod
+    def from_numpy(
+        cls, name: str, array: np.ndarray, bounds: list[tuple[int, int]]
+    ) -> "RuntimeArray":
+        expected = tuple(hi - lo + 1 for lo, hi in bounds)
+        if array.shape != expected:
+            raise ExecutionError(
+                f"argument {name!r} has shape {array.shape}, expected "
+                f"{expected} from the declared bounds"
+            )
+        return cls(
+            name,
+            [lo for lo, _ in bounds],
+            [hi for _, hi in bounds],
+            np.array(array),
+            {},
+        )
+
+
+def zero_scalar(t: Type):
+    if t == RealType:
+        return 0.0
+    if t == BoolType:
+        return False
+    return 0
+
+
+def array_bounds(arr_type: ArrayType, env: dict[str, int]) -> list[tuple[int, int]]:
+    return [(eval_bound(d.lo, env), eval_bound(d.hi, env)) for d in arr_type.dims]

@@ -1,0 +1,20 @@
+"""The paper's scheduling phase (section 3): flowchart IR, the
+Schedule-Graph / Schedule-Component algorithm, virtual-dimension (memory
+window) analysis, and the loop-merging improvement pass."""
+
+from repro.schedule.flowchart import Descriptor, Flowchart, LoopDescriptor, NodeDescriptor
+from repro.schedule.merge import merge_loops
+from repro.schedule.scheduler import schedule_graph_view, schedule_module
+from repro.schedule.virtual import VirtualDim, virtual_dimension_report
+
+__all__ = [
+    "Descriptor",
+    "Flowchart",
+    "LoopDescriptor",
+    "NodeDescriptor",
+    "VirtualDim",
+    "merge_loops",
+    "schedule_graph_view",
+    "schedule_module",
+    "virtual_dimension_report",
+]

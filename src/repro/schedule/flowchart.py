@@ -1,0 +1,120 @@
+"""Flowchart IR (paper section 3.2, Figure 4).
+
+"The flowchart is simply a list of descriptors. A descriptor may indicate
+either a dependency graph node or a subrange type. ... A subrange type
+descriptor also contains a list of descriptors which are contained within
+the scope of the loop. Thus the flowchart is a recursive structure which
+reflects the nesting structure of the generated program."
+
+A :class:`LoopDescriptor` records whether "an iterative loop [is] to be
+generated from this subrange or ... a parallel loop" — printed as ``DO`` and
+``DOALL`` to match Figures 5–7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.graph.depgraph import Node
+from repro.ps.types import SubrangeType
+
+
+@dataclass
+class NodeDescriptor:
+    """A dependency-graph node: the code generator emits the data item's
+    declaration or the equation's assignment statement."""
+
+    node: Node
+
+    @property
+    def label(self) -> str:
+        return self.node.id
+
+    def pretty_lines(self, indent: int = 0) -> list[str]:
+        return ["    " * indent + self.node.id]
+
+    def shape(self):
+        return self.node.id
+
+
+@dataclass
+class LoopDescriptor:
+    """A subrange-type descriptor: a ``for`` loop over the subrange, either
+    iterative (``DO``) or parallel (``DOALL``), with nested descriptors."""
+
+    subrange: SubrangeType
+    index: str
+    parallel: bool
+    body: list["Descriptor"] = field(default_factory=list)
+    #: arrays whose dimension scheduled by this loop is virtual:
+    #: data-node id -> (dimension position, window size)
+    windows: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def keyword(self) -> str:
+        return "DOALL" if self.parallel else "DO"
+
+    def pretty_lines(self, indent: int = 0) -> list[str]:
+        pad = "    " * indent
+        lines = [f"{pad}{self.keyword} {self.index} ("]
+        for d in self.body:
+            lines.extend(d.pretty_lines(indent + 1))
+        lines.append(f"{pad})")
+        return lines
+
+    def shape(self):
+        return (self.keyword, self.index, [d.shape() for d in self.body])
+
+
+Descriptor = Union[NodeDescriptor, LoopDescriptor]
+
+
+@dataclass
+class Flowchart:
+    """The scheduler's output for one module (or one component)."""
+
+    descriptors: list[Descriptor] = field(default_factory=list)
+    #: virtual-dimension summary: data-node id -> {dim position: window}
+    windows: dict[str, dict[int, int]] = field(default_factory=dict)
+    #: run-time assumptions recorded by scheduler extensions (e.g. the [14]
+    #: symbolic-offset rule assumes each offset variable is >= 1)
+    assumptions: list[str] = field(default_factory=list)
+
+    def pretty(self) -> str:
+        lines: list[str] = []
+        for d in self.descriptors:
+            lines.extend(d.pretty_lines())
+        return "\n".join(lines)
+
+    def shape(self) -> list:
+        """Nested-tuple shape for structural comparison in tests:
+        ``("DO", "K", [("DOALL", "I", [...])])``."""
+        return [d.shape() for d in self.descriptors]
+
+    # -- traversal helpers ----------------------------------------------------
+
+    def walk(self) -> Iterator[Descriptor]:
+        stack: list[Descriptor] = list(reversed(self.descriptors))
+        while stack:
+            d = stack.pop()
+            yield d
+            if isinstance(d, LoopDescriptor):
+                stack.extend(reversed(d.body))
+
+    def loops(self) -> list[LoopDescriptor]:
+        return [d for d in self.walk() if isinstance(d, LoopDescriptor)]
+
+    def equation_labels(self) -> list[str]:
+        return [
+            d.node.id
+            for d in self.walk()
+            if isinstance(d, NodeDescriptor) and d.node.is_equation
+        ]
+
+    def loop_kinds(self) -> list[tuple[str, str]]:
+        """(keyword, index) of every loop, pre-order — a quick fingerprint."""
+        return [(loop.keyword, loop.index) for loop in self.loops()]
+
+    def window_of(self, name: str) -> dict[int, int]:
+        return self.windows.get(name, {})

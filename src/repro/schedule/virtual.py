@@ -1,0 +1,104 @@
+"""Virtual-dimension (memory window) analysis — paper section 3.4.
+
+"A data node dimension is *virtual* if the dimension is mapped to a 'window'
+of elements, and the width of the window is smaller than the PS declared
+size."
+
+The scheduler marks the dimension being scheduled virtual for a local
+variable ``Nr`` in component ``Mi`` when **each** edge from ``Nr`` to an
+equation node is in one or both of these forms:
+
+1. the edge has subscript expression ``I`` or ``I - constant`` in the
+   dimension being scheduled, and the target is in ``Mi``;
+2. the edge goes to a node outside the component, and its subscript
+   expression in that dimension is the *upper bound* of the subrange defining
+   the dimension (only the last element escapes the loop).
+
+The window size is ``1 + max offset`` over the form-1 edges — two planes for
+the paper's Jacobi array ``A`` (offsets {1}), three for the transformed
+``A'`` of section 4 (offsets {1, 2}).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.depgraph import DependencyGraph, EdgeKind
+from repro.graph.labels import SubscriptClass
+from repro.ps.symbols import SymbolKind
+
+
+@dataclass
+class VirtualDim:
+    node_id: str
+    dim: int
+    window: int
+    declared: str  # human-readable declared extent, e.g. "1 .. maxK"
+
+
+def check_virtual(
+    graph: DependencyGraph,
+    node_id: str,
+    dim: int,
+    component: frozenset[str],
+) -> int | None:
+    """Return the window size if dimension ``dim`` of ``node_id`` is virtual
+    with respect to ``component``, else None. Only local variables (not
+    inputs or results) are eligible — inputs are caller-allocated and the
+    result must be materialised in full."""
+    node = graph.node(node_id)
+    if node.symbol is None or node.symbol.kind is not SymbolKind.VAR:
+        return None
+    if dim >= node.rank:
+        return None
+
+    max_offset = 0
+    for edge in graph.out_edges(node_id):
+        if edge.kind is not EdgeKind.DATA:
+            continue
+        target = graph.node(edge.dst)
+        if not target.is_equation:
+            continue
+        if dim >= len(edge.subscripts):
+            return None
+        info = edge.subscripts[dim]
+        if edge.dst in component:
+            # form 1: "I" or "I - constant" into the component
+            if info.cls is SubscriptClass.IDENTITY:
+                continue
+            if info.cls is SubscriptClass.OFFSET:
+                assert info.offset is not None
+                max_offset = max(max_offset, info.offset)
+                continue
+            return None
+        # form 2: leaves the component via the subrange's upper bound
+        if info.is_upper_bound:
+            continue
+        return None
+    return 1 + max_offset
+
+
+def virtual_dimension_report(
+    graph: DependencyGraph, components: list[frozenset[str]]
+) -> list[VirtualDim]:
+    """Evaluate the virtual test for *every* dimension of every local array
+    inside its MSCC — used for the W1 (window) experiment table. The
+    scheduler itself only records the dimension actually being scheduled
+    while the array is still in the component, exactly as published."""
+    out: list[VirtualDim] = []
+    for comp in components:
+        for node_id in sorted(comp):
+            node = graph.node(node_id)
+            if not node.is_data or node.symbol is None:
+                continue
+            for dim in range(node.rank):
+                window = check_virtual(graph, node_id, dim, comp)
+                if window is not None:
+                    sub = node.dims[dim].subrange
+                    from repro.ps.printer import format_expression
+
+                    declared = (
+                        f"{format_expression(sub.lo)} .. {format_expression(sub.hi)}"
+                    )
+                    out.append(VirtualDim(node_id, dim, window, declared))
+    return out

@@ -1,0 +1,131 @@
+"""Tests for element-level analyses: levels, wavefronts, coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.element_graph import build_element_graph
+from repro.analysis.wavefront import wavefront_profile
+
+
+class TestWavefrontProfile:
+    def test_paper_hyperplane_range(self):
+        """t = 2K + I + J over K in 1..maxK, I,J in 0..M+1: t runs from 2
+        to 2*maxK + 2(M+1) — "t = 1 ... 2 x maxK + 2 x M" up to the paper's
+        loose bound rendering."""
+        m, maxk = 8, 10
+        prof = wavefront_profile((2, 1, 1), [(1, maxk), (0, m + 1), (0, m + 1)])
+        assert prof.t_min == 2
+        assert prof.t_max == 2 * maxk + 2 * (m + 1)
+
+    def test_covers_every_point_exactly_once(self):
+        prof = wavefront_profile((2, 1, 1), [(1, 5), (0, 6), (0, 6)])
+        assert prof.covers_box_exactly()
+
+    def test_2d_antidiagonal_profile(self):
+        prof = wavefront_profile((1, 1), [(0, 3), (0, 3)])
+        # Sizes 1,2,3,4,3,2,1 — the classic anti-diagonal ramp.
+        assert prof.sizes == [1, 2, 3, 4, 3, 2, 1]
+        assert prof.max_width == 4
+
+    def test_identity_time_vector_planes(self):
+        prof = wavefront_profile((1, 0, 0), [(1, 4), (0, 2), (0, 2)])
+        assert prof.n_hyperplanes == 4
+        assert all(s == 9 for s in prof.sizes)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=3),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_coverage_property(self, pi, extent):
+        if all(p == 0 for p in pi):
+            pi[0] = 1
+        bounds = [(0, extent)] * len(pi)
+        prof = wavefront_profile(tuple(pi), bounds)
+        assert prof.covers_box_exactly()
+
+    def test_brute_force_agreement(self):
+        import itertools
+
+        pi = (2, 1, 1)
+        bounds = [(1, 4), (0, 3), (0, 3)]
+        prof = wavefront_profile(pi, bounds)
+        counts: dict[int, int] = {}
+        for x in itertools.product(*[range(lo, hi + 1) for lo, hi in bounds]):
+            t = sum(p * xi for p, xi in zip(pi, x))
+            counts[t] = counts.get(t, 0) + 1
+        assert prof.sizes == [
+            counts.get(t, 0) for t in range(prof.t_min, prof.t_max + 1)
+        ]
+
+
+class TestElementGraph:
+    def test_jacobi_levels_are_k_planes(self):
+        # Dependences all carry K-distance 1: level = K - K_lo.
+        g = build_element_graph(
+            [(1, 4), (0, 5), (0, 5)],
+            [(1, 0, 0), (1, 1, 0), (1, -1, 0), (1, 0, 1), (1, 0, -1)],
+        )
+        assert g.span == 4
+        assert g.level_sizes() == [36, 36, 36, 36]
+
+    def test_gauss_seidel_span_shorter_than_sequential(self):
+        """The hyperplane exposes parallelism: span << number of elements."""
+        g = build_element_graph(
+            [(1, 6), (0, 7), (0, 7)],
+            [(1, 0, 0), (0, 0, 1), (0, 1, 0), (1, 0, -1), (1, -1, 0)],
+        )
+        assert g.span < g.work
+        assert g.max_parallelism() > 1
+
+    def test_wavefront_2d_levels(self):
+        g = build_element_graph([(0, 3), (0, 3)], [(1, 0), (0, 1)])
+        # level(x, y) = x + y
+        expected = np.add.outer(np.arange(4), np.arange(4))
+        np.testing.assert_array_equal(g.levels, expected)
+
+    def test_chain_is_fully_sequential(self):
+        g = build_element_graph([(0, 9)], [(1,)])
+        assert g.span == 10
+        assert g.max_parallelism() == 1
+
+    def test_level_of_element_never_below_hyperplane_lower_bound(self):
+        """pi . x is a valid linear schedule, so the true level (longest
+        path) can never exceed the hyperplane index: level(x) <= pi.x -
+        t_min for every x. (The hyperplane schedule is conservative; the DP
+        computes the exact minimum.)"""
+        vectors = [(1, 0, 0), (0, 0, 1), (0, 1, 0), (1, 0, -1), (1, -1, 0)]
+        bounds = [(1, 5), (0, 5), (0, 5)]
+        g = build_element_graph(bounds, vectors)
+        pi = (2, 1, 1)
+        t_min = 2 * 1 + 0 + 0
+        import itertools
+
+        for x in itertools.product(*[range(lo, hi + 1) for lo, hi in bounds]):
+            idx = tuple(xi - lo for xi, (lo, _) in zip(x, bounds))
+            t = sum(p * xi for p, xi in zip(pi, x))
+            assert g.levels[idx] <= t - t_min
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=-2, max_value=2),
+            ).filter(lambda v: v != (0, 0) and (v[0] > 0 or (v[0] == 0 and v[1] > 0))),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_levels_respect_dependences(self, vectors):
+        bounds = [(0, 5), (0, 5)]
+        g = build_element_graph(bounds, vectors)
+        import itertools
+
+        for x in itertools.product(range(6), range(6)):
+            for d in vectors:
+                y = (x[0] - d[0], x[1] - d[1])
+                if 0 <= y[0] <= 5 and 0 <= y[1] <= 5:
+                    assert g.levels[x] > g.levels[y]

@@ -1,0 +1,152 @@
+"""Tests for dependency-graph construction — reproduces Figure 3."""
+
+import pytest
+
+from repro.core.paper import jacobi_analyzed
+from repro.graph.build import bound_adjacency, build_dependency_graph, data_adjacency
+from repro.graph.depgraph import EdgeKind
+from repro.graph.dot import to_dot, to_text
+from repro.graph.labels import SubscriptClass
+from repro.ps.parser import parse_module
+from repro.ps.semantics import analyze_module
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return build_dependency_graph(jacobi_analyzed())
+
+
+class TestFigure3Nodes:
+    def test_node_set(self, fig3):
+        assert set(fig3.nodes) == {
+            "InitialA",
+            "M",
+            "maxK",
+            "newA",
+            "A",
+            "eq.1",
+            "eq.2",
+            "eq.3",
+        }
+
+    def test_node_dimension_labels(self, fig3):
+        # "an array A[K,I,J] has three node labels"
+        assert fig3.node("A").rank == 3
+        assert fig3.node("InitialA").rank == 2
+        assert fig3.node("newA").rank == 2
+        assert fig3.node("M").rank == 0
+        assert [d.name for d in fig3.node("eq.3").dims] == ["K", "I", "J"]
+
+    def test_equation_nodes(self, fig3):
+        eqs = [n.id for n in fig3.equation_nodes()]
+        assert eqs == ["eq.1", "eq.2", "eq.3"]
+
+
+class TestFigure3DataEdges:
+    def test_data_adjacency(self, fig3):
+        adj = data_adjacency(fig3)
+        assert adj["InitialA"] == {"eq.1"}
+        assert adj["eq.1"] == {"A"}
+        assert adj["A"] == {"eq.2", "eq.3"}
+        assert adj["eq.2"] == {"newA"}
+        assert adj["eq.3"] == {"A"}
+        assert adj["maxK"] == {"eq.2"}  # newA = A[maxK] references maxK
+        assert adj["M"] == {"eq.3"}  # boundary tests reference M
+        assert adj["newA"] == set()
+
+    def test_one_edge_per_reference(self, fig3):
+        # eq.3 references A five times.
+        a_to_eq3 = [
+            e
+            for e in fig3.edges_between("A", "eq.3")
+            if e.kind is EdgeKind.DATA
+        ]
+        assert len(a_to_eq3) == 5
+
+    def test_jacobi_k_dimension_all_offset(self, fig3):
+        for e in fig3.edges_between("A", "eq.3"):
+            k_info = e.subscripts[0]
+            assert k_info.cls is SubscriptClass.OFFSET
+            assert k_info.offset == 1
+
+    def test_interior_edges_have_other_in_i_or_j(self, fig3):
+        # A[K-1,I+1,J] and A[K-1,I,J+1] carry "+1" (class OTHER) labels.
+        others = [
+            s.describe()
+            for e in fig3.edges_between("A", "eq.3")
+            for s in e.subscripts
+            if s.cls is SubscriptClass.OTHER and s.delta == 1
+        ]
+        assert sorted(others) == ["I + 1", "J + 1"]
+
+    def test_eq2_reference_upper_bound(self, fig3):
+        (edge,) = [e for e in fig3.edges_between("A", "eq.2") if e.kind is EdgeKind.DATA]
+        assert edge.subscripts[0].is_upper_bound
+        assert edge.subscripts[1].cls is SubscriptClass.IDENTITY
+        assert edge.subscripts[2].cls is SubscriptClass.IDENTITY
+
+    def test_lhs_edges_marked(self, fig3):
+        lhs = [e for e in fig3.edges.values() if e.is_lhs]
+        assert {(e.src, e.dst) for e in lhs} == {
+            ("eq.1", "A"),
+            ("eq.2", "newA"),
+            ("eq.3", "A"),
+        }
+
+
+class TestFigure3BoundEdges:
+    def test_bound_edges(self, fig3):
+        # "a data dependency edge is drawn from M to InitialA, to A, and to
+        # NewA ... from maxK to A for the same reason."
+        adj = bound_adjacency(fig3)
+        assert {"InitialA", "A", "newA"} <= adj["M"]
+        assert "A" in adj["maxK"]
+
+    def test_bound_edges_to_equations(self, fig3):
+        # Loop bounds: eq.3 iterates K = 2..maxK and I,J = 0..M+1.
+        adj = bound_adjacency(fig3)
+        assert "eq.3" in adj["maxK"]
+        assert "eq.3" in adj["M"]
+
+
+class TestRecordsAndHierarchy:
+    def test_hierarchical_edges(self):
+        mod = analyze_module(
+            parse_module(
+                "T: module (p: record x: real; y: real end): [d: real];\n"
+                "define d = p.x + p.y;\nend T;"
+            )
+        )
+        g = build_dependency_graph(mod)
+        hier = [e for e in g.edges.values() if e.kind is EdgeKind.HIERARCHICAL]
+        assert {(e.src, e.dst) for e in hier} == {("p", "p.x"), ("p", "p.y")}
+        # Data edges run from the *fields* to the equation.
+        adj = data_adjacency(g)
+        assert adj["p.x"] == {"eq.1"}
+        assert adj["p.y"] == {"eq.1"}
+
+    def test_nested_record_nodes(self):
+        mod = analyze_module(
+            parse_module(
+                "T: module (p: record inner: record v: real end end): [d: real];\n"
+                "define d = p.inner.v;\nend T;"
+            )
+        )
+        g = build_dependency_graph(mod)
+        assert "p.inner.v" in g.nodes
+        adj = data_adjacency(g)
+        assert adj["p.inner.v"] == {"eq.1"}
+
+
+class TestRendering:
+    def test_dot_output(self, fig3):
+        dot = to_dot(fig3)
+        assert dot.startswith("digraph")
+        assert '"A" -> "eq.3"' in dot
+        assert "style=dashed" in dot  # bound edges
+
+    def test_text_output(self, fig3):
+        text = to_text(fig3)
+        assert "data dependency edges:" in text
+        assert "subrange-bound edges:" in text
+        assert "A -> eq.3" in text

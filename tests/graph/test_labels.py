@@ -1,0 +1,119 @@
+"""Unit tests for subscript classification (paper Figure 2)."""
+
+from repro.graph.labels import SubscriptClass, classify_subscript
+from repro.ps.parser import parse_expression
+from repro.ps.semantics import EquationDim
+from repro.ps.types import SubrangeType
+
+
+def _dims():
+    K = SubrangeType("K", parse_expression("2"), parse_expression("maxK"))
+    I = SubrangeType("I", parse_expression("0"), parse_expression("M+1"))
+    J = SubrangeType("J", parse_expression("0"), parse_expression("M+1"))
+    return [EquationDim("K", K), EquationDim("I", I), EquationDim("J", J)]
+
+
+def classify(text, array_pos=0, dim_subrange=None):
+    return classify_subscript(parse_expression(text), array_pos, _dims(), dim_subrange)
+
+
+class TestIdentity:
+    def test_bare_index(self):
+        info = classify("I")
+        assert info.cls is SubscriptClass.IDENTITY
+        assert info.index == "I"
+        assert info.delta == 0
+        assert info.offset is None
+
+    def test_eq_dim_position(self):
+        assert classify("K").eq_dim == 0
+        assert classify("I").eq_dim == 1
+        assert classify("J").eq_dim == 2
+
+    def test_identity_with_zero_offset(self):
+        info = classify("I + 0")
+        assert info.cls is SubscriptClass.IDENTITY
+
+
+class TestOffset:
+    def test_minus_one(self):
+        info = classify("K - 1")
+        assert info.cls is SubscriptClass.OFFSET
+        assert info.offset == 1
+        assert info.delta == -1
+
+    def test_minus_two(self):
+        info = classify("K - 2")
+        assert info.offset == 2
+
+    def test_reversed_form(self):
+        # -1 + K is still I - constant
+        info = classify("-1 + K")
+        assert info.cls is SubscriptClass.OFFSET
+        assert info.offset == 1
+
+    def test_nested_constant_arithmetic(self):
+        info = classify("K - (3 - 1)")
+        assert info.cls is SubscriptClass.OFFSET
+        assert info.offset == 2
+
+
+class TestOther:
+    def test_plus_constant_is_other(self):
+        # "I + 1" is "any other expression" for scheduling purposes...
+        info = classify("I + 1")
+        assert info.cls is SubscriptClass.OTHER
+        # ...but the delta is still recorded for the hyperplane transform.
+        assert info.delta == 1
+        assert info.index == "I"
+
+    def test_scaled_index_is_other(self):
+        info = classify("2 * K")
+        assert info.cls is SubscriptClass.OTHER
+        assert info.delta is None
+
+    def test_two_indices_is_other(self):
+        info = classify("I + J")
+        assert info.cls is SubscriptClass.OTHER
+        assert info.indices == frozenset({"I", "J"})
+
+    def test_affine_multi_index_records_indices(self):
+        info = classify("K - 2*I - J")
+        assert info.cls is SubscriptClass.OTHER
+        assert info.indices == frozenset({"K", "I", "J"})
+
+
+class TestConstants:
+    def test_literal(self):
+        info = classify("1")
+        assert info.cls is SubscriptClass.OTHER
+        assert info.const == 1
+        assert info.indices == frozenset()
+
+    def test_non_index_name(self):
+        info = classify("maxK")
+        assert info.cls is SubscriptClass.OTHER
+        assert info.const is None
+
+    def test_upper_bound_detection(self):
+        K = SubrangeType("Kdim", parse_expression("1"), parse_expression("maxK"))
+        info = classify("maxK", dim_subrange=K)
+        assert info.is_upper_bound
+
+    def test_upper_bound_with_expression(self):
+        I = SubrangeType("I", parse_expression("0"), parse_expression("M+1"))
+        info = classify("M + 1", dim_subrange=I)
+        assert info.is_upper_bound
+
+    def test_not_upper_bound(self):
+        K = SubrangeType("Kdim", parse_expression("1"), parse_expression("maxK"))
+        info = classify("maxK - 1", dim_subrange=K)
+        assert not info.is_upper_bound
+
+
+class TestDescribe:
+    def test_descriptions(self):
+        assert classify("I").describe() == "I"
+        assert classify("K - 1").describe() == "K - 1"
+        assert classify("I + 1").describe() == "I + 1"
+        assert classify("5").describe() == "const"

@@ -1,0 +1,139 @@
+"""Tests for the MSCC machinery, including a hypothesis comparison against
+networkx on random directed multigraphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
+from repro.graph.build import build_dependency_graph
+from repro.graph.depgraph import DependencyGraph, Node, NodeKind
+from repro.graph.scc import condensation_order, strongly_connected_components
+
+
+def _make_graph(n_nodes: int, edges: list[tuple[int, int]]) -> DependencyGraph:
+    g = DependencyGraph()
+    for i in range(n_nodes):
+        g.add_node(Node(f"n{i}", NodeKind.DATA, [], (0, i)))
+    for a, b in edges:
+        g.add_edge(f"n{a}", f"n{b}")
+    return g
+
+
+class TestTarjanBasics:
+    def test_empty_like_graph(self):
+        g = _make_graph(1, [])
+        assert strongly_connected_components(g.full_view()) == [frozenset({"n0"})]
+
+    def test_two_node_cycle(self):
+        g = _make_graph(2, [(0, 1), (1, 0)])
+        comps = strongly_connected_components(g.full_view())
+        assert comps == [frozenset({"n0", "n1"})]
+
+    def test_chain_has_singletons(self):
+        g = _make_graph(3, [(0, 1), (1, 2)])
+        comps = strongly_connected_components(g.full_view())
+        assert len(comps) == 3
+
+    def test_self_loop_single_component(self):
+        g = _make_graph(1, [(0, 0)])
+        comps = strongly_connected_components(g.full_view())
+        assert comps == [frozenset({"n0"})]
+
+    def test_two_cycles_bridge(self):
+        g = _make_graph(4, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)])
+        comps = {frozenset(c) for c in strongly_connected_components(g.full_view())}
+        assert comps == {frozenset({"n0", "n1"}), frozenset({"n2", "n3"})}
+
+
+class TestCondensationOrder:
+    def test_chain_order(self):
+        g = _make_graph(3, [(2, 1), (1, 0)])
+        order = condensation_order(g.full_view())
+        assert order == [frozenset({"n2"}), frozenset({"n1"}), frozenset({"n0"})]
+
+    def test_tie_break_by_declaration_order(self):
+        g = _make_graph(3, [])  # no edges: all ready at once
+        order = condensation_order(g.full_view())
+        assert order == [frozenset({"n0"}), frozenset({"n1"}), frozenset({"n2"})]
+
+    def test_figure5_component_order_jacobi(self):
+        """The paper's Figure 5 lists seven components: {InitialA}, {M},
+        {maxK}, {eq.1}, {A, eq.3}, {eq.2}, {newA}. Our processing order is
+        topological; M precedes InitialA because of the paper's own bound
+        edge M -> InitialA (the null-flowchart data components commute)."""
+        g = build_dependency_graph(jacobi_analyzed())
+        order = condensation_order(g.full_view())
+        assert order == [
+            frozenset({"M"}),
+            frozenset({"InitialA"}),
+            frozenset({"maxK"}),
+            frozenset({"eq.1"}),
+            frozenset({"A", "eq.3"}),
+            frozenset({"eq.2"}),
+            frozenset({"newA"}),
+        ]
+        # The order that matters for the emitted flowchart:
+        pos = {n: i for i, comp in enumerate(order) for n in comp}
+        assert pos["eq.1"] < pos["eq.3"] < pos["eq.2"]
+
+    def test_gauss_seidel_same_components(self):
+        g = build_dependency_graph(gauss_seidel_analyzed())
+        order = condensation_order(g.full_view())
+        assert frozenset({"A", "eq.3"}) in order
+
+    def test_topological_property(self):
+        g = build_dependency_graph(jacobi_analyzed())
+        order = condensation_order(g.full_view())
+        position = {n: i for i, comp in enumerate(order) for n in comp}
+        for e in g.edges.values():
+            assert position[e.src] <= position[e.dst]
+
+
+@st.composite
+def random_digraph(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    n_edges = draw(st.integers(min_value=0, max_value=30))
+    edges = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(n_edges)
+    ]
+    return n, edges
+
+
+class TestAgainstNetworkx:
+    @given(random_digraph())
+    @settings(max_examples=200, deadline=None)
+    def test_scc_matches_networkx(self, data):
+        n, edges = data
+        g = _make_graph(n, edges)
+        ours = {frozenset(c) for c in strongly_connected_components(g.full_view())}
+        nxg = nx.MultiDiGraph()
+        nxg.add_nodes_from(f"n{i}" for i in range(n))
+        nxg.add_edges_from((f"n{a}", f"n{b}") for a, b in edges)
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+        assert ours == theirs
+
+    @given(random_digraph())
+    @settings(max_examples=100, deadline=None)
+    def test_condensation_order_is_topological(self, data):
+        n, edges = data
+        g = _make_graph(n, edges)
+        order = condensation_order(g.full_view())
+        position = {v: i for i, comp in enumerate(order) for v in comp}
+        for a, b in edges:
+            assert position[f"n{a}"] <= position[f"n{b}"]
+
+    @given(random_digraph())
+    @settings(max_examples=100, deadline=None)
+    def test_condensation_partitions_nodes(self, data):
+        n, edges = data
+        g = _make_graph(n, edges)
+        order = condensation_order(g.full_view())
+        all_nodes = [v for comp in order for v in comp]
+        assert sorted(all_nodes) == sorted(g.nodes)
+        assert len(all_nodes) == len(set(all_nodes))

@@ -1,0 +1,211 @@
+"""Tests for dependence extraction, the inequality solver and unimodular
+completion (paper section 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paper import gauss_seidel_analyzed
+from repro.errors import InfeasibleScheduleError, TransformError
+from repro.graph.build import build_dependency_graph
+from repro.hyperplane.dependences import extract_dependences, find_recursive_components
+from repro.hyperplane.solver import format_inequalities, solve_time_vector
+from repro.hyperplane.unimodular import (
+    complete_to_unimodular,
+    determinant,
+    integer_inverse,
+    matvec,
+)
+
+
+@pytest.fixture(scope="module")
+def gs_deps():
+    analyzed = gauss_seidel_analyzed()
+    graph = build_dependency_graph(analyzed)
+    comps = find_recursive_components(graph)
+    assert len(comps) == 1
+    return extract_dependences(graph, comps[0])
+
+
+class TestDependenceExtraction:
+    def test_dimension_names(self, gs_deps):
+        assert gs_deps.dim_names == ["K", "I", "J"]
+
+    def test_dependence_vectors(self, gs_deps):
+        # The paper's five dependences: A[K-1,I,J], A[K,I,J-1], A[K,I-1,J],
+        # A[K-1,I,J+1], A[K-1,I+1,J].
+        assert set(gs_deps.vectors) == {
+            (1, 0, 0),
+            (0, 0, 1),
+            (0, 1, 0),
+            (1, 0, -1),
+            (1, -1, 0),
+        }
+
+    def test_raw_deltas_count(self, gs_deps):
+        assert len(gs_deps.deltas) == 5
+
+
+class TestInequalities:
+    def test_paper_inequalities(self, gs_deps):
+        """Section 4: a > 0, c > 0, b > 0, a > c, a > b."""
+        rendered = set(format_inequalities(gs_deps.vectors))
+        assert rendered == {"a > 0", "c > 0", "b > 0", "a > c", "a > b"}
+
+    def test_coefficient_names_customisable(self):
+        out = format_inequalities([(2, -1)], ["x", "y"])
+        assert out == ["2x > y"]
+
+
+class TestSolver:
+    def test_paper_solution(self, gs_deps):
+        """'In this case, we get a = 2 and b = c = 1.'"""
+        assert solve_time_vector(gs_deps.vectors) == (2, 1, 1)
+
+    def test_jacobi_solution_trivial(self):
+        # Jacobi only depends on the previous iteration: pi = (1, 0, 0).
+        assert solve_time_vector([(1, 0, 0), (1, 1, 0), (1, -1, 0), (1, 0, 1), (1, 0, -1)]) == (
+            1,
+            0,
+            0,
+        )
+
+    def test_wavefront_solution(self):
+        # W[I,J] = W[I-1,J] + W[I,J-1]: t = I + J.
+        assert solve_time_vector([(1, 0), (0, 1)]) == (1, 1)
+
+    def test_single_dimension(self):
+        assert solve_time_vector([(1,)]) == (1,)
+        assert solve_time_vector([(2,)]) == (1,)
+
+    def test_negative_coefficient_needed(self):
+        # Only dependence (1, -1): pi = (1, 0) suffices (minimal norm).
+        assert solve_time_vector([(1, -1)]) == (1, 0)
+
+    def test_skewed_dependence(self):
+        # (-1, 2) and (1, 0): need a + 2b >= 1 with -a + 2b >= 1.
+        pi = solve_time_vector([(-1, 2), (1, 0)])
+        assert all(sum(p * d for p, d in zip(pi, v)) >= 1 for v in [(-1, 2), (1, 0)])
+
+    def test_infeasible_antiparallel(self):
+        with pytest.raises(InfeasibleScheduleError):
+            solve_time_vector([(1, 0), (-1, 0)])
+
+    def test_infeasible_zero_vector_only(self):
+        with pytest.raises(InfeasibleScheduleError):
+            solve_time_vector([(0, 0)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-3, max_value=3),
+                st.integers(min_value=-3, max_value=3),
+                st.integers(min_value=-3, max_value=3),
+            ).filter(lambda v: v != (0, 0, 0)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_solution_satisfies_all_inequalities(self, vectors):
+        try:
+            pi = solve_time_vector(vectors)
+        except InfeasibleScheduleError:
+            return
+        for v in vectors:
+            assert sum(p * d for p, d in zip(pi, v)) >= 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=-2, max_value=2),
+            ).filter(lambda v: v > (0, -3) and v != (0, 0)),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_minimality(self, vectors):
+        """No vector of smaller L1 norm satisfies the system."""
+        try:
+            pi = solve_time_vector(vectors)
+        except InfeasibleScheduleError:
+            return
+        norm = sum(abs(p) for p in pi)
+        for a in range(-norm + 1, norm):
+            for b in range(-norm + 1, norm):
+                if abs(a) + abs(b) >= norm:
+                    continue
+                assert not all(a * v[0] + b * v[1] >= 1 for v in vectors)
+
+
+class TestUnimodular:
+    def test_paper_completion(self):
+        """pi = (2,1,1) completes to K' = 2K+I+J, I' = K, J' = I."""
+        T = complete_to_unimodular((2, 1, 1))
+        assert T == [[2, 1, 1], [1, 0, 0], [0, 1, 0]]
+        assert determinant(T) in (1, -1)
+
+    def test_paper_inverse(self):
+        """K = I', I = J', J = K' - 2I' - J'."""
+        T = complete_to_unimodular((2, 1, 1))
+        Tinv = integer_inverse(T)
+        assert Tinv == [[0, 1, 0], [0, 0, 1], [1, -2, -1]]
+
+    def test_round_trip(self):
+        T = complete_to_unimodular((2, 1, 1))
+        Tinv = integer_inverse(T)
+        for v in [(1, 0, 0), (2, 3, 4), (-1, 5, -2)]:
+            assert matvec(Tinv, matvec(T, v)) == v
+
+    def test_wavefront_completion(self):
+        T = complete_to_unimodular((1, 1))
+        assert T[0] == [1, 1]
+        assert determinant(T) in (1, -1)
+
+    def test_identity_time_vector(self):
+        T = complete_to_unimodular((1, 0, 0))
+        assert determinant(T) in (1, -1)
+
+    def test_non_primitive_rejected(self):
+        with pytest.raises(TransformError, match="primitive"):
+            complete_to_unimodular((2, 2))
+
+    def test_gcd_fallback_no_unit_coordinate(self):
+        # (6, 10, 15): gcd 1 but no coordinate is ±1, so the greedy
+        # basis-row completion fails and the extended-gcd path is used.
+        T = complete_to_unimodular((6, 10, 15))
+        assert T[0] == [6, 10, 15]
+        assert determinant(T) in (1, -1)
+
+    @given(
+        st.tuples(
+            st.integers(min_value=-6, max_value=6),
+            st.integers(min_value=-6, max_value=6),
+            st.integers(min_value=-6, max_value=6),
+        ).filter(lambda v: v != (0, 0, 0))
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_completion_property(self, pi):
+        from math import gcd
+
+        g = 0
+        for x in pi:
+            g = gcd(g, abs(x))
+        if g != 1:
+            with pytest.raises(TransformError):
+                complete_to_unimodular(pi)
+            return
+        T = complete_to_unimodular(pi)
+        assert tuple(T[0]) == pi
+        assert determinant(T) in (1, -1)
+        Tinv = integer_inverse(T)
+        for v in [(1, 2, 3), (0, 0, 1), (-4, 5, 0)]:
+            assert matvec(Tinv, matvec(T, v)) == v
+
+    def test_determinant_examples(self):
+        assert determinant([[1]]) == 1
+        assert determinant([[1, 2], [3, 4]]) == -2
+        assert determinant([[2, 0], [0, 2]]) == 4
+        assert determinant([[1, 1], [1, 1]]) == 0

@@ -1,0 +1,88 @@
+"""Property tests for the simulated machine's cost behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
+from repro.machine.cost import MachineModel, expression_cost
+from repro.machine.simulator import simulate_flowchart
+from repro.ps.parser import parse_expression
+from repro.schedule.scheduler import schedule_module
+
+
+class TestSimulatorProperties:
+    @given(
+        st.integers(min_value=1, max_value=128),
+        st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_processors_never_slower(self, p1, p2):
+        if p1 > p2:
+            p1, p2 = p2, p1
+        analyzed = jacobi_analyzed()
+        flow = schedule_module(analyzed)
+        args = {"M": 12, "maxK": 6}
+        c1 = simulate_flowchart(analyzed, flow, args, MachineModel(processors=p1)).cycles
+        c2 = simulate_flowchart(analyzed, flow, args, MachineModel(processors=p2)).cycles
+        assert c2 <= c1
+
+    @given(st.integers(min_value=2, max_value=32))
+    @settings(max_examples=20, deadline=None)
+    def test_speedup_bounded_by_processors(self, p):
+        """No superlinear speedup in the model."""
+        analyzed = jacobi_analyzed()
+        flow = schedule_module(analyzed)
+        args = {"M": 24, "maxK": 8}
+        c1 = simulate_flowchart(analyzed, flow, args, MachineModel(processors=1)).cycles
+        cp = simulate_flowchart(analyzed, flow, args, MachineModel(processors=p)).cycles
+        assert c1 / cp <= p + 1e-9
+
+    @given(st.integers(min_value=4, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_problems_cost_more(self, m):
+        analyzed = jacobi_analyzed()
+        flow = schedule_module(analyzed)
+        model = MachineModel(processors=4)
+        small = simulate_flowchart(analyzed, flow, {"M": m, "maxK": 5}, model).cycles
+        large = simulate_flowchart(analyzed, flow, {"M": m + 4, "maxK": 5}, model).cycles
+        assert large > small
+
+    def test_iterative_schedule_insensitive_to_processors(self):
+        analyzed = gauss_seidel_analyzed()
+        flow = schedule_module(analyzed)
+        args = {"M": 12, "maxK": 6}
+        cycles = [
+            simulate_flowchart(analyzed, flow, args, MachineModel(processors=p)).cycles
+            for p in (1, 4, 16, 64)
+        ]
+        # The dominating DO nest is serial; only the small init/extract
+        # DOALLs change, so the spread stays small.
+        assert max(cycles) / min(cycles) < 2.0
+
+
+class TestExpressionCostProperties:
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_cost_scales_with_op_cost(self, k):
+        e = parse_expression("a + b * c - d")
+        base = expression_cost(e, MachineModel(op_cost=1))
+        scaled = expression_cost(e, MachineModel(op_cost=k))
+        assert scaled == k * base
+
+    def test_cost_additive_over_operands(self):
+        m = MachineModel()
+        left = parse_expression("A[1] + A[2]")
+        right = parse_expression("A[3] * A[4]")
+        combined = parse_expression("(A[1] + A[2]) + (A[3] * A[4])")
+        assert (
+            expression_cost(combined, m)
+            == expression_cost(left, m) + expression_cost(right, m) + m.op_cost
+        )
+
+    def test_with_processors_preserves_other_fields(self):
+        m = MachineModel(op_cost=3, doall_fork=7)
+        m2 = m.with_processors(8)
+        assert m2.processors == 8
+        assert m2.op_cost == 3
+        assert m2.doall_fork == 7

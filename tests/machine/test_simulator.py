@@ -1,0 +1,154 @@
+"""Simulated-machine tests: speedup shapes for the paper's schedules."""
+
+import pytest
+
+from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
+from repro.hyperplane.pipeline import hyperplane_transform
+from repro.machine.cost import MachineModel, equation_cost, expression_cost
+from repro.machine.report import speedup_table
+from repro.machine.simulator import simulate_flowchart
+from repro.ps.parser import parse_expression
+from repro.schedule.scheduler import schedule_module
+
+
+class TestExpressionCost:
+    def test_literal_free(self):
+        assert expression_cost(parse_expression("42"), MachineModel()) == 0
+
+    def test_binop_counts_ops(self):
+        m = MachineModel()
+        assert expression_cost(parse_expression("a + b"), m) == m.op_cost
+
+    def test_array_read_costs_memory(self):
+        m = MachineModel()
+        assert expression_cost(parse_expression("A[1]"), m) == m.memory_cost
+
+    def test_if_takes_worst_branch(self):
+        m = MachineModel()
+        cheap = parse_expression("if c then 1 else 2")
+        wide = parse_expression("if c then A[1] + A[2] else 2")
+        assert expression_cost(wide, m) > expression_cost(cheap, m)
+
+    def test_stencil_cost(self):
+        m = MachineModel()
+        e = parse_expression("(A[K-1,I,J-1] + A[K-1,I-1,J] + A[K-1,I,J+1] + A[K-1,I+1,J]) / 4")
+        # 4 reads + 8 index ops + 3 adds + 1 div
+        assert expression_cost(e, m) == 4 * m.memory_cost + 12 * m.op_cost
+
+
+class TestJacobiSpeedup:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        analyzed = jacobi_analyzed()
+        return analyzed, schedule_module(analyzed)
+
+    def test_single_processor_baseline(self, setup):
+        analyzed, flow = setup
+        r1 = simulate_flowchart(analyzed, flow, {"M": 32, "maxK": 20}, MachineModel())
+        assert r1.cycles > 0
+
+    def test_speedup_grows_with_processors(self, setup):
+        analyzed, flow = setup
+        table = speedup_table(
+            analyzed, flow, {"M": 32, "maxK": 20}, [1, 2, 4, 8, 16, 32]
+        )
+        s = table.speedups
+        assert all(b >= a * 0.99 for a, b in zip(s, s[1:]))
+        # Near-linear at the interior: the paper's motivation for DOALL.
+        assert s[-1] > 16
+
+    def test_efficiency_declines(self, setup):
+        analyzed, flow = setup
+        table = speedup_table(analyzed, flow, {"M": 16, "maxK": 10}, [1, 4, 16, 64])
+        e = table.efficiencies
+        assert e[0] == pytest.approx(1.0)
+        assert e[-1] < e[0]
+
+    def test_small_problem_saturates(self, setup):
+        """With M=4 the DOALL has only 36 iterations: speedup must flatten
+        once P exceeds the trip count."""
+        analyzed, flow = setup
+        table = speedup_table(analyzed, flow, {"M": 4, "maxK": 8}, [1, 36, 72, 144])
+        s = table.speedups
+        assert s[2] == pytest.approx(s[1], rel=0.2)
+        assert s[3] == pytest.approx(s[2], rel=0.05)
+
+
+class TestGaussSeidelVsHyperplane:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        analyzed = gauss_seidel_analyzed()
+        res = hyperplane_transform(analyzed)
+        return analyzed, res
+
+    def test_iterative_schedule_has_no_speedup(self, setup):
+        analyzed, res = setup
+        args = {"M": 16, "maxK": 10}
+        flow = res.original_flowchart
+        r1 = simulate_flowchart(analyzed, flow, args, MachineModel(processors=1))
+        r16 = simulate_flowchart(analyzed, flow, args, MachineModel(processors=16))
+        # Only the init/extract DOALLs speed up; the recurrence dominates.
+        assert r1.cycles / r16.cycles < 2.0
+
+    def test_transformed_schedule_speeds_up(self, setup):
+        analyzed, res = setup
+        args = {"M": 16, "maxK": 10}
+        t1 = simulate_flowchart(
+            res.transformed, res.transformed_flowchart, args, MachineModel(processors=1)
+        )
+        t16 = simulate_flowchart(
+            res.transformed, res.transformed_flowchart, args, MachineModel(processors=16)
+        )
+        assert t1.cycles / t16.cycles > 4.0
+
+    def test_crossover_transformed_wins_at_high_p(self, setup):
+        """The transformed program does more total work (guards, padding)
+        but parallelises; the iterative original wins at P=1 and loses at
+        large P — the qualitative claim of section 4."""
+        analyzed, res = setup
+        args = {"M": 16, "maxK": 10}
+        orig_1 = simulate_flowchart(analyzed, res.original_flowchart, args, MachineModel(1))
+        trans_1 = simulate_flowchart(
+            res.transformed, res.transformed_flowchart, args, MachineModel(1)
+        )
+        orig_32 = simulate_flowchart(analyzed, res.original_flowchart, args, MachineModel(32))
+        trans_32 = simulate_flowchart(
+            res.transformed, res.transformed_flowchart, args, MachineModel(32)
+        )
+        assert orig_1.cycles < trans_1.cycles  # sequential: original wins
+        assert trans_32.cycles < orig_32.cycles  # parallel: transformed wins
+
+
+class TestModelKnobs:
+    def test_barrier_cost_hurts_small_loops(self):
+        analyzed = jacobi_analyzed()
+        flow = schedule_module(analyzed)
+        args = {"M": 2, "maxK": 50}
+        cheap_sync = MachineModel(processors=8, doall_fork=0, doall_barrier=0)
+        costly_sync = MachineModel(processors=8, doall_fork=500, doall_barrier=500)
+        fast = simulate_flowchart(analyzed, flow, args, cheap_sync)
+        slow = simulate_flowchart(analyzed, flow, args, costly_sync)
+        assert slow.cycles > fast.cycles
+
+    def test_collapse_improves_nested_doall(self):
+        analyzed = jacobi_analyzed()
+        flow = schedule_module(analyzed)
+        args = {"M": 16, "maxK": 4}
+        m = MachineModel(processors=64)
+        collapsed = simulate_flowchart(analyzed, flow, args, m, collapse=True)
+        flat = simulate_flowchart(analyzed, flow, args, m, collapse=False)
+        assert collapsed.cycles <= flat.cycles
+
+    def test_breakdown_labels(self):
+        analyzed = jacobi_analyzed()
+        flow = schedule_module(analyzed)
+        r = simulate_flowchart(analyzed, flow, {"M": 4, "maxK": 4}, MachineModel())
+        assert any("eq.3" in k for k in r.breakdown)
+
+    def test_speedup_table_pretty(self):
+        analyzed = jacobi_analyzed()
+        flow = schedule_module(analyzed)
+        table = speedup_table(analyzed, flow, {"M": 8, "maxK": 4}, [1, 2, 4])
+        text = table.pretty("Jacobi")
+        assert "Jacobi" in text
+        assert "speedup" in text

@@ -1,0 +1,93 @@
+"""Tests for the programmatic module builder (the text-free front end)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError, SemanticError
+from repro.ps.builder import ModuleBuilder, relaxation_builder
+from repro.ps.printer import format_module
+from repro.runtime.executor import execute_module
+from repro.schedule.scheduler import schedule_module
+
+
+class TestBuilder:
+    def test_simple_module(self):
+        b = ModuleBuilder("Double")
+        b.param("x", "int").result("y", "int").equation("y = x * 2")
+        analyzed = b.analyze()
+        assert analyzed.name == "Double"
+        out = execute_module(analyzed, {"x": 21})
+        assert out["y"] == 42
+
+    def test_subrange_accepts_ints_and_strings(self):
+        b = ModuleBuilder("T")
+        b.param("n", "int").result("y", "real")
+        b.subrange("I", 0, "n")
+        b.var("F", "array[I] of real")
+        b.equation("F[I] = I * 1.0")
+        b.equation("y = F[n]")
+        out = execute_module(b.analyze(), {"n": 5})
+        assert out["y"] == 5.0
+
+    def test_define_with_ast_rhs(self):
+        from repro.ps.parser import parse_expression
+
+        b = ModuleBuilder("T")
+        b.param("x", "real").result("y", "real")
+        b.define("y", parse_expression("x + 1.0"))
+        out = execute_module(b.analyze(), {"x": 1.0})
+        assert out["y"] == 2.0
+
+    def test_multi_target_lhs(self):
+        b = ModuleBuilder("T")
+        b.param("x", "int")
+        b.result("q", "int").result("r", "int")
+        b.define("q, r", "DivMod(x, 3)")
+        module = b.build()
+        assert len(module.equations[0].lhs) == 2
+
+    def test_equation_trailing_semicolon_optional(self):
+        b = ModuleBuilder("T").param("x", "int").result("y", "int")
+        b.equation("y = x;")
+        assert b.analyze().equations[0].label == "eq.1"
+
+    def test_bad_equation_rejected(self):
+        b = ModuleBuilder("T").param("x", "int").result("y", "int")
+        with pytest.raises(ParseError):
+            b.equation("y = x extra")
+
+    def test_semantic_errors_surface(self):
+        b = ModuleBuilder("T").param("x", "int").result("y", "int")
+        b.equation("y = nonexistent")
+        with pytest.raises(SemanticError):
+            b.analyze()
+
+
+class TestRelaxationBuilder:
+    def test_matches_parsed_jacobi(self):
+        from repro.core.paper import jacobi_analyzed
+
+        built = relaxation_builder(gauss_seidel=False).analyze()
+        parsed = jacobi_analyzed()
+        flow_b = schedule_module(built)
+        flow_p = schedule_module(parsed)
+        assert flow_b.shape() == flow_p.shape()
+        assert flow_b.window_of("A") == flow_p.window_of("A")
+
+    def test_gauss_seidel_variant(self):
+        built = relaxation_builder(gauss_seidel=True).analyze()
+        flow = schedule_module(built)
+        assert ("DO", "I") in flow.loop_kinds()
+
+    def test_builder_module_executes(self):
+        analyzed = relaxation_builder().analyze()
+        rng = np.random.default_rng(0)
+        m, maxk = 4, 3
+        out = execute_module(
+            analyzed, {"InitialA": rng.random((m + 2, m + 2)), "M": m, "maxK": maxk}
+        )
+        assert out["newA"].shape == (m + 2, m + 2)
+
+    def test_builder_output_is_printable(self):
+        text = format_module(relaxation_builder().build())
+        assert "Relaxation: module" in text

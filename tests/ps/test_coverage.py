@@ -1,0 +1,86 @@
+"""Additional coverage-checker tests (single-assignment domains)."""
+
+import pytest
+
+from repro.errors import CoverageError
+from repro.ps.parser import parse_module
+from repro.ps.semantics import analyze_module
+
+
+def analyze(src):
+    return analyze_module(parse_module(src))
+
+
+class TestDomains:
+    def test_adjacent_literal_ranges_disjoint(self):
+        analyze(
+            "T: module (x: real): [y: real];\n"
+            "type L = 1 .. 5; H = 6 .. 10;\n"
+            "var A: array [1 .. 10] of real;\n"
+            "define A[L] = x; A[H] = x * 2; y = A[10];\nend T;"
+        )
+
+    def test_overlapping_literal_ranges_rejected(self):
+        with pytest.raises(CoverageError, match="overlap"):
+            analyze(
+                "T: module (x: real): [y: real];\n"
+                "type L = 1 .. 6; H = 5 .. 10;\n"
+                "var A: array [1 .. 10] of real;\n"
+                "define A[L] = x; A[H] = x * 2; y = A[10];\nend T;"
+            )
+
+    def test_distinguished_by_second_dimension(self):
+        analyze(
+            "T: module (x: real): [y: real];\n"
+            "type I = 0 .. 4;\n"
+            "var A: array [0 .. 4, 0 .. 1] of real;\n"
+            "define A[I, 0] = x; A[I, 1] = x * 2; y = A[4, 1];\nend T;"
+        )
+
+    def test_same_cell_two_constants_rejected(self):
+        with pytest.raises(CoverageError):
+            analyze(
+                "T: module (x: real): [y: real];\n"
+                "type I = 0 .. 4;\n"
+                "var A: array [0 .. 4, 0 .. 4] of real;\n"
+                "define A[I, 2] = x; A[I, 1 + 1] = x; y = A[0, 0];\nend T;"
+            )
+
+    def test_symbolic_bounds_warn_not_error(self):
+        mod = analyze(
+            "T: module (n: int; x: real): [y: real];\n"
+            "type L = 1 .. n; H = n .. 9;\n"  # touch at n: undecidable
+            "var A: array [1 .. 9] of real;\n"
+            "define A[L] = x; A[H] = x * 2; y = A[9];\nend T;"
+        )
+        assert any("cannot prove" in w for w in mod.warnings)
+
+    def test_full_range_twice_rejected(self):
+        with pytest.raises(CoverageError, match="overlap"):
+            analyze(
+                "T: module (x: real): [y: real];\n"
+                "type I = 0 .. 4;\n"
+                "var A: array [0 .. 4] of real;\n"
+                "define A[I] = x; A[I] = x * 2; y = A[0];\nend T;"
+            )
+
+    def test_result_scalar_and_array_mix(self):
+        analyze(
+            "T: module (x: real): [y: real; B: array [0 .. 2] of real];\n"
+            "type I = 0 .. 2;\n"
+            "define y = x; B[I] = x * I;\nend T;"
+        )
+
+    def test_negative_constant_subscripts(self):
+        analyze(
+            "T: module (x: real): [y: real];\n"
+            "type I = 0 .. 2;\n"
+            "var A: array [-2 .. 2] of real;\n"
+            "define A[-2] = x; A[-1] = x; A[0] = x; A[1] = x; A[2] = x;\n"
+            "y = A[2];\nend T;"
+        )
+
+    def test_paper_module_no_warnings(self):
+        from repro.core.paper import jacobi_analyzed
+
+        assert jacobi_analyzed().warnings == []

@@ -1,0 +1,151 @@
+"""Unit tests for the PS lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.ps.lexer import tokenize
+from repro.ps.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        toks = tokenize("InitialA")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].text == "InitialA"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("new_A2") == ["new_A2"]
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokenKind.INT
+        assert toks[0].text == "42"
+
+    def test_real_literal(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind is TokenKind.REAL
+        assert toks[0].text == "3.25"
+
+    def test_real_with_exponent(self):
+        assert kinds("1e5 2.5E-3 7e+2") == [TokenKind.REAL] * 3
+
+    def test_integer_followed_by_range_is_not_real(self):
+        # "1..maxK" must lex as INT DOTDOT IDENT, not a malformed real.
+        assert kinds("1..maxK") == [TokenKind.INT, TokenKind.DOTDOT, TokenKind.IDENT]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("MODULE Module module") == [TokenKind.MODULE] * 3
+
+    def test_int_alias_integer(self):
+        assert kinds("integer") == [TokenKind.INT_TYPE]
+
+    def test_identifiers_case_sensitive(self):
+        toks = tokenize("maxK MAXK")
+        assert toks[0].text == "maxK"
+        assert toks[1].text == "MAXK"
+
+
+class TestOperators:
+    def test_relational_operators(self):
+        assert kinds("= <> < <= > >=") == [
+            TokenKind.EQ,
+            TokenKind.NE,
+            TokenKind.LT,
+            TokenKind.LE,
+            TokenKind.GT,
+            TokenKind.GE,
+        ]
+
+    def test_arithmetic_operators(self):
+        assert kinds("+ - * / div mod") == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.DIV,
+            TokenKind.MOD,
+        ]
+
+    def test_punctuation(self):
+        assert kinds(": ; , ( ) [ ] . ..") == [
+            TokenKind.COLON,
+            TokenKind.SEMI,
+            TokenKind.COMMA,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACK,
+            TokenKind.RBRACK,
+            TokenKind.DOT,
+            TokenKind.DOTDOT,
+        ]
+
+    def test_boolean_keywords(self):
+        assert kinds("and or not true false") == [
+            TokenKind.AND,
+            TokenKind.OR,
+            TokenKind.NOT,
+            TokenKind.TRUE,
+            TokenKind.FALSE,
+        ]
+
+
+class TestComments:
+    def test_simple_comment_skipped(self):
+        assert kinds("a (* comment *) b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_nested_comment(self):
+        assert kinds("x (* outer (* inner *) still outer *) y") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+        ]
+
+    def test_comment_with_special_chars(self):
+        # The paper's Figure 1 contains "(*$m+v+x+t -*)".
+        assert kinds("(*$m+v+x+t -*) q") == [TokenKind.IDENT]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a (* never closed")
+
+    def test_comment_across_lines(self):
+        toks = tokenize("(* line1\nline2 *)\nname")
+        assert toks[0].text == "name"
+        assert toks[0].line == 3
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok\n   ?")
+        assert exc.value.line == 2
+        assert exc.value.column == 4
+
+
+class TestWholeModuleLexes:
+    def test_figure1_source(self):
+        from repro.core.paper import RELAXATION_JACOBI_SOURCE
+
+        toks = tokenize(RELAXATION_JACOBI_SOURCE)
+        assert toks[-1].kind is TokenKind.EOF
+        idents = [t.text for t in toks if t.kind is TokenKind.IDENT]
+        assert "Relaxation" in idents
+        assert "InitialA" in idents
+        assert "maxK" in idents

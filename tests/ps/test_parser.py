@@ -1,0 +1,246 @@
+"""Unit tests for the PS parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ps.ast import (
+    ArrayTypeExpr,
+    BinOp,
+    BoolLit,
+    Call,
+    EnumTypeExpr,
+    FieldRef,
+    IfExpr,
+    Index,
+    IntLit,
+    Name,
+    NamedTypeExpr,
+    RangeTypeExpr,
+    RealLit,
+    RecordTypeExpr,
+    UnOp,
+    expr_equal,
+)
+from repro.ps.parser import parse_expression, parse_module, parse_program
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert isinstance(parse_expression("42"), IntLit)
+        assert isinstance(parse_expression("3.5"), RealLit)
+        assert parse_expression("true") == BoolLit(True)
+        assert parse_expression("false") == BoolLit(False)
+
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("a + b * c")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.right, BinOp) and e.right.op == "*"
+
+    def test_left_associativity(self):
+        e = parse_expression("a - b - c")
+        assert isinstance(e, BinOp) and e.op == "-"
+        assert isinstance(e.left, BinOp) and e.left.op == "-"
+        assert isinstance(e.right, Name) and e.right.ident == "c"
+
+    def test_parentheses_override(self):
+        e = parse_expression("(a + b) * c")
+        assert isinstance(e, BinOp) and e.op == "*"
+        assert isinstance(e.left, BinOp) and e.left.op == "+"
+
+    def test_relational_binds_looser_than_arithmetic(self):
+        e = parse_expression("I = M + 1")
+        assert isinstance(e, BinOp) and e.op == "="
+        assert isinstance(e.right, BinOp) and e.right.op == "+"
+
+    def test_and_or_precedence(self):
+        e = parse_expression("a = 0 or b = 0 and c = 0")
+        # "or" binds loosest: or(a=0, and(b=0, c=0))
+        assert e.op == "or"
+        assert e.right.op == "and"
+
+    def test_not(self):
+        e = parse_expression("not done")
+        assert isinstance(e, UnOp) and e.op == "not"
+
+    def test_unary_minus(self):
+        e = parse_expression("-x + y")
+        assert e.op == "+"
+        assert isinstance(e.left, UnOp) and e.left.op == "-"
+
+    def test_indexing(self):
+        e = parse_expression("A[K-1, I, J+1]")
+        assert isinstance(e, Index)
+        assert len(e.subscripts) == 3
+        assert isinstance(e.subscripts[0], BinOp) and e.subscripts[0].op == "-"
+
+    def test_nested_indexing(self):
+        e = parse_expression("A[1][I, J]")
+        assert isinstance(e, Index)
+        assert isinstance(e.base, Index)
+
+    def test_field_reference(self):
+        e = parse_expression("point.x")
+        assert isinstance(e, FieldRef)
+        assert e.fieldname == "x"
+
+    def test_chained_field_reference(self):
+        e = parse_expression("rec.inner.value")
+        assert isinstance(e, FieldRef)
+        assert isinstance(e.base, FieldRef)
+
+    def test_call(self):
+        e = parse_expression("min(a, b)")
+        assert isinstance(e, Call)
+        assert e.func == "min"
+        assert len(e.args) == 2
+
+    def test_call_no_args(self):
+        e = parse_expression("Get()")
+        assert isinstance(e, Call) and e.args == []
+
+    def test_if_expression(self):
+        e = parse_expression("if x > 0 then x else -x")
+        assert isinstance(e, IfExpr)
+        assert isinstance(e.orelse, UnOp)
+
+    def test_nested_if(self):
+        e = parse_expression("if a then 1 else if b then 2 else 3")
+        assert isinstance(e.orelse, IfExpr)
+
+    def test_paper_equation_rhs(self):
+        src = (
+            "if (I = 0) or (J = 0) or (I = M+1) or (J = M+1) "
+            "then A[K-1,I,J] "
+            "else (A[K-1,I,J-1] + A[K-1,I-1,J] + A[K-1,I,J+1] + A[K-1,I+1,J]) / 4"
+        )
+        e = parse_expression(src)
+        assert isinstance(e, IfExpr)
+        assert isinstance(e.cond, BinOp) and e.cond.op == "or"
+        assert isinstance(e.orelse, BinOp) and e.orelse.op == "/"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b extra")
+
+    def test_unbalanced_bracket_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("A[1")
+
+
+class TestTypeExpressions:
+    def test_module_with_array_param(self):
+        m = parse_module(
+            "T: module (X: array[I,J] of real): [y: real];\n"
+            "type I, J = 0 .. 9;\n"
+            "define y = X[0, 0];\nend T;"
+        )
+        te = m.params[0].typeexpr
+        assert isinstance(te, ArrayTypeExpr)
+        assert [d.name for d in te.dims] == ["I", "J"]
+        assert isinstance(te.element, NamedTypeExpr) and te.element.name == "real"
+
+    def test_anonymous_range_dimension(self):
+        m = parse_module(
+            "T: module (n: int): [y: real];\n"
+            "var A: array [1 .. n] of real;\n"
+            "define A[1] = 0.0; y = A[n];\nend T;"
+        )
+        te = m.vardecls[0].typeexpr
+        assert isinstance(te.dims[0], RangeTypeExpr)
+
+    def test_record_type(self):
+        m = parse_module(
+            "T: module (p: record x: real; y: real end): [d: real];\n"
+            "define d = p.x + p.y;\nend T;"
+        )
+        te = m.params[0].typeexpr
+        assert isinstance(te, RecordTypeExpr)
+        assert te.fields[0][0] == ["x"]
+
+    def test_enum_type(self):
+        m = parse_module(
+            "T: module (c: int): [y: int];\n"
+            "type Color = (red, green, blue);\n"
+            "define y = c;\nend T;"
+        )
+        te = m.typedecls[0].typeexpr
+        assert isinstance(te, EnumTypeExpr)
+        assert te.members == ["red", "green", "blue"]
+
+    def test_range_with_expression_bounds(self):
+        m = parse_module(
+            "T: module (M: int): [y: int];\n"
+            "type I = 0 .. M+1;\n"
+            "define y = M;\nend T;"
+        )
+        te = m.typedecls[0].typeexpr
+        assert isinstance(te, RangeTypeExpr)
+        assert isinstance(te.hi, BinOp)
+
+
+class TestModules:
+    def test_figure1_module_parses(self):
+        from repro.core.paper import RELAXATION_JACOBI_SOURCE
+
+        m = parse_module(RELAXATION_JACOBI_SOURCE)
+        assert m.name == "Relaxation"
+        assert [p.name for p in m.params] == ["InitialA", "M", "maxK"]
+        assert [r.name for r in m.results] == ["newA"]
+        assert len(m.typedecls) == 2
+        assert m.typedecls[0].names == ["I", "J"]
+        assert len(m.equations) == 3
+        assert m.equations[0].label == "eq.1"
+        assert m.equations[2].label == "eq.3"
+
+    def test_equation_lhs_subscripts(self):
+        from repro.core.paper import RELAXATION_JACOBI_SOURCE
+
+        m = parse_module(RELAXATION_JACOBI_SOURCE)
+        eq3 = m.equations[2]
+        assert eq3.lhs[0].name == "A"
+        subs = eq3.lhs[0].subscripts
+        assert [s.ident for s in subs] == ["K", "I", "J"]
+
+    def test_module_name_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("T: module (x: int): [y: int];\ndefine y = x;\nend U;")
+
+    def test_multi_target_equation(self):
+        m = parse_module(
+            "T: module (x: int): [a: int; b: int];\n"
+            "define a, b = Pair(x);\nend T;"
+        )
+        assert len(m.equations[0].lhs) == 2
+
+    def test_program_with_two_modules(self):
+        src = (
+            "A: module (x: int): [y: int]; define y = x; end A;\n"
+            "B: module (x: int): [y: int]; define y = A(x); end B;"
+        )
+        p = parse_program(src)
+        assert [m.name for m in p.modules] == ["A", "B"]
+
+    def test_module_without_var_section(self):
+        m = parse_module("T: module (x: int): [y: int];\ndefine y = x + 1;\nend T;")
+        assert m.vardecls == []
+        assert m.typedecls == []
+
+    def test_missing_define_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module("T: module (x: int): [y: int];\nend T;")
+
+    def test_empty_params_allowed(self):
+        m = parse_module("T: module (): [y: int];\ndefine y = 1;\nend T;")
+        assert m.params == []
+
+
+class TestExprEqual:
+    def test_structural_equality_ignores_position(self):
+        a = parse_expression("x + y * 2")
+        b = parse_expression("x    +    y * 2")
+        assert expr_equal(a, b)
+
+    def test_different_expressions_unequal(self):
+        assert not expr_equal(parse_expression("x + y"), parse_expression("x - y"))
+        assert not expr_equal(parse_expression("A[1]"), parse_expression("A[2]"))
+        assert not expr_equal(parse_expression("f(x)"), parse_expression("g(x)"))

@@ -1,0 +1,129 @@
+"""Printer tests: exact formatting plus hypothesis round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paper import RELAXATION_GAUSS_SEIDEL_SOURCE, RELAXATION_JACOBI_SOURCE
+from repro.ps.ast import expr_equal
+from repro.ps.parser import parse_expression, parse_module
+from repro.ps.printer import format_expression, format_module
+
+
+class TestExactFormatting:
+    def test_simple_arithmetic(self):
+        assert format_expression(parse_expression("a + b * c")) == "a + b * c"
+
+    def test_parentheses_preserved_semantically(self):
+        assert format_expression(parse_expression("(a + b) * c")) == "(a + b) * c"
+
+    def test_redundant_parens_dropped(self):
+        assert format_expression(parse_expression("(a * b) + c")) == "a * b + c"
+
+    def test_left_assoc_subtraction(self):
+        # a - (b - c) needs parens; (a - b) - c does not.
+        assert format_expression(parse_expression("a - (b - c)")) == "a - (b - c)"
+        assert format_expression(parse_expression("a - b - c")) == "a - b - c"
+
+    def test_indexing(self):
+        assert format_expression(parse_expression("A[K-1, I, J+1]")) == "A[K - 1, I, J + 1]"
+
+    def test_if_expression(self):
+        text = format_expression(parse_expression("if a then 1 else 2"))
+        assert text == "if a then 1 else 2"
+
+    def test_nested_if_parenthesised_inside_operator(self):
+        e = parse_expression("1 + (if a then 2 else 3)")
+        assert format_expression(e) == "1 + (if a then 2 else 3)"
+
+    def test_unary_minus(self):
+        assert format_expression(parse_expression("-x * y")) == "-x * y"
+        assert format_expression(parse_expression("-(x * y)")) == "-(x * y)"
+
+    def test_boolean_operators(self):
+        e = parse_expression("a = 0 or b = 0 and not c")
+        assert format_expression(e) == "a = 0 or b = 0 and not c"
+
+    def test_call_and_fields(self):
+        assert format_expression(parse_expression("min(p.x, q.y)")) == "min(p.x, q.y)"
+
+
+# ---------------------------------------------------------------------------
+# Random-expression round-trip property
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "x", "K", "I", "J", "A", "M"])
+
+
+def _exprs():
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=99).map(lambda v: str(v)),
+        _names,
+        st.just("true"),
+        st.just("false"),
+    )
+
+    def extend(children):
+        binop = st.sampled_from(
+            ["+", "-", "*", "/", "div", "mod", "=", "<>", "<", "<=", ">", ">=", "and", "or"]
+        )
+        return st.one_of(
+            st.tuples(children, binop, children).map(
+                lambda t: f"({t[0]} {t[1]} {t[2]})"
+            ),
+            children.map(lambda c: f"(-{c})"),
+            children.map(lambda c: f"(not {c})"),
+            st.tuples(children, children, children).map(
+                lambda t: f"(if {t[0]} then {t[1]} else {t[2]})"
+            ),
+            st.tuples(_names, children).map(lambda t: f"{t[0]}[{t[1]}]"),
+            st.tuples(children, children).map(lambda t: f"min({t[0]}, {t[1]})"),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+class TestRoundTripProperties:
+    @given(_exprs())
+    @settings(max_examples=300, deadline=None)
+    def test_parse_format_parse_fixed_point(self, text):
+        """parse(format(parse(t))) is structurally equal to parse(t)."""
+        ast1 = parse_expression(text)
+        printed = format_expression(ast1)
+        ast2 = parse_expression(printed)
+        assert expr_equal(ast1, ast2), f"{text!r} -> {printed!r}"
+
+    @given(_exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_format_is_stable(self, text):
+        """Formatting is idempotent."""
+        once = format_expression(parse_expression(text))
+        twice = format_expression(parse_expression(once))
+        assert once == twice
+
+
+class TestModuleRoundTrip:
+    @pytest.mark.parametrize(
+        "source", [RELAXATION_JACOBI_SOURCE, RELAXATION_GAUSS_SEIDEL_SOURCE]
+    )
+    def test_paper_modules_round_trip(self, source):
+        m1 = parse_module(source)
+        text = format_module(m1)
+        m2 = parse_module(text)
+        assert m2.name == m1.name
+        assert len(m2.equations) == len(m1.equations)
+        for e1, e2 in zip(m1.equations, m2.equations):
+            assert expr_equal(e1.rhs, e2.rhs)
+        # Fixed point.
+        assert format_module(m2) == text
+
+    def test_module_with_records_and_enums(self):
+        src = (
+            "T: module (p: record x: real; y: real end; c: Color): [d: real];\n"
+            "type Color = (red, green, blue);\n"
+            "define d = if c = red then p.x else p.y;\nend T;"
+        )
+        m1 = parse_module(src)
+        text = format_module(m1)
+        m2 = parse_module(text)
+        assert format_module(m2) == text

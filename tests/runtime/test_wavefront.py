@@ -1,0 +1,59 @@
+"""Tests for the windowed wavefront executor (the paper's preferred
+rotate-in / work-transformed / unrotate code shape)."""
+
+import numpy as np
+import pytest
+
+from repro.core.paper import gauss_seidel_analyzed
+from repro.hyperplane.pipeline import hyperplane_transform
+from repro.runtime.executor import execute_module
+from repro.runtime.wavefront import execute_transformed_windowed
+
+
+@pytest.fixture(scope="module")
+def hyper():
+    return hyperplane_transform(gauss_seidel_analyzed())
+
+
+class TestWindowedWavefront:
+    @pytest.mark.parametrize("m,maxk", [(4, 3), (5, 5)])
+    def test_matches_original(self, hyper, m, maxk):
+        rng = np.random.default_rng(m + maxk)
+        initial = rng.random((m + 2, m + 2))
+        args = {"InitialA": initial, "M": m, "maxK": maxk}
+        expected = execute_module(hyper.original, args)["newA"]
+        report = execute_transformed_windowed(hyper, args)
+        np.testing.assert_allclose(report.results["newA"], expected, rtol=1e-12)
+
+    def test_window_is_three(self, hyper):
+        m, maxk = 4, 4
+        args = {"InitialA": np.ones((m + 2, m + 2)), "M": m, "maxK": maxk}
+        report = execute_transformed_windowed(hyper, args)
+        assert report.window == 3
+
+    def test_allocation_is_three_planes(self, hyper):
+        """Storage claim: 3 x maxK x (M+2) elements for the transformed
+        array instead of (2maxK + 2M + 3) full planes."""
+        m, maxk = 6, 9
+        args = {"InitialA": np.ones((m + 2, m + 2)), "M": m, "maxK": maxk}
+        report = execute_transformed_windowed(hyper, args)
+        assert report.allocated_elements[hyper.new_array] == 3 * maxk * (m + 2)
+
+    def test_debug_tags_stay_silent_on_valid_run(self, hyper):
+        # debug=True arms the window tags; a valid fused execution never
+        # reads an overwritten plane, so no exception may surface.
+        m, maxk = 3, 4
+        args = {
+            "InitialA": np.arange((m + 2) * (m + 2), dtype=float).reshape(m + 2, m + 2),
+            "M": m,
+            "maxK": maxk,
+        }
+        report = execute_transformed_windowed(hyper, args, debug=True)
+        assert report.results["newA"].shape == (m + 2, m + 2)
+
+    def test_plane_count(self, hyper):
+        m, maxk = 4, 5
+        args = {"InitialA": np.ones((m + 2, m + 2)), "M": m, "maxK": maxk}
+        report = execute_transformed_windowed(hyper, args)
+        # Kp runs 2 .. 2maxK + 2(M+1).
+        assert report.n_planes == 2 * maxk + 2 * (m + 1) - 2 + 1

@@ -1,0 +1,125 @@
+"""Tests for the loop-merging improvement pass."""
+
+import numpy as np
+import pytest
+
+from repro.core.paper import jacobi_analyzed
+from repro.graph.build import build_dependency_graph
+from repro.ps.parser import parse_module
+from repro.ps.semantics import analyze_module
+from repro.runtime.executor import execute_module
+from repro.schedule.merge import merge_loops
+from repro.schedule.scheduler import schedule_module
+from repro.analysis.validate import validate_flowchart_order
+
+
+def setup(src):
+    analyzed = analyze_module(parse_module(src))
+    graph = build_dependency_graph(analyzed)
+    flow = schedule_module(analyzed, graph)
+    return analyzed, graph, flow
+
+
+INDEPENDENT = (
+    "T: module (X: array[I,J] of real):\n"
+    "   [U: array[I,J] of real; V: array[I,J] of real];\n"
+    "type I = 0 .. 7; J = 0 .. 7;\n"
+    "define U = X * 2; V = X + 1;\nend T;"
+)
+
+CHAINED_IDENTITY = (
+    "T: module (X: array[I] of real): [V: array[I] of real];\n"
+    "type I = 0 .. 7;\n"
+    "var U: array[I] of real;\n"
+    "define U = X * 2; V = U + 1;\nend T;"
+)
+
+CHAINED_SHIFTED = (
+    "T: module (X: array[0 .. 8] of real): [V: array[I] of real];\n"
+    "type I = 1 .. 8;\n"
+    "var U: array[0 .. 8] of real;\n"
+    "define U = X * 2; V[I] = U[I-1] + 1;\nend T;"
+)
+
+
+class TestMerging:
+    def test_independent_equations_merge(self):
+        """The paper's own criticism: eq's 'which though not recursively
+        related, nevertheless depend on the same subscript(s)' should share
+        one loop."""
+        analyzed, graph, flow = setup(INDEPENDENT)
+        assert len(flow.loops()) == 4  # two I(J(..)) nests
+        merged = merge_loops(flow, graph)
+        assert len(merged.loops()) == 2  # one I(J(eq1; eq2)) nest
+        assert merged.equation_labels() == ["eq.1", "eq.2"]
+
+    def test_identity_chain_merges(self):
+        analyzed, graph, flow = setup(CHAINED_IDENTITY)
+        merged = merge_loops(flow, graph)
+        assert len(merged.loops()) == 1
+
+    def test_merged_flowchart_still_valid(self):
+        analyzed, graph, flow = setup(INDEPENDENT)
+        merged = merge_loops(flow, graph)
+        assert validate_flowchart_order(analyzed, merged, {}) == []
+
+    def test_identity_chain_merged_still_valid(self):
+        analyzed, graph, flow = setup(CHAINED_IDENTITY)
+        merged = merge_loops(flow, graph)
+        assert validate_flowchart_order(analyzed, merged, {}) == []
+
+    def test_shifted_dependence_blocks_doall_merge(self):
+        """V[I] = U[I-1] reads a sibling iteration's element: merging the
+        two DOALLs would race."""
+        analyzed, graph, flow = setup(CHAINED_SHIFTED)
+        merged = merge_loops(flow, graph)
+        assert len(merged.loops()) == len(flow.loops())  # unchanged
+
+    def test_merged_execution_matches(self):
+        analyzed, graph, flow = setup(CHAINED_IDENTITY)
+        merged = merge_loops(flow, graph)
+        x = np.arange(8.0)
+        out1 = execute_module(analyzed, {"X": x}, flowchart=flow)
+        out2 = execute_module(analyzed, {"X": x}, flowchart=merged)
+        np.testing.assert_allclose(out1["V"], out2["V"])
+
+    def test_jacobi_nests_do_not_merge(self):
+        """eq.1's DOALL nest cannot merge with the DO K nest, nor the DO K
+        nest with eq.2's: different loop kinds/indices."""
+        analyzed = jacobi_analyzed()
+        graph = build_dependency_graph(analyzed)
+        flow = schedule_module(analyzed, graph)
+        merged = merge_loops(flow, graph)
+        assert merged.shape() == flow.shape()
+
+    def test_do_do_merge_with_offset_allowed(self):
+        """Two first-order recurrences over the same range: DO-DO merging
+        tolerates I-c references (the loop still runs low-to-high)."""
+        src = (
+            "T: module (n: int): [y: real];\n"
+            "type I = 2 .. n;\n"
+            "var P: array [1 .. n] of real; Q: array [1 .. n] of real;\n"
+            "define P[1] = 1.0; P[I] = P[I-1] * 0.5;\n"
+            "Q[1] = 1.0; Q[I] = Q[I-1] + P[I-1];\n"
+            "y = Q[n];\nend T;"
+        )
+        analyzed, graph, flow = setup(src)
+        merged = merge_loops(flow, graph)
+        do_loops = [l for l in merged.loops() if not l.parallel]
+        assert len(do_loops) < len([l for l in flow.loops() if not l.parallel])
+        assert validate_flowchart_order(analyzed, merged, {"n": 6}) == []
+        out1 = execute_module(analyzed, {"n": 6}, flowchart=flow)
+        out2 = execute_module(analyzed, {"n": 6}, flowchart=merged)
+        assert out1["y"] == pytest.approx(out2["y"])
+
+    def test_three_way_merge(self):
+        src = (
+            "T: module (X: array[I] of real):\n"
+            "   [A: array[I] of real; B: array[I] of real; C: array[I] of real];\n"
+            "type I = 0 .. 5;\n"
+            "define A = X + 1; B = X + 2; C = X + 3;\nend T;"
+        )
+        analyzed, graph, flow = setup(src)
+        merged = merge_loops(flow, graph)
+        assert len(merged.loops()) == 1
+        assert merged.equation_labels() == ["eq.1", "eq.2", "eq.3"]

@@ -1,0 +1,287 @@
+"""Scheduler tests: reproduce Figures 5, 6 and 7 and exercise the error
+cases of Schedule-Component."""
+
+import pytest
+
+from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
+from repro.errors import InconsistentPositionError, ScheduleError
+from repro.ps.parser import parse_module
+from repro.ps.semantics import analyze_module
+from repro.schedule.scheduler import schedule_module
+
+
+def schedule_src(src: str):
+    return schedule_module(analyze_module(parse_module(src)))
+
+
+class TestFigure6Jacobi:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        return schedule_module(jacobi_analyzed())
+
+    def test_flowchart_shape(self, flow):
+        """Figure 6: DOALL I(DOALL J(eq.1)); DO K(DOALL I(DOALL J(eq.3)));
+        DOALL I(DOALL J(eq.2))."""
+        assert flow.shape() == [
+            ("DOALL", "I", [("DOALL", "J", ["eq.1"])]),
+            ("DO", "K", [("DOALL", "I", [("DOALL", "J", ["eq.3"])])]),
+            ("DOALL", "I", [("DOALL", "J", ["eq.2"])]),
+        ]
+
+    def test_pretty_matches_figure6(self, flow):
+        expected = (
+            "DOALL I (\n"
+            "    DOALL J (\n"
+            "        eq.1\n"
+            "    )\n"
+            ")\n"
+            "DO K (\n"
+            "    DOALL I (\n"
+            "        DOALL J (\n"
+            "            eq.3\n"
+            "        )\n"
+            "    )\n"
+            ")\n"
+            "DOALL I (\n"
+            "    DOALL J (\n"
+            "        eq.2\n"
+            "    )\n"
+            ")"
+        )
+        assert flow.pretty() == expected
+
+    def test_loop_kinds(self, flow):
+        assert flow.loop_kinds() == [
+            ("DOALL", "I"),
+            ("DOALL", "J"),
+            ("DO", "K"),
+            ("DOALL", "I"),
+            ("DOALL", "J"),
+            ("DOALL", "I"),
+            ("DOALL", "J"),
+        ]
+
+    def test_equation_order(self, flow):
+        assert flow.equation_labels() == ["eq.1", "eq.3", "eq.2"]
+
+    def test_virtual_window_two(self, flow):
+        # Section 3.4: "the scheduler marks the first dimension of data node
+        # A virtual with window two".
+        assert flow.window_of("A") == {0: 2}
+
+    def test_outer_k_loop_carries_window(self, flow):
+        k_loop = [l for l in flow.loops() if l.index == "K"][0]
+        assert k_loop.windows == {"A": (0, 2)}
+
+
+class TestFigure7GaussSeidel:
+    @pytest.fixture(scope="class")
+    def flow(self):
+        return schedule_module(gauss_seidel_analyzed())
+
+    def test_flowchart_shape(self, flow):
+        """Figure 7: the revised eq.3 schedules as a fully iterative nest.
+        (The scan of Figure 7 is scrambled; the nest order K, I, J is forced
+        by step 3 — I and J carry 'I + 1' / 'J + 1' subscripts until the K-1
+        edges are deleted.)"""
+        assert flow.shape() == [
+            ("DOALL", "I", [("DOALL", "J", ["eq.1"])]),
+            ("DO", "K", [("DO", "I", [("DO", "J", ["eq.3"])])]),
+            ("DOALL", "I", [("DOALL", "J", ["eq.2"])]),
+        ]
+
+    def test_all_eq3_loops_iterative(self, flow):
+        kinds = dict()
+        for kw, idx in flow.loop_kinds():
+            kinds.setdefault(idx, []).append(kw)
+        assert "DO" in kinds["K"]
+        assert "DO" in kinds["I"]
+        assert "DO" in kinds["J"]
+
+    def test_virtual_window_still_two(self, flow):
+        # "The virtual dimension analysis gives the same result as in the
+        # previous version: the first dimension of A is virtual with window
+        # of two elements."
+        assert flow.window_of("A") == {0: 2}
+
+
+class TestSingletonComponents:
+    def test_scalar_equation_no_loops(self):
+        flow = schedule_src(
+            "T: module (x: int): [y: int];\ndefine y = x + 1;\nend T;"
+        )
+        assert flow.shape() == ["eq.1"]
+
+    def test_elementwise_equation_all_doall(self):
+        flow = schedule_src(
+            "T: module (X: array[I,J] of real): [Y: array[I,J] of real];\n"
+            "type I = 0 .. 9; J = 0 .. 9;\n"
+            "define Y = X * 2;\nend T;"
+        )
+        assert flow.shape() == [("DOALL", "I", [("DOALL", "J", ["eq.1"])])]
+
+    def test_independent_equations_in_topological_order(self):
+        flow = schedule_src(
+            "T: module (x: int): [y: int];\n"
+            "var a: int; b: int;\n"
+            "define b = a * 2; a = x + 1; y = b;\nend T;"
+        )
+        # a = x+1 (eq.2) must run before b = a*2 (eq.1).
+        assert flow.equation_labels() == ["eq.2", "eq.1", "eq.3"]
+
+
+class TestRecurrences:
+    def test_first_order_recurrence_iterative(self):
+        flow = schedule_src(
+            "T: module (n: int; x0: real): [y: real];\n"
+            "type I = 2 .. n;\n"
+            "var F: array [1 .. n] of real;\n"
+            "define F[1] = x0; F[I] = F[I-1] * 0.5; y = F[n];\nend T;"
+        )
+        assert ("DO", "I") in flow.loop_kinds()
+
+    def test_first_order_recurrence_window(self):
+        flow = schedule_src(
+            "T: module (n: int; x0: real): [y: real];\n"
+            "type I = 2 .. n;\n"
+            "var F: array [1 .. n] of real;\n"
+            "define F[1] = x0; F[I] = F[I-1] * 0.5; y = F[n];\nend T;"
+        )
+        assert flow.window_of("F") == {0: 2}
+
+    def test_second_order_recurrence_window_three(self):
+        flow = schedule_src(
+            "T: module (n: int): [y: real];\n"
+            "type I = 3 .. n;\n"
+            "var F: array [1 .. n] of real;\n"
+            "define F[1] = 1.0; F[2] = 1.0;\n"
+            "F[I] = F[I-1] + F[I-2]; y = F[n];\nend T;"
+        )
+        assert flow.window_of("F") == {0: 3}
+
+    def test_result_array_not_virtual(self):
+        # Results must be materialised: no window for a result even when the
+        # reference pattern would allow one.
+        flow = schedule_src(
+            "T: module (n: int): [F: array [1 .. n] of real];\n"
+            "type I = 2 .. n;\n"
+            "define F[1] = 1.0; F[I] = F[I-1] * 2.0;\nend T;"
+        )
+        assert flow.window_of("F") == {}
+
+    def test_wavefront_2d_schedules_iteratively(self):
+        flow = schedule_src(
+            "T: module (n: int): [y: real];\n"
+            "type I = 1 .. n; J = 1 .. n;\n"
+            "var W: array [0 .. n, 0 .. n] of real;\n"
+            "define W[0] = 1.0;\n"
+            "W[I, 0] = 1.0;\n"
+            "W[I, J] = W[I-1, J] + W[I, J-1];\n"
+            "y = W[n, n];\nend T;"
+        )
+        kinds = flow.loop_kinds()
+        assert ("DO", "I") in kinds and ("DO", "J") in kinds
+
+    def test_independent_rows_doall_outer(self):
+        # Rows don't interact: I parallel, J iterative.
+        flow = schedule_src(
+            "T: module (n: int; X: array[R] of real): [y: real];\n"
+            "type R = 0 .. n; C = 1 .. n;\n"
+            "var S: array [0 .. n, 0 .. n] of real;\n"
+            "define S[R, 0] = X[R];\n"
+            "S[R, C] = S[R, C-1] * 0.5;\n"
+            "y = S[n, n];\nend T;"
+        )
+        kinds = flow.loop_kinds()
+        assert ("DOALL", "R") in kinds
+        assert ("DO", "C") in kinds
+
+
+class TestScheduleErrors:
+    def test_scalar_cycle_unschedulable(self):
+        with pytest.raises(ScheduleError):
+            schedule_src(
+                "T: module (x: int): [y: int];\n"
+                "var a: int; b: int;\n"
+                "define a = b + 1; b = a + 1; y = a;\nend T;"
+            )
+
+    def test_elementwise_self_cycle_unschedulable(self):
+        # B[I] = B[I] + 1 is circular at every element: the algorithm loops
+        # over I (parallel), deletes nothing, and then step 2a fires.
+        with pytest.raises(ScheduleError):
+            schedule_src(
+                "T: module (n: int): [y: real];\n"
+                "type I = 0 .. n;\n"
+                "var B: array[I] of real;\n"
+                "define B[I] = B[I] + 1.0; y = B[n];\nend T;"
+            )
+
+    def test_inconsistent_position_footnote_example(self):
+        """The footnote's example: A[I,J] = A[I,J-1] + A[J,I] — 'the
+        subscripts I and J are not in a consistent position'."""
+        with pytest.raises(InconsistentPositionError):
+            schedule_src(
+                "T: module (n: int): [y: real];\n"
+                "type I = 0 .. n; J = 0 .. n;\n"
+                "var A: array[I, J] of real;\n"
+                "define A[I, J] = A[I, J-1] + A[J, I];\n"
+                "y = A[n, n];\nend T;"
+            )
+
+    def test_forward_reference_cycle_unschedulable(self):
+        # A[I] = A[I+1] + A[I-1]: dimension I has an 'I + 1' subscript, so
+        # it cannot be scheduled (and there is no other dimension).
+        with pytest.raises(ScheduleError):
+            schedule_src(
+                "T: module (n: int): [y: real];\n"
+                "type I = 1 .. n;\n"
+                "var A: array [0 .. n+1] of real;\n"
+                "define A[0] = 1.0; A[n+1] = 1.0;\n"
+                "A[I] = A[I+1] + A[I-1]; y = A[n];\nend T;"
+            )
+
+    def test_error_message_names_component(self):
+        with pytest.raises(ScheduleError, match="eq."):
+            schedule_src(
+                "T: module (x: int): [y: int];\n"
+                "var a: int; b: int;\n"
+                "define a = b + 1; b = a + 1; y = a;\nend T;"
+            )
+
+
+class TestMutualRecursion:
+    def test_two_arrays_mutually_recursive(self):
+        flow = schedule_src(
+            "T: module (n: int): [y: real];\n"
+            "type I = 2 .. n;\n"
+            "var P: array [1 .. n] of real; Q: array [1 .. n] of real;\n"
+            "define P[1] = 1.0; Q[1] = 2.0;\n"
+            "P[I] = Q[I-1] * 0.5;\n"
+            "Q[I] = P[I-1] + 1.0;\n"
+            "y = P[n] + Q[n];\nend T;"
+        )
+        kinds = flow.loop_kinds()
+        assert ("DO", "I") in kinds
+        # Both recurrence equations live under the same iterative loop.
+        do_loops = [l for l in flow.loops() if not l.parallel]
+        assert len(do_loops) == 1
+        eqs = {
+            d.node.id
+            for d in do_loops[0].body
+            if hasattr(d, "node")
+        }
+        assert eqs == {"eq.3", "eq.4"}
+
+    def test_mutual_recursion_windows(self):
+        flow = schedule_src(
+            "T: module (n: int): [y: real];\n"
+            "type I = 2 .. n;\n"
+            "var P: array [1 .. n] of real; Q: array [1 .. n] of real;\n"
+            "define P[1] = 1.0; Q[1] = 2.0;\n"
+            "P[I] = Q[I-1] * 0.5;\n"
+            "Q[I] = P[I-1] + 1.0;\n"
+            "y = P[n] + Q[n];\nend T;"
+        )
+        assert flow.window_of("P") == {0: 2}
+        assert flow.window_of("Q") == {0: 2}

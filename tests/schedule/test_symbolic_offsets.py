@@ -1,0 +1,108 @@
+"""Tests for the symbolic-offset extension (Myers & Gokhale [14]).
+
+The published algorithm classifies ``S[I - m]`` (m a module parameter) as
+"any other expression" and refuses to schedule the dimension; the extension
+accepts it as a backward reference under the recorded assumption m >= 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.ps.parser import parse_module
+from repro.ps.semantics import analyze_module
+from repro.runtime.executor import execute_module
+from repro.schedule.scheduler import schedule_module
+
+SYMBOLIC_LAG = (
+    "T: module (n: int; m: int): [y: real];\n"
+    "type I = 1 .. n;\n"
+    "var S: array [1 .. n] of real;\n"
+    "define S[I] = if I <= m then 1.0 else S[I - m] * 0.5 + 1.0;\n"
+    "y = S[n];\nend T;"
+)
+
+
+def reference(n: int, m: int) -> float:
+    s = np.zeros(n + 1)
+    for i in range(1, n + 1):
+        s[i] = 1.0 if i <= m else s[i - m] * 0.5 + 1.0
+    return s[n]
+
+
+class TestPublishedBehaviour:
+    def test_published_algorithm_rejects(self):
+        """Faithful default: 'I - m' is not 'I - constant'."""
+        analyzed = analyze_module(parse_module(SYMBOLIC_LAG))
+        with pytest.raises(ScheduleError, match="not 'I' or 'I - constant'"):
+            schedule_module(analyzed)
+
+
+class TestExtension:
+    def test_extension_schedules_iteratively(self):
+        analyzed = analyze_module(parse_module(SYMBOLIC_LAG))
+        flow = schedule_module(analyzed, symbolic_offsets=True)
+        assert ("DO", "I") in flow.loop_kinds()
+
+    def test_assumption_recorded(self):
+        analyzed = analyze_module(parse_module(SYMBOLIC_LAG))
+        flow = schedule_module(analyzed, symbolic_offsets=True)
+        assert any("m >= 1" in a for a in flow.assumptions)
+
+    def test_no_window_for_symbolic_offset(self):
+        """A symbolic backward distance has no static window."""
+        analyzed = analyze_module(parse_module(SYMBOLIC_LAG))
+        flow = schedule_module(analyzed, symbolic_offsets=True)
+        assert flow.window_of("S") == {}
+
+    @pytest.mark.parametrize("n,m", [(10, 1), (10, 3), (17, 5), (8, 8)])
+    def test_execution_matches_reference(self, n, m):
+        analyzed = analyze_module(parse_module(SYMBOLIC_LAG))
+        flow = schedule_module(analyzed, symbolic_offsets=True)
+        out = execute_module(analyzed, {"n": n, "m": m}, flowchart=flow)
+        assert out["y"] == pytest.approx(reference(n, m))
+
+    def test_schedule_is_valid(self):
+        from repro.analysis.validate import validate_flowchart_order
+
+        analyzed = analyze_module(parse_module(SYMBOLIC_LAG))
+        flow = schedule_module(analyzed, symbolic_offsets=True)
+        assert validate_flowchart_order(analyzed, flow, {"n": 12, "m": 3}) == []
+
+    def test_mixed_constant_and_symbolic(self):
+        src = (
+            "T: module (n: int; m: int): [y: real];\n"
+            "type I = 1 .. n;\n"
+            "var S: array [1 .. n] of real;\n"
+            "define S[I] = if (I <= m) or (I <= 1) then 1.0\n"
+            "              else S[I-1] + S[I - m];\n"
+            "y = S[n];\nend T;"
+        )
+        analyzed = analyze_module(parse_module(src))
+        with pytest.raises(ScheduleError):
+            schedule_module(analyzed)
+        flow = schedule_module(analyzed, symbolic_offsets=True)
+        assert ("DO", "I") in flow.loop_kinds()
+
+    def test_forward_symbolic_not_accepted(self):
+        """'I + m' is not of the backward form: still rejected."""
+        src = (
+            "T: module (n: int; m: int): [y: real];\n"
+            "type I = 1 .. n;\n"
+            "var S: array [1 .. n] of real;\n"
+            "define S[I] = if I > n - m then 1.0 else S[I + m] * 0.5;\n"
+            "y = S[1];\nend T;"
+        )
+        analyzed = analyze_module(parse_module(src))
+        with pytest.raises(ScheduleError):
+            schedule_module(analyzed, symbolic_offsets=True)
+
+    def test_edge_label_describes_symbolic_offset(self):
+        from repro.graph.build import build_dependency_graph
+
+        analyzed = analyze_module(parse_module(SYMBOLIC_LAG))
+        graph = build_dependency_graph(analyzed)
+        (edge,) = [
+            e for e in graph.edges_between("S", "eq.1")
+        ]
+        assert edge.subscripts[0].describe() == "I - m"

@@ -1,0 +1,122 @@
+"""CLI tests (direct invocation of repro.cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.paper import RELAXATION_GAUSS_SEIDEL_SOURCE, RELAXATION_JACOBI_SOURCE
+
+
+@pytest.fixture()
+def jacobi_file(tmp_path):
+    path = tmp_path / "relaxation.ps"
+    path.write_text(RELAXATION_JACOBI_SOURCE)
+    return str(path)
+
+
+@pytest.fixture()
+def gs_file(tmp_path):
+    path = tmp_path / "gs.ps"
+    path.write_text(RELAXATION_GAUSS_SEIDEL_SOURCE)
+    return str(path)
+
+
+class TestSchedule:
+    def test_prints_figure6(self, jacobi_file, capsys):
+        assert main(["schedule", jacobi_file]) == 0
+        out = capsys.readouterr().out
+        assert "DO K (" in out
+        assert "DOALL I (" in out
+        assert "window of 2" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["schedule", "/nonexistent.ps"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGraph:
+    def test_text(self, jacobi_file, capsys):
+        assert main(["graph", jacobi_file]) == 0
+        out = capsys.readouterr().out
+        assert "A -> eq.3" in out
+
+    def test_dot(self, jacobi_file, capsys):
+        assert main(["graph", "--dot", jacobi_file]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestCompile:
+    def test_emit_c(self, jacobi_file, capsys):
+        assert main(["compile", jacobi_file, "--emit", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "void Relaxation(" in out
+        assert "/* concurrent for */" in out
+
+    def test_emit_python(self, jacobi_file, capsys):
+        assert main(["compile", jacobi_file, "--emit", "python"]) == 0
+        assert "def Relaxation(" in capsys.readouterr().out
+
+    def test_emit_flowchart(self, jacobi_file, capsys):
+        assert main(["compile", jacobi_file, "--emit", "flowchart"]) == 0
+        assert "DOALL" in capsys.readouterr().out
+
+    def test_hyperplane_flag(self, gs_file, capsys):
+        assert main(["compile", gs_file, "--hyperplane", "--emit", "flowchart"]) == 0
+        out = capsys.readouterr().out
+        assert "DO Kp (" in out
+        assert "DOALL Ip (" in out
+
+    def test_no_windows(self, jacobi_file, capsys):
+        assert main(["compile", jacobi_file, "--no-windows"]) == 0
+        assert "% 2" not in capsys.readouterr().out
+
+
+class TestTransform:
+    def test_report(self, gs_file, capsys):
+        assert main(["transform", gs_file]) == 0
+        out = capsys.readouterr().out
+        assert "time vector         : (2, 1, 1)" in out
+        assert "a > 0" in out
+        assert "recurrence window   : 3" in out
+
+    def test_emit_module(self, gs_file, capsys):
+        assert main(["transform", gs_file, "--emit-module"]) == 0
+        assert "RelaxationHyper: module" in capsys.readouterr().out
+
+    def test_non_recursive_array_fails_cleanly(self, gs_file, capsys):
+        assert main(["transform", gs_file, "--array", "InitialA"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_with_random_input(self, jacobi_file, capsys):
+        rc = main(["run", jacobi_file, "--set", "M=4", "--set", "maxK=3"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "newA =" in captured.out
+        assert "filled InitialA" in captured.err
+
+    def test_run_with_loaded_input(self, jacobi_file, tmp_path, capsys):
+        m = 4
+        arr = np.ones((m + 2, m + 2))
+        npy = tmp_path / "init.npy"
+        np.save(npy, arr)
+        rc = main(
+            ["run", jacobi_file, "--set", "M=4", "--set", "maxK=3",
+             "--load", f"InitialA={npy}"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "newA =" in out
+        # All-ones input is a fixed point of the relaxation.
+        assert "1." in out
+
+    def test_scalar_and_windows_flags(self, jacobi_file, capsys):
+        rc = main(
+            ["run", jacobi_file, "--set", "M=3", "--set", "maxK=3",
+             "--scalar", "--windows"]
+        )
+        assert rc == 0
+
+    def test_bad_set_syntax(self, jacobi_file, capsys):
+        assert main(["run", jacobi_file, "--set", "M"]) == 1

@@ -1,0 +1,148 @@
+"""One integration test per claim, in the order the paper makes them — a
+readable replay of the whole narrative."""
+
+import numpy as np
+import pytest
+
+from repro.core.paper import (
+    RELAXATION_GAUSS_SEIDEL_SOURCE,
+    RELAXATION_JACOBI_SOURCE,
+    gauss_seidel_analyzed,
+    jacobi_analyzed,
+)
+from repro.graph.build import build_dependency_graph, bound_adjacency, data_adjacency
+from repro.graph.scc import condensation_order
+from repro.hyperplane.pipeline import hyperplane_transform
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.wavefront import execute_transformed_windowed
+from repro.schedule.scheduler import schedule_module
+
+
+class TestSection2Language:
+    def test_equations_may_be_entered_in_any_order(self):
+        """'The equations may be entered in any order.'"""
+        from repro.ps.parser import parse_module
+        from repro.ps.semantics import analyze_module
+
+        reordered = RELAXATION_JACOBI_SOURCE.replace(
+            "(* eq.1 *) A[1] = InitialA;          (* the first grid is input *)\n",
+            "",
+        ).replace(
+            "end Relaxation;",
+            "",
+        ) + "A[1] = InitialA;\nend Relaxation;"
+        flow = schedule_module(analyze_module(parse_module(reordered)))
+        # The init equation still executes first regardless of source order.
+        labels = flow.equation_labels()
+        init_label = labels[0]
+        assert init_label == flow.equation_labels()[0]
+        rng = np.random.default_rng(0)
+        m, maxk = 4, 3
+        initial = rng.random((m + 2, m + 2))
+        out1 = execute_module(
+            analyze_module(parse_module(reordered)),
+            {"InitialA": initial, "M": m, "maxK": maxk},
+        )
+        out2 = execute_module(
+            jacobi_analyzed(), {"InitialA": initial, "M": m, "maxK": maxk}
+        )
+        np.testing.assert_allclose(out1["newA"], out2["newA"])
+
+
+class TestSection3Scheduling:
+    def test_dependency_graph_matches_figure3(self):
+        g = build_dependency_graph(jacobi_analyzed())
+        data = data_adjacency(g)
+        bound = bound_adjacency(g)
+        assert data["A"] == {"eq.2", "eq.3"}
+        assert {"InitialA", "A", "newA"} <= bound["M"]
+
+    def test_seven_components(self):
+        g = build_dependency_graph(jacobi_analyzed())
+        assert len(condensation_order(g.full_view())) == 7
+
+    def test_figure6_schedule(self):
+        flow = schedule_module(jacobi_analyzed())
+        assert flow.shape() == [
+            ("DOALL", "I", [("DOALL", "J", ["eq.1"])]),
+            ("DO", "K", [("DOALL", "I", [("DOALL", "J", ["eq.3"])])]),
+            ("DOALL", "I", [("DOALL", "J", ["eq.2"])]),
+        ]
+
+    def test_section34_window_two(self):
+        flow = schedule_module(jacobi_analyzed())
+        assert flow.window_of("A") == {0: 2}
+
+
+class TestSection4Restructuring:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return hyperplane_transform(gauss_seidel_analyzed())
+
+    def test_figure7_iterative_nest(self, res):
+        assert res.original_flowchart.shape()[1] == (
+            "DO",
+            "K",
+            [("DO", "I", [("DO", "J", ["eq.3"])])],
+        )
+
+    def test_five_inequalities(self, res):
+        assert len(res.inequalities) == 5
+
+    def test_least_integers(self, res):
+        assert res.pi == (2, 1, 1)
+
+    def test_hyperplane_equation_quote(self, res):
+        """'All array elements A[K,I,J] such that 2K + I + J = t will be
+        defined at time t.'"""
+        assert res.time_equation.endswith("2K + I + J")
+
+    def test_schedule_identical_to_figure6(self, res):
+        trans = res.transformed_flowchart.shape()
+        nest = [s for s in trans if isinstance(s, tuple) and s[0] == "DO"][0]
+        # DO time (DOALL (DOALL (eq)))
+        assert nest[2][0][0] == "DOALL"
+        assert nest[2][0][2][0][0] == "DOALL"
+
+    def test_window_three_and_storage(self, res):
+        assert res.recurrence_window == 3
+        comp = res.storage_comparison({"M": 10, "maxK": 10})
+        assert comp["transformed_window"] == 3 * 10 * 12
+        assert comp["untransformed_window"] == 2 * 12 * 12
+
+    def test_full_circle_numeric(self, res):
+        """Original iterative, transformed full, and transformed windowed
+        wavefront all compute the same grid."""
+        rng = np.random.default_rng(99)
+        m, maxk = 5, 6
+        args = {"InitialA": rng.random((m + 2, m + 2)), "M": m, "maxK": maxk}
+        a = execute_module(res.original, args)["newA"]
+        b = execute_module(res.transformed, args)["newA"]
+        c = execute_transformed_windowed(res, args).results["newA"]
+        np.testing.assert_allclose(b, a, rtol=1e-12)
+        np.testing.assert_allclose(c, a, rtol=1e-12)
+
+
+class TestConclusionClaims:
+    def test_storage_reuse_detected_by_scheduler(self):
+        """'opportunities for storage reuse are detected by the scheduler'"""
+        for analyzed in (jacobi_analyzed(), gauss_seidel_analyzed()):
+            assert schedule_module(analyzed).window_of("A") == {0: 2}
+
+    def test_iterative_formulation_transformed_to_parallel(self):
+        """'an apparently iterative formulation can be transformed into a
+        parallel one from which a parallel loop can be generated'"""
+        res = hyperplane_transform(gauss_seidel_analyzed())
+        before = [k for k, _ in res.original_flowchart.loop_kinds()]
+        after = [k for k, _ in res.transformed_flowchart.loop_kinds()]
+        assert before.count("DO") == 3
+        assert after.count("DO") == 1
+
+    def test_storage_reuse_applies_to_transformed_array(self):
+        """'storage reuse can be applied to the transformed array'"""
+        res = hyperplane_transform(gauss_seidel_analyzed())
+        m, maxk = 4, 5
+        args = {"InitialA": np.ones((m + 2, m + 2)), "M": m, "maxK": maxk}
+        report = execute_transformed_windowed(res, args)
+        assert report.window == 3
+        assert report.allocated_elements[res.new_array] < maxk * (m + 2) ** 2
