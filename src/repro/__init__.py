@@ -72,8 +72,13 @@ def __getattr__(name):
         "RELAXATION_JACOBI_SOURCE": "repro.core.paper",
         "RELAXATION_GAUSS_SEIDEL_SOURCE": "repro.core.paper",
         "execute_module": "repro.runtime.executor",
+        "ExecutionOptions": "repro.runtime.executor",
+        "available_backends": "repro.runtime.backends",
+        "create_backend": "repro.runtime.backends",
         "MachineModel": "repro.machine.cost",
         "simulate_flowchart": "repro.machine.simulator",
+        "predicted_speedup": "repro.machine.simulator",
+        "measure_backend_speedups": "repro.machine.report",
     }
     if name in lazy:
         return getattr(import_module(lazy[name]), name)

@@ -27,6 +27,7 @@ from repro.ps.parser import parse_module
 from repro.ps.printer import format_module
 from repro.ps.semantics import analyze_module
 from repro.ps.types import ArrayType
+from repro.runtime.backends import available_backends
 from repro.runtime.executor import ExecutionOptions, execute_module
 from repro.runtime.values import array_bounds
 from repro.schedule.scheduler import schedule_module
@@ -135,8 +136,16 @@ def _cmd_run(args) -> int:
             run_args[pname] = rng.random(shape)
             print(f"note: filled {pname} with random{shape} (seed {args.seed})",
                   file=sys.stderr)
+    if args.scalar and args.backend not in ("auto", "serial"):
+        raise ReproError(
+            f"--scalar is shorthand for --backend serial and conflicts "
+            f"with --backend {args.backend}"
+        )
     options = ExecutionOptions(
-        vectorize=not args.scalar, use_windows=args.windows
+        vectorize=not args.scalar,
+        use_windows=args.windows,
+        backend=args.backend,
+        workers=args.workers,
     )
     results = execute_module(analyzed, run_args, options=options)
     with np.printoptions(precision=6, suppress=True):
@@ -189,9 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="seed for auto-filled array parameters")
     p.add_argument("--scalar", action="store_true",
-                   help="use the scalar reference interpreter")
+                   help="use the scalar reference interpreter "
+                        "(shorthand for --backend serial)")
     p.add_argument("--windows", action="store_true",
                    help="allocate virtual dimensions as windows")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", *available_backends()],
+                   help="DOALL execution backend (auto follows --scalar)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker count for the threaded/process backends "
+                        "(default: cpu count)")
     p.set_defaults(func=_cmd_run)
     return parser
 

@@ -13,7 +13,7 @@ and window allocation (section 3.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from repro.codegen.cgen import generate_c
@@ -53,9 +53,25 @@ class CompileResult:
     warnings: list[str] = field(default_factory=list)
 
     def run(
-        self, args: dict[str, Any], execution: ExecutionOptions | None = None
+        self,
+        args: dict[str, Any],
+        execution: ExecutionOptions | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> dict[str, Any]:
-        """Execute the (possibly transformed) module on the interpreter."""
+        """Execute the (possibly transformed) module on the interpreter.
+
+        ``backend`` / ``workers`` select the DOALL execution backend
+        (overriding ``execution`` when given) — e.g.
+        ``result.run(args, backend="threaded", workers=4)``.
+        """
+        if backend is not None or workers is not None:
+            base = execution or ExecutionOptions()
+            execution = replace(
+                base,
+                backend=backend if backend is not None else base.backend,
+                workers=workers if workers is not None else base.workers,
+            )
         return execute_module(
             self.analyzed, args, flowchart=self.flowchart, options=execution
         )

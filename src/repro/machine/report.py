@@ -1,8 +1,11 @@
-"""Speedup tables over processor counts."""
+"""Speedup tables over processor counts, and predicted-vs-measured
+comparisons of the cost model against real execution backends."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.machine.cost import MachineModel
 from repro.machine.simulator import SimulationResult, simulate_flowchart
@@ -53,3 +56,147 @@ def speedup_table(
         )
         cycles.append(result.cycles)
     return SpeedupTable(list(processors), cycles)
+
+
+# ---------------------------------------------------------------------------
+# Predicted vs measured: the cost model against a real execution backend
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BackendSpeedupReport:
+    """Cost-model predictions next to measured wall-clock speedups for one
+    backend over a range of worker counts. The baseline for *measured*
+    speedups is the serial reference backend; *predicted* speedups come from
+    the simulated MIMD machine at P = workers."""
+
+    workload: str
+    backend: str
+    workers: list[int]
+    seconds: list[float]
+    baseline_seconds: float
+    predicted: list[float]
+    baseline_backend: str = "serial"
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def measured(self) -> list[float]:
+        return [
+            self.baseline_seconds / s if s else float("inf")
+            for s in self.seconds
+        ]
+
+    def rows(self) -> list[tuple[int, float, float, float]]:
+        return list(zip(self.workers, self.predicted, self.measured, self.seconds))
+
+    def pretty(self, title: str = "") -> str:
+        lines = []
+        if title:
+            lines.append(title)
+        lines.append(
+            f"baseline ({self.baseline_backend}): "
+            f"{self.baseline_seconds * 1e3:.1f} ms"
+        )
+        lines.append(
+            f"{'workers':>8}  {'predicted':>10}  {'measured':>10}  {'seconds':>10}"
+        )
+        for w, pred, meas, sec in self.rows():
+            lines.append(f"{w:>8}  {pred:>9.2f}x  {meas:>9.2f}x  {sec:>10.4f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form for benchmark trajectory artifacts."""
+        return {
+            "workload": self.workload,
+            "backend": self.backend,
+            "baseline_backend": self.baseline_backend,
+            "baseline_seconds": self.baseline_seconds,
+            "workers": list(self.workers),
+            "seconds": list(self.seconds),
+            "measured_speedup": self.measured,
+            "predicted_speedup": list(self.predicted),
+            **self.extras,
+        }
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_backend_speedups(
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    run_args: dict[str, Any],
+    backend: str,
+    workers_counts: list[int],
+    model: MachineModel | None = None,
+    repeats: int = 1,
+    execution=None,
+    workload: str = "",
+    collapse: bool = True,
+) -> BackendSpeedupReport:
+    """Execute ``analyzed`` on ``backend`` across ``workers_counts`` and
+    pair each measured wall-clock speedup (over the serial reference
+    backend) with the cost model's prediction at the same processor count.
+
+    ``run_args`` are full execution inputs; its integer entries feed the
+    simulator's loop bounds. ``execution`` supplies base ExecutionOptions
+    (e.g. ``use_windows=True``)."""
+    import numpy as np
+
+    from repro.runtime.executor import ExecutionOptions, execute_module
+
+    base = execution or ExecutionOptions()
+    scalar_args = {
+        k: int(v)
+        for k, v in run_args.items()
+        if isinstance(v, (int, np.integer))
+    }
+
+    baseline_seconds = _best_of(
+        lambda: execute_module(
+            analyzed,
+            run_args,
+            flowchart=flowchart,
+            options=replace(base, backend="serial"),
+        ),
+        repeats,
+    )
+    model = model or MachineModel()
+    serial_sim = simulate_flowchart(
+        analyzed, flowchart, scalar_args, model.with_processors(1), collapse=collapse
+    )
+    seconds: list[float] = []
+    predicted: list[float] = []
+    for w in workers_counts:
+        options = replace(base, backend=backend, workers=w)
+        seconds.append(
+            _best_of(
+                lambda: execute_module(
+                    analyzed, run_args, flowchart=flowchart, options=options
+                ),
+                repeats,
+            )
+        )
+        parallel_sim = simulate_flowchart(
+            analyzed,
+            flowchart,
+            scalar_args,
+            model.with_processors(w),
+            collapse=collapse,
+        )
+        predicted.append(parallel_sim.speedup_against(serial_sim))
+    return BackendSpeedupReport(
+        workload=workload or analyzed.name,
+        backend=backend,
+        workers=list(workers_counts),
+        seconds=seconds,
+        baseline_seconds=baseline_seconds,
+        predicted=predicted,
+    )
+

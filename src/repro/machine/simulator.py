@@ -59,6 +59,27 @@ def simulate_flowchart(
     return SimulationResult(total, model, breakdown)
 
 
+def predicted_speedup(
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    args: dict[str, int],
+    workers: int,
+    model: MachineModel | None = None,
+    collapse: bool = True,
+) -> float:
+    """Cost-model speedup of the schedule at ``workers`` processors over one
+    — the paper's prediction, for comparison against a backend's measured
+    wall-clock speedup (see :func:`repro.machine.report.measure_backend_speedups`)."""
+    model = model or MachineModel()
+    serial = simulate_flowchart(
+        analyzed, flowchart, args, model.with_processors(1), collapse=collapse
+    )
+    parallel = simulate_flowchart(
+        analyzed, flowchart, args, model.with_processors(workers), collapse=collapse
+    )
+    return parallel.speedup_against(serial)
+
+
 def _label(desc: Descriptor) -> str:
     if isinstance(desc, NodeDescriptor):
         return desc.node.id

@@ -1,0 +1,72 @@
+"""Pluggable parallel execution backends for DOALL loops.
+
+Registry::
+
+    from repro.runtime.backends import create_backend, available_backends
+    backend = create_backend(options)     # resolves ExecutionOptions.backend
+
+``"auto"`` resolves to ``vectorized`` (or ``serial`` when
+``ExecutionOptions.vectorize`` is off), preserving the historical flags.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.runtime.backends.base import (
+    ExecutionBackend,
+    ExecutionState,
+    chunk_safe,
+    equation_is_vector_safe,
+)
+from repro.runtime.backends.process import ProcessBackend
+from repro.runtime.backends.serial import SerialBackend
+from repro.runtime.backends.threaded import ThreadedBackend
+from repro.runtime.backends.vectorized import VectorizedBackend
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    VectorizedBackend.name: VectorizedBackend,
+    ThreadedBackend.name: ThreadedBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def available_backends() -> list[str]:
+    return sorted(BACKENDS)
+
+
+def resolve_backend_name(options) -> str:
+    """Map ExecutionOptions to a registry key (``"auto"`` honours the
+    legacy ``vectorize`` flag)."""
+    name = getattr(options, "backend", "auto")
+    if name == "auto":
+        return "vectorized" if options.vectorize else "serial"
+    return name
+
+
+def create_backend(options) -> ExecutionBackend:
+    name = resolve_backend_name(options)
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown execution backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return cls(workers=getattr(options, "workers", None))
+
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
+    "ExecutionState",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "chunk_safe",
+    "create_backend",
+    "equation_is_vector_safe",
+    "resolve_backend_name",
+]

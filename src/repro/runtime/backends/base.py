@@ -1,0 +1,321 @@
+"""The execution-backend interface and the shared flowchart walk.
+
+A backend is a strategy for *executing* a scheduled flowchart. All backends
+share one walk (sequential ``DO`` loops, equation evaluation, lazy target
+allocation); they differ only in how a ``DOALL`` subrange is run:
+
+* :class:`~repro.runtime.backends.serial.SerialBackend` — one scalar
+  iteration at a time (the reference semantics);
+* :class:`~repro.runtime.backends.vectorized.VectorizedBackend` — the whole
+  subrange as one NumPy operation;
+* :class:`~repro.runtime.backends.threaded.ThreadedBackend` — chunked
+  subranges on a thread pool (NumPy kernels release the GIL);
+* :class:`~repro.runtime.backends.process.ProcessBackend` — chunked
+  subranges in forked worker processes writing to shared-memory arrays,
+  with a barrier per wavefront.
+
+The chunked backends rely on the ``DOALL`` guarantee that iterations are
+independent; :func:`chunk_safe` additionally rejects nests whose execution
+would race on shared interpreter state (scalar targets, atomic equations,
+windowed dimensions subscripted by a nest index).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.ps.ast import Call, names_in, walk_expr
+from repro.ps.semantics import _BUILTINS as _PS_BUILTINS
+from repro.ps.semantics import AnalyzedEquation, AnalyzedModule, AnalyzedProgram
+from repro.ps.symbols import SymbolKind
+from repro.ps.types import ArrayType
+from repro.runtime.evaluator import Evaluator
+from repro.runtime.values import (
+    RuntimeArray,
+    StorageFactory,
+    array_bounds,
+    default_storage,
+    eval_bound,
+)
+from repro.schedule.flowchart import (
+    Descriptor,
+    Flowchart,
+    LoopDescriptor,
+    NodeDescriptor,
+)
+
+_SAFE_CALLS = set(_PS_BUILTINS)
+
+
+@dataclass
+class ExecutionState:
+    """Everything one module execution mutates: the data environment,
+    evaluation statistics, and the storage factory backends plug in."""
+
+    analyzed: AnalyzedModule
+    flowchart: Flowchart
+    options: Any  # ExecutionOptions (kept untyped to avoid an import cycle)
+    data: dict[str, Any]
+    evaluator: Evaluator
+    program: AnalyzedProgram | None = None
+    #: statistics: equation label -> number of element evaluations
+    eval_counts: dict[str, int] = field(default_factory=dict)
+    #: how target arrays are materialised (process backend: shared memory)
+    storage_factory: StorageFactory = default_storage
+
+    def scalar_env(self) -> dict[str, int]:
+        return {
+            k: int(v)
+            for k, v in self.data.items()
+            if isinstance(v, (int, np.integer))
+        }
+
+    def fork(self) -> "ExecutionState":
+        """A shallow copy with private eval counts, for one worker chunk.
+        The data environment stays shared (threads) or becomes copy-on-write
+        (forked processes); either way chunk workers only *write* array
+        elements, which chunk-safety guarantees are disjoint."""
+        return ExecutionState(
+            self.analyzed,
+            self.flowchart,
+            self.options,
+            self.data,
+            self.evaluator,
+            program=self.program,
+            eval_counts={},
+            storage_factory=self.storage_factory,
+        )
+
+    def merge_counts(self, counts: dict[str, int]) -> None:
+        for label, n in counts.items():
+            self.eval_counts[label] = self.eval_counts.get(label, 0) + n
+
+
+def equation_is_vector_safe(eq: AnalyzedEquation) -> bool:
+    """A module call blocks vectorisation only when its arguments mention the
+    equation's index variables (then each element needs its own call)."""
+    index_names = set(eq.index_names)
+    for n in walk_expr(eq.rhs):
+        if isinstance(n, Call) and n.func not in _SAFE_CALLS:
+            for a in n.args:
+                if names_in(a) & index_names:
+                    return False
+    return True
+
+
+def chunk_safe(state: ExecutionState, desc: LoopDescriptor) -> bool:
+    """Whether a DOALL nest may be split across concurrently executing
+    workers. Beyond the structural :attr:`LoopDescriptor.chunkable` check,
+    every equation must write only array elements (a scalar target would be
+    an interpreter-state race), must not be atomic (atomic equations rebind
+    whole arrays), and no windowed dimension of a target may be subscripted
+    by a nest index (two chunks could then alias one window plane)."""
+    if not desc.chunkable:
+        return False
+    indices = desc.nest_indices()
+    for eq in desc.nested_equations():
+        if eq.atomic:
+            return False
+        for target in eq.targets:
+            sym = state.analyzed.symbol(target.name)
+            if not isinstance(sym.type, ArrayType):
+                return False
+            if state.options.use_windows:
+                wins = state.flowchart.window_of(target.name)
+                for d in wins:
+                    if d < len(target.subscripts) and (
+                        names_in(target.subscripts[d]) & indices
+                    ):
+                        return False
+    return True
+
+
+class ExecutionBackend:
+    """Base class: the shared walk plus the hooks backends override."""
+
+    #: registry key, e.g. ``"serial"`` — set by each subclass
+    name = "base"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self, state: ExecutionState) -> None:
+        """Execute the whole flowchart against ``state``."""
+        state.storage_factory = self.make_storage
+        for desc in state.flowchart.descriptors:
+            self.exec_descriptor(state, desc, {}, [])
+
+    def close(self) -> None:
+        """Release pools/segments. Called after results are exported."""
+
+    # -- storage hooks -----------------------------------------------------
+
+    def make_storage(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        return default_storage(shape, dtype)
+
+    def export_result(self, array: np.ndarray) -> np.ndarray:
+        """Detach a result from backend-owned storage (a no-op unless the
+        storage dies with the backend, as shared memory does)."""
+        return array
+
+    # -- the walk ----------------------------------------------------------
+
+    def exec_descriptor(
+        self,
+        state: ExecutionState,
+        desc: Descriptor,
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        if isinstance(desc, NodeDescriptor):
+            if desc.node.is_equation:
+                self.exec_equation(state, desc.node.equation, env, vector_names)
+            return
+        assert isinstance(desc, LoopDescriptor)
+        scalar_env = state.scalar_env()
+        lo = eval_bound(desc.subrange.lo, scalar_env)
+        hi = eval_bound(desc.subrange.hi, scalar_env)
+        if hi < lo:
+            return
+        if desc.parallel:
+            self.exec_parallel_loop(state, desc, lo, hi, env, vector_names)
+        else:
+            self.exec_sequential_loop(state, desc, lo, hi, env, vector_names)
+
+    def exec_sequential_loop(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        for i in range(lo, hi + 1):
+            env2 = dict(env)
+            env2[desc.index] = i
+            for d in desc.body:
+                self.exec_descriptor(state, d, env2, vector_names)
+
+    def exec_parallel_loop(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        raise NotImplementedError
+
+    # -- equations ---------------------------------------------------------
+
+    def exec_equation(
+        self,
+        state: ExecutionState,
+        eq: AnalyzedEquation,
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        vector = bool(vector_names)
+        if vector and not equation_is_vector_safe(eq):
+            self._exec_equation_scalar_fallback(state, eq, env, vector_names)
+            return
+
+        if eq.atomic:
+            self._exec_atomic(state, eq, env)
+            return
+
+        self.ensure_targets(state, eq)
+        value = state.evaluator.eval(eq.rhs, env, vector=vector)
+        state.eval_counts[eq.label] = state.eval_counts.get(eq.label, 0) + (
+            int(np.size(value)) if vector else 1
+        )
+        target = eq.targets[0]
+        holder = state.data.get(target.name)
+        if isinstance(holder, RuntimeArray):
+            subs = [
+                state.evaluator.eval(s, env, vector=vector)
+                for s in target.subscripts
+            ]
+            holder.set(subs, value)
+        else:
+            state.data[target.name] = (
+                value.item() if isinstance(value, np.ndarray) else value
+            )
+
+    def _exec_equation_scalar_fallback(
+        self,
+        state: ExecutionState,
+        eq: AnalyzedEquation,
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        """Iterate the vectorised indices element by element."""
+        shape = _broadcast_shape(env, vector_names)
+        grids = [
+            np.broadcast_to(np.asarray(env[vn]), shape) for vn in vector_names
+        ]
+        flat = [g.reshape(-1) for g in grids]
+        for i in range(flat[0].size if flat else 1):
+            env2 = dict(env)
+            for vn, g in zip(vector_names, flat):
+                env2[vn] = int(g[i])
+            self.exec_equation(state, eq, env2, [])
+
+    def _exec_atomic(
+        self, state: ExecutionState, eq: AnalyzedEquation, env: dict[str, Any]
+    ) -> None:
+        value = state.evaluator.eval(eq.rhs, env, vector=False)
+        values = value if isinstance(value, tuple) else (value,)
+        if len(values) != len(eq.targets):
+            raise ExecutionError(
+                f"{eq.label}: expected {len(eq.targets)} results, got {len(values)}"
+            )
+        for target, v in zip(eq.targets, values):
+            sym = state.analyzed.symbol(target.name)
+            if isinstance(sym.type, ArrayType):
+                dense = v.to_numpy() if isinstance(v, RuntimeArray) else np.asarray(v)
+                bounds = array_bounds(sym.type, state.scalar_env())
+                state.data[target.name] = RuntimeArray.from_numpy(
+                    target.name,
+                    dense,
+                    bounds,
+                    storage_factory=state.storage_factory,
+                )
+            else:
+                state.data[target.name] = v
+        state.eval_counts[eq.label] = state.eval_counts.get(eq.label, 0) + 1
+
+    def ensure_targets(self, state: ExecutionState, eq: AnalyzedEquation) -> None:
+        """Allocate target arrays on first definition."""
+        for target in eq.targets:
+            if target.name in state.data:
+                continue
+            sym = state.analyzed.symbol(target.name)
+            if isinstance(sym.type, ArrayType):
+                bounds = array_bounds(sym.type, state.scalar_env())
+                windows: dict[int, int] = {}
+                if state.options.use_windows and sym.kind is SymbolKind.VAR:
+                    windows = dict(state.flowchart.window_of(target.name))
+                state.data[target.name] = RuntimeArray.allocate(
+                    target.name,
+                    sym.type.element,
+                    bounds,
+                    windows=windows,
+                    debug=state.options.debug_windows,
+                    storage_factory=state.storage_factory,
+                )
+            # Scalars are created on assignment.
+
+
+def _broadcast_shape(env: dict[str, Any], vector_names: list[str]):
+    shapes = [np.asarray(env[vn]).shape for vn in vector_names]
+    return np.broadcast_shapes(*shapes) if shapes else ()

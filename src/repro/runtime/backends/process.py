@@ -1,0 +1,141 @@
+"""Process backend: forked wavefront workers over shared-memory arrays.
+
+Target arrays are materialised in ``multiprocessing.shared_memory`` (the
+storage-factory hook), so worker processes forked at each wavefront write
+their chunk's elements directly into the planes the parent — and every
+other worker — maps. Joining all workers is the per-wavefront barrier;
+eval-count statistics travel back over a queue.
+
+Fork is required (the child must inherit the interpreter state without
+pickling); on platforms without it the backend degrades gracefully to
+running the chunks in-process, preserving semantics without parallelism.
+Result arrays are copied out before the shared segments are unlinked.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.runtime.backends.base import ExecutionState
+from repro.runtime.backends.threaded import ChunkedBackend
+from repro.schedule.flowchart import LoopDescriptor
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ProcessBackend(ChunkedBackend):
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        super().__init__(workers)
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._ctx = (
+            multiprocessing.get_context("fork") if _fork_available() else None
+        )
+
+    # -- storage -----------------------------------------------------------
+
+    def make_storage(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        if self._ctx is None:
+            return np.zeros(shape, dtype=dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self._segments.append(shm)
+        arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        arr[...] = 0
+        return arr
+
+    def export_result(self, array: np.ndarray) -> np.ndarray:
+        # Results must outlive the shared segments backing them.
+        return np.array(array)
+
+    def close(self) -> None:
+        for shm in self._segments:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        # The mappings themselves are released when the last NumPy view is
+        # garbage collected; close() here would raise BufferError while
+        # exported views exist.
+        self._segments.clear()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch_chunks(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        spans: list[tuple[int, int]],
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        if self._ctx is None:
+            for clo, chi in spans:
+                self.exec_vector_span(state, desc, clo, chi, env, vector_names)
+            return
+        queue = self._ctx.SimpleQueue()
+        procs = []
+        for clo, chi in spans:
+            sub = state.fork()
+            p = self._ctx.Process(
+                target=self._run_chunk,
+                args=(sub, desc, clo, chi, env, vector_names, queue),
+                daemon=True,
+            )
+            p.start()
+            procs.append(p)
+        # The barrier: the wavefront retires only when every chunk has.
+        # Drain the queue *while* joining — a child blocked in put() (its
+        # payload exceeding the pipe buffer) would otherwise never exit
+        # and the bare join would deadlock.
+        messages: list[tuple[str, Any]] = []
+        pending = list(procs)
+        while pending:
+            while not queue.empty():
+                messages.append(queue.get())
+            for p in pending[:]:
+                p.join(timeout=0.01)
+                if p.exitcode is not None:
+                    pending.remove(p)
+        while not queue.empty():
+            messages.append(queue.get())
+        failures: list[str] = []
+        for status, payload in messages:
+            if status == "ok":
+                state.merge_counts(payload)
+            else:
+                failures.append(payload)
+        queue.close()
+        if failures:
+            raise ExecutionError(
+                f"DOALL {desc.index} worker failed: " + "; ".join(failures)
+            )
+        if any(p.exitcode != 0 for p in procs):
+            codes = [p.exitcode for p in procs]
+            raise ExecutionError(
+                f"DOALL {desc.index} worker died (exit codes {codes})"
+            )
+
+    def _run_chunk(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+        vector_names: list[str],
+        queue,
+    ) -> None:
+        try:
+            self.exec_vector_span(state, desc, lo, hi, env, vector_names)
+            queue.put(("ok", state.eval_counts))
+        except BaseException as exc:  # noqa: BLE001 — reported to the parent
+            queue.put(("error", f"{type(exc).__name__}: {exc}"))

@@ -1,0 +1,28 @@
+"""Serial backend: the scalar reference semantics.
+
+A ``DOALL`` is semantically unordered; the serial backend simply runs it
+low-to-high like a ``DO``, one scalar element evaluation at a time. Every
+other backend is cross-checked against this one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.backends.base import ExecutionBackend, ExecutionState
+from repro.schedule.flowchart import LoopDescriptor
+
+
+class SerialBackend(ExecutionBackend):
+    name = "serial"
+
+    def exec_parallel_loop(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        self.exec_sequential_loop(state, desc, lo, hi, env, vector_names)

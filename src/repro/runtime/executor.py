@@ -2,13 +2,21 @@
 
 The interpreter walks the flowchart exactly as the generated procedural
 program would: a ``DO`` loop runs its subrange low-to-high sequentially; a
-``DOALL`` loop is semantically unordered and, when ``vectorize`` is on,
-executes as one NumPy operation over the whole index range (an inner ``DO``
-nested under a vectorised ``DOALL`` keeps its own scalar loop — e.g. the
-``DOALL R (DO C (...))`` schedule of per-row scans).
+``DOALL`` loop is semantically unordered and executes on the selected
+*execution backend* (see :mod:`repro.runtime.backends`):
+
+* ``serial`` — one scalar iteration at a time (the reference semantics);
+* ``vectorized`` — the whole subrange as one NumPy operation (an inner
+  ``DO`` nested under a vectorised ``DOALL`` keeps its own scalar loop);
+* ``threaded`` — chunked subranges on a thread pool, NumPy kernels
+  releasing the GIL;
+* ``process`` — chunked subranges in forked workers over shared-memory
+  arrays, with a barrier per wavefront.
 
 Options:
 
+* ``backend`` / ``workers`` — backend selection; ``"auto"`` preserves the
+  historical behaviour of the ``vectorize`` flag;
 * ``vectorize`` — NumPy the DOALL dimensions (default; the scalar path is
   the reference semantics used to cross-check it);
 * ``use_windows`` — allocate virtual dimensions as windows, as the paper's
@@ -19,23 +27,24 @@ Options:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Any
 
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.ps.ast import Call, walk_expr
-from repro.ps.semantics import _BUILTINS as _PS_BUILTINS
-from repro.ps.semantics import AnalyzedEquation, AnalyzedModule, AnalyzedProgram
-from repro.ps.symbols import SymbolKind
+from repro.ps.semantics import AnalyzedModule, AnalyzedProgram
 from repro.ps.types import ArrayType
+from repro.runtime.backends import create_backend
+from repro.runtime.backends.base import ExecutionState
 from repro.runtime.evaluator import Evaluator
-from repro.runtime.values import RuntimeArray, array_bounds, dtype_for, eval_bound
-
-_SAFE_CALLS = set(_PS_BUILTINS)
-from repro.schedule.flowchart import Descriptor, Flowchart, LoopDescriptor, NodeDescriptor
+from repro.runtime.values import RuntimeArray, array_bounds, dtype_for
+from repro.schedule.flowchart import Flowchart
 from repro.schedule.scheduler import schedule_module
+
+#: Backward-compatible alias — the mutable per-execution state now lives in
+#: :mod:`repro.runtime.backends.base`.
+_State = ExecutionState
 
 
 @dataclass
@@ -43,25 +52,11 @@ class ExecutionOptions:
     vectorize: bool = True
     use_windows: bool = False
     debug_windows: bool = False
-
-
-@dataclass
-class _State:
-    analyzed: AnalyzedModule
-    flowchart: Flowchart
-    options: ExecutionOptions
-    data: dict[str, Any]
-    evaluator: Evaluator
-    program: AnalyzedProgram | None = None
-    #: statistics: equation label -> number of element evaluations
-    eval_counts: dict[str, int] = field(default_factory=dict)
-
-    def scalar_env(self) -> dict[str, int]:
-        return {
-            k: int(v)
-            for k, v in self.data.items()
-            if isinstance(v, (int, np.integer))
-        }
+    #: execution backend: "auto", "serial", "vectorized", "threaded",
+    #: "process" ("auto" follows the ``vectorize`` flag)
+    backend: str = "auto"
+    #: worker count for the chunked backends (None: os.cpu_count())
+    workers: int | None = None
 
 
 def execute_module(
@@ -115,7 +110,7 @@ def execute_module(
         if key not in data and "." in key:
             data[key] = value
 
-    state = _State(
+    state = ExecutionState(
         analyzed,
         flowchart,
         options,
@@ -125,16 +120,18 @@ def execute_module(
     )
     state.evaluator.call_fn = lambda name, cargs: _call_module(state, name, cargs)
 
-    for desc in flowchart.descriptors:
-        _exec_descriptor(state, desc, {}, [])
-
-    results = {}
-    for rname in analyzed.result_names:
-        value = state.data.get(rname)
-        if isinstance(value, RuntimeArray):
-            value = value.to_numpy()
-        results[rname] = value
-    return results
+    backend = create_backend(options)
+    try:
+        backend.run(state)
+        results = {}
+        for rname in analyzed.result_names:
+            value = state.data.get(rname)
+            if isinstance(value, RuntimeArray):
+                value = backend.export_result(value.to_numpy())
+            results[rname] = value
+        return results
+    finally:
+        backend.close()
 
 
 def execute_program_module(
@@ -156,15 +153,21 @@ def _enum_env(analyzed: AnalyzedModule) -> dict[str, int]:
     }
 
 
-def _call_module(state: _State, name: str, cargs: list[Any]) -> Any:
+def _call_module(state: ExecutionState, name: str, cargs: list[Any]) -> Any:
     if state.program is None:
         raise ExecutionError(
             f"module call {name!r} requires program-level execution"
         )
     callee = state.program[name]
     call_args = dict(zip(callee.param_names, cargs))
+    # Callees run on the in-process backends: parallelism belongs to the
+    # outermost module (nested pools/forks inside worker chunks would
+    # oversubscribe or crash).
+    callee_options = state.options
+    if callee_options.backend not in ("auto", "serial", "vectorized"):
+        callee_options = replace(callee_options, backend="auto")
     results = execute_module(
-        callee, call_args, options=state.options, program=state.program
+        callee, call_args, options=callee_options, program=state.program
     )
     scalar_env = {
         k: int(v)
@@ -182,144 +185,3 @@ def _call_module(state: _State, name: str, cargs: list[Any]) -> Any:
             )
         values.append(v)
     return values[0] if len(values) == 1 else tuple(values)
-
-
-# ---------------------------------------------------------------------------
-# Descriptor execution
-# ---------------------------------------------------------------------------
-
-
-def _exec_descriptor(
-    state: _State, desc: Descriptor, env: dict[str, Any], vector_names: list[str]
-) -> None:
-    if isinstance(desc, NodeDescriptor):
-        if desc.node.is_equation:
-            _exec_equation(state, desc.node.equation, env, vector_names)
-        return
-    assert isinstance(desc, LoopDescriptor)
-    scalar_env = state.scalar_env()
-    lo = eval_bound(desc.subrange.lo, scalar_env)
-    hi = eval_bound(desc.subrange.hi, scalar_env)
-    if hi < lo:
-        return
-    if desc.parallel and state.options.vectorize:
-        env2 = dict(env)
-        for vn in vector_names:
-            env2[vn] = np.asarray(env2[vn])[..., None]
-        env2[desc.index] = np.arange(lo, hi + 1)
-        for d in desc.body:
-            _exec_descriptor(state, d, env2, vector_names + [desc.index])
-    else:
-        for i in range(lo, hi + 1):
-            env2 = dict(env)
-            env2[desc.index] = i
-            for d in desc.body:
-                _exec_descriptor(state, d, env2, vector_names)
-
-
-def _equation_is_vector_safe(eq: AnalyzedEquation) -> bool:
-    """A module call blocks vectorisation only when its arguments mention the
-    equation's index variables (then each element needs its own call)."""
-    from repro.ps.ast import names_in
-
-    index_names = set(eq.index_names)
-    for n in walk_expr(eq.rhs):
-        if isinstance(n, Call) and n.func not in _SAFE_CALLS:
-            for a in n.args:
-                if names_in(a) & index_names:
-                    return False
-    return True
-
-
-def _exec_equation(
-    state: _State,
-    eq: AnalyzedEquation,
-    env: dict[str, Any],
-    vector_names: list[str],
-) -> None:
-    vector = bool(vector_names) and state.options.vectorize
-    if vector and not _equation_is_vector_safe(eq):
-        _exec_equation_scalar_fallback(state, eq, env, vector_names)
-        return
-
-    if eq.atomic:
-        _exec_atomic(state, eq, env)
-        return
-
-    _ensure_targets(state, eq)
-    value = state.evaluator.eval(eq.rhs, env, vector=vector)
-    state.eval_counts[eq.label] = state.eval_counts.get(eq.label, 0) + (
-        int(np.size(value)) if vector else 1
-    )
-    target = eq.targets[0]
-    holder = state.data.get(target.name)
-    if isinstance(holder, RuntimeArray):
-        subs = [state.evaluator.eval(s, env, vector=vector) for s in target.subscripts]
-        holder.set(subs, value)
-    else:
-        state.data[target.name] = (
-            value.item() if isinstance(value, np.ndarray) else value
-        )
-
-
-def _exec_equation_scalar_fallback(
-    state: _State,
-    eq: AnalyzedEquation,
-    env: dict[str, Any],
-    vector_names: list[str],
-) -> None:
-    """Iterate the vectorised indices element by element."""
-    grids = [np.broadcast_to(np.asarray(env[vn]), _broadcast_shape(env, vector_names))
-             for vn in vector_names]
-    flat = [g.reshape(-1) for g in grids]
-    for i in range(flat[0].size if flat else 1):
-        env2 = dict(env)
-        for vn, g in zip(vector_names, flat):
-            env2[vn] = int(g[i])
-        _exec_equation(state, eq, env2, [])
-
-
-def _broadcast_shape(env: dict[str, Any], vector_names: list[str]):
-    shapes = [np.asarray(env[vn]).shape for vn in vector_names]
-    return np.broadcast_shapes(*shapes) if shapes else ()
-
-
-def _exec_atomic(state: _State, eq: AnalyzedEquation, env: dict[str, Any]) -> None:
-    value = state.evaluator.eval(eq.rhs, env, vector=False)
-    values = value if isinstance(value, tuple) else (value,)
-    if len(values) != len(eq.targets):
-        raise ExecutionError(
-            f"{eq.label}: expected {len(eq.targets)} results, got {len(values)}"
-        )
-    for target, v in zip(eq.targets, values):
-        sym = state.analyzed.symbol(target.name)
-        if isinstance(sym.type, ArrayType):
-            dense = v.to_numpy() if isinstance(v, RuntimeArray) else np.asarray(v)
-            bounds = array_bounds(sym.type, state.scalar_env())
-            state.data[target.name] = RuntimeArray.from_numpy(
-                target.name, dense, bounds
-            )
-        else:
-            state.data[target.name] = v
-    state.eval_counts[eq.label] = state.eval_counts.get(eq.label, 0) + 1
-
-
-def _ensure_targets(state: _State, eq: AnalyzedEquation) -> None:
-    """Allocate target arrays on first definition."""
-    for target in eq.targets:
-        if target.name in state.data:
-            continue
-        sym = state.analyzed.symbol(target.name)
-        if isinstance(sym.type, ArrayType):
-            bounds = array_bounds(sym.type, state.scalar_env())
-            windows: dict[int, int] = {}
-            if state.options.use_windows and sym.kind is SymbolKind.VAR:
-                windows = dict(state.flowchart.window_of(target.name))
-            state.data[target.name] = RuntimeArray.allocate(
-                target.name,
-                sym.type.element,
-                bounds,
-                windows=windows,
-                debug=state.options.debug_windows,
-            )
-        # Scalars are created on assignment.

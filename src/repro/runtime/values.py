@@ -10,12 +10,23 @@ failure-injection tests rely on this)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.ps.ast import BinOp, BoolLit, Expr, IntLit, Name, RealLit, UnOp
 from repro.ps.types import ArrayType, BoolType, IntType, RealType, Type
+
+#: ``(shape, dtype) -> ndarray`` — how a backend materialises array storage.
+#: The default is plain ``np.zeros``; the process backend supplies a factory
+#: that places storage in ``multiprocessing.shared_memory`` so forked
+#: wavefront workers write into the same planes the parent reads.
+StorageFactory = Callable[[tuple[int, ...], np.dtype], np.ndarray]
+
+
+def default_storage(shape: tuple[int, ...], dtype) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
 
 
 def eval_bound(expr: Expr, env: dict[str, int]) -> int:
@@ -78,7 +89,9 @@ class RuntimeArray:
         bounds: list[tuple[int, int]],
         windows: dict[int, int] | None = None,
         debug: bool = False,
+        storage_factory: StorageFactory | None = None,
     ) -> "RuntimeArray":
+        make = storage_factory or default_storage
         windows = dict(windows or {})
         los = [lo for lo, _ in bounds]
         his = [hi for _, hi in bounds]
@@ -94,10 +107,11 @@ class RuntimeArray:
                 extent = min(extent, windows[d])
                 windows[d] = extent
             shape.append(extent)
-        storage = np.zeros(shape, dtype=dtype_for(element))
+        storage = make(tuple(shape), dtype_for(element))
         tags = None
         if debug and windows:
-            tags = np.full(shape, -(10**9), dtype=np.int64)
+            tags = make(tuple(shape), np.int64)
+            tags[...] = -(10**9)
         return cls(name, los, his, storage, windows, tags)
 
     @property
@@ -174,7 +188,11 @@ class RuntimeArray:
 
     @classmethod
     def from_numpy(
-        cls, name: str, array: np.ndarray, bounds: list[tuple[int, int]]
+        cls,
+        name: str,
+        array: np.ndarray,
+        bounds: list[tuple[int, int]],
+        storage_factory: StorageFactory | None = None,
     ) -> "RuntimeArray":
         expected = tuple(hi - lo + 1 for lo, hi in bounds)
         if array.shape != expected:
@@ -182,11 +200,16 @@ class RuntimeArray:
                 f"argument {name!r} has shape {array.shape}, expected "
                 f"{expected} from the declared bounds"
             )
+        if storage_factory is None:
+            storage = np.array(array)
+        else:
+            storage = storage_factory(expected, array.dtype)
+            storage[...] = array
         return cls(
             name,
             [lo for lo, _ in bounds],
             [hi for _, hi in bounds],
-            np.array(array),
+            storage,
             {},
         )
 

@@ -122,17 +122,21 @@ def execute_transformed_windowed(
 
     # Run the independent descriptors first (there are typically none: the
     # rewriter merges initialisation into the recurrence).
-    from repro.runtime.executor import ExecutionOptions, _State, _exec_descriptor
+    from repro.runtime.backends import create_backend
+    from repro.runtime.backends.base import ExecutionState
+    from repro.runtime.executor import ExecutionOptions
 
-    state = _State(
+    options = ExecutionOptions(vectorize=True)
+    backend = create_backend(options)
+    state = ExecutionState(
         analyzed,
         flowchart,
-        ExecutionOptions(vectorize=True),
+        options,
         data,
         evaluator,
     )
     for desc in others:
-        _exec_descriptor(state, desc, {}, [])
+        backend.exec_descriptor(state, desc, {}, [])
 
     # Bucket extraction points by the time plane they need.
     buckets: dict[int, list[tuple[AnalyzedEquation, dict[str, int]]]] = {}
@@ -171,7 +175,7 @@ def execute_transformed_windowed(
     for t in range(t_lo, t_hi + 1):
         env = {time_loop.index: t}
         for d in time_loop.body:
-            _exec_descriptor(state, d, env, [])
+            backend.exec_descriptor(state, d, env, [])
         for eq, point_env in buckets.pop(t, []):
             value = evaluator.eval(eq.rhs, point_env, vector=False)
             target = eq.targets[0]

@@ -55,6 +55,47 @@ class LoopDescriptor:
     def keyword(self) -> str:
         return "DOALL" if self.parallel else "DO"
 
+    # -- chunkable-subrange metadata (parallel execution backends) ------------
+
+    def nested_descriptors(self) -> Iterator["Descriptor"]:
+        """Every descriptor in this loop's nest, pre-order, self excluded."""
+        stack: list[Descriptor] = list(reversed(self.body))
+        while stack:
+            d = stack.pop()
+            yield d
+            if isinstance(d, LoopDescriptor):
+                stack.extend(reversed(d.body))
+
+    def nested_loops(self) -> list["LoopDescriptor"]:
+        return [d for d in self.nested_descriptors() if isinstance(d, LoopDescriptor)]
+
+    def nested_equations(self) -> list:
+        """The analyzed equations inside this nest (the chunk workload)."""
+        return [
+            d.node.equation
+            for d in self.nested_descriptors()
+            if isinstance(d, NodeDescriptor) and d.node.is_equation
+        ]
+
+    def nest_indices(self) -> set[str]:
+        """Index variables bound anywhere in this nest (self included)."""
+        return {self.index} | {loop.index for loop in self.nested_loops()}
+
+    @property
+    def chunkable(self) -> bool:
+        """Whether a backend may split this subrange into independently
+        executed chunks: the loop must be parallel (``DOALL`` iterations are
+        semantically unordered) and its nest must contain only equations and
+        nested loops — a data-declaration node would be re-emitted per chunk.
+        Backends still apply their own semantic checks (scalar targets,
+        windowed dimensions) on top of this structural one."""
+        if not self.parallel:
+            return False
+        return all(
+            not isinstance(d, NodeDescriptor) or d.node.is_equation
+            for d in self.nested_descriptors()
+        )
+
     def pretty_lines(self, indent: int = 0) -> list[str]:
         pad = "    " * indent
         lines = [f"{pad}{self.keyword} {self.index} ("]
@@ -68,6 +109,24 @@ class LoopDescriptor:
 
 
 Descriptor = Union[NodeDescriptor, LoopDescriptor]
+
+
+def split_range(lo: int, hi: int, parts: int) -> list[tuple[int, int]]:
+    """Split the inclusive subrange ``[lo, hi]`` into at most ``parts``
+    balanced contiguous subranges (sizes differ by at most one) — the chunk
+    shape the parallel execution backends hand to their workers."""
+    n = hi - lo + 1
+    if n <= 0:
+        return []
+    parts = max(1, min(parts, n))
+    base, extra = divmod(n, parts)
+    spans: list[tuple[int, int]] = []
+    start = lo
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        spans.append((start, start + size - 1))
+        start += size
+    return spans
 
 
 @dataclass

@@ -118,5 +118,30 @@ class TestRun:
         )
         assert rc == 0
 
+    @pytest.mark.parametrize("backend", ["serial", "vectorized", "threaded", "process"])
+    def test_backend_flag(self, jacobi_file, backend, capsys):
+        rc = main(
+            ["run", jacobi_file, "--set", "M=3", "--set", "maxK=3",
+             "--backend", backend, "--workers", "2"]
+        )
+        assert rc == 0
+        assert "newA =" in capsys.readouterr().out
+
+    def test_backend_flag_rejects_unknown(self, jacobi_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", jacobi_file, "--set", "M=3", "--set", "maxK=3",
+                  "--backend", "gpu"])
+
+    def test_scalar_conflicts_with_parallel_backend(self, jacobi_file, capsys):
+        rc = main(["run", jacobi_file, "--set", "M=3", "--set", "maxK=3",
+                   "--scalar", "--backend", "threaded"])
+        assert rc == 1
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_scalar_with_serial_backend_ok(self, jacobi_file, capsys):
+        rc = main(["run", jacobi_file, "--set", "M=3", "--set", "maxK=3",
+                   "--scalar", "--backend", "serial"])
+        assert rc == 0
+
     def test_bad_set_syntax(self, jacobi_file, capsys):
         assert main(["run", jacobi_file, "--set", "M"]) == 1
