@@ -6,7 +6,7 @@ Benchmarks flowchart assembly and traversal.
 """
 
 from repro.core.paper import jacobi_analyzed
-from repro.schedule.flowchart import Flowchart, LoopDescriptor, NodeDescriptor
+from repro.schedule.flowchart import Flowchart, LoopDescriptor
 from repro.schedule.scheduler import schedule_module
 
 

@@ -12,7 +12,6 @@ Run:  python examples/hyperplane_gauss_seidel.py
 
 import numpy as np
 
-import repro
 from repro.core.paper import gauss_seidel_analyzed
 from repro.hyperplane.pipeline import hyperplane_transform
 from repro.ps.printer import format_module

@@ -17,7 +17,6 @@ import time
 
 import numpy as np
 
-import repro
 from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
 from repro.machine.cost import MachineModel
 from repro.machine.report import speedup_table

@@ -16,7 +16,6 @@ from repro.analysis.element_graph import build_element_graph
 from repro.analysis.wavefront import wavefront_profile
 from repro.hyperplane.pipeline import hyperplane_transform
 from repro.ps.parser import parse_module
-from repro.ps.printer import format_module
 from repro.ps.semantics import analyze_module
 from repro.runtime.executor import execute_module
 from repro.schedule.scheduler import schedule_module

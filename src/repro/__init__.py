@@ -16,8 +16,6 @@ Quickstart::
     print(result.c_source)
 """
 
-__version__ = "1.0.0"
-
 from repro.errors import (
     CodegenError,
     CoverageError,
@@ -32,6 +30,8 @@ from repro.errors import (
     SourceError,
     TransformError,
 )
+
+__version__ = "1.1.0"
 
 __all__ = [
     "CodegenError",

@@ -8,7 +8,6 @@ which cover every point in the array."
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 import numpy as np

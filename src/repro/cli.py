@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -34,7 +34,7 @@ from repro.schedule.scheduler import schedule_module
 
 
 def _read_module(path: str):
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         return parse_module(fh.read())
 
 
@@ -59,7 +59,7 @@ def _cmd_graph(args) -> int:
 
 
 def _cmd_compile(args) -> int:
-    with open(args.module, "r", encoding="utf-8") as fh:
+    with open(args.module, encoding="utf-8") as fh:
         source = fh.read()
     options = CompilerOptions(
         merge_loops=args.merge,
@@ -146,6 +146,7 @@ def _cmd_run(args) -> int:
         use_windows=args.windows,
         backend=args.backend,
         workers=args.workers,
+        use_kernels=not args.no_kernels,
     )
     results = execute_module(analyzed, run_args, options=options)
     with np.printoptions(precision=6, suppress=True):
@@ -208,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="worker count for the threaded/process backends "
                         "(default: cpu count)")
+    p.add_argument("--no-kernels", action="store_true",
+                   help="disable compiled equation kernels and run "
+                        "everything on the reference tree-walking evaluator")
     p.set_defaults(func=_cmd_run)
     return parser
 

@@ -1,0 +1,139 @@
+"""Shared expression lowering: normalised PS expressions -> Python source.
+
+Both code paths that turn equations into executable Python — the whole-module
+generator (:mod:`repro.codegen.pygen`) and the runtime kernel emitter
+(:mod:`repro.runtime.kernels.emit`) — walk the same AST and agree on the
+skeleton of the translation (literals, operator spellings, parenthesisation).
+Factoring the walk here guarantees they cannot drift apart structurally: a
+dialect only overrides the *hooks* (name resolution, array references,
+builtin calls, and the handful of operators whose runtime semantics differ
+between scalar Python, NumPy, and the reference evaluator).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.ps.ast import (
+    BinOp,
+    BoolLit,
+    Call,
+    Expr,
+    FieldRef,
+    IfExpr,
+    Index,
+    IntLit,
+    Name,
+    RealLit,
+    UnOp,
+)
+
+#: Operators whose Python spelling is shared by every dialect.
+INFIX_OPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "=": "==",
+    "<>": "!=",
+}
+
+
+class ExprLowerer:
+    """The shared walk. Subclasses provide a dialect via the hook methods.
+
+    The default hook implementations lower to plain scalar Python (lazy
+    ``if``, ``and``/``or`` short-circuit, ``//`` and ``%``), which is the
+    dialect the whole-module Python generator needs.
+    """
+
+    #: exception type raised on unsupported constructs
+    error_type: type[ReproError] = ReproError
+
+    def error(self, message: str) -> ReproError:
+        return self.error_type(message)
+
+    # -- the walk ----------------------------------------------------------
+
+    def lower(self, expr: Expr) -> str:
+        if isinstance(expr, IntLit):
+            return str(expr.value)
+        if isinstance(expr, RealLit):
+            return repr(expr.value)
+        if isinstance(expr, BoolLit):
+            return "True" if expr.value else "False"
+        if isinstance(expr, Name):
+            return self.lower_name(expr.ident)
+        if isinstance(expr, Index):
+            if isinstance(expr.base, Name):
+                return self.lower_array_ref(expr.base.ident, expr.subscripts)
+            raise self.error("indexing of computed values is not supported")
+        if isinstance(expr, BinOp):
+            return self.lower_binop(expr)
+        if isinstance(expr, UnOp):
+            return self.lower_unop(expr)
+        if isinstance(expr, IfExpr):
+            return self.lower_if(expr)
+        if isinstance(expr, Call):
+            return self.lower_call(expr)
+        if isinstance(expr, FieldRef):
+            raise self.error("record fields are not supported")
+        raise self.error(f"cannot lower {type(expr).__name__}")
+
+    # -- dialect hooks -----------------------------------------------------
+
+    def lower_name(self, ident: str) -> str:
+        raise NotImplementedError
+
+    def lower_array_ref(self, name: str, subscripts: list[Expr]) -> str:
+        raise NotImplementedError
+
+    def lower_call(self, expr: Call) -> str:
+        raise NotImplementedError
+
+    def lower_binop(self, expr: BinOp) -> str:
+        left = self.lower(expr.left)
+        right = self.lower(expr.right)
+        op = expr.op
+        if op == "/":
+            return self.lower_div(left, right)
+        if op == "div":
+            return self.lower_floordiv(left, right)
+        if op == "mod":
+            return self.lower_mod(left, right)
+        if op in ("and", "or"):
+            return self.lower_logical(op, left, right)
+        return f"({left} {INFIX_OPS[op]} {right})"
+
+    def lower_unop(self, expr: UnOp) -> str:
+        operand = self.lower(expr.operand)
+        if expr.op == "not":
+            return self.lower_not(operand)
+        return f"({expr.op}{operand})"
+
+    # The operators below differ between dialects (scalar Python vs NumPy vs
+    # the reference evaluator's runtime dispatch); the defaults are the plain
+    # scalar-Python forms used by the whole-module generator.
+
+    def lower_div(self, left: str, right: str) -> str:
+        return f"({left} / {right})"
+
+    def lower_floordiv(self, left: str, right: str) -> str:
+        return f"({left} // {right})"
+
+    def lower_mod(self, left: str, right: str) -> str:
+        return f"({left} % {right})"
+
+    def lower_logical(self, op: str, left: str, right: str) -> str:
+        return f"({left} {op} {right})"
+
+    def lower_not(self, operand: str) -> str:
+        return f"(not {operand})"
+
+    def lower_if(self, expr: IfExpr) -> str:
+        return (
+            f"({self.lower(expr.then)} if {self.lower(expr.cond)} "
+            f"else {self.lower(expr.orelse)})"
+        )

@@ -9,27 +9,21 @@ generated code and reference semantics must agree bit for bit.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
+from repro.codegen.exprlower import ExprLowerer
 from repro.codegen.naming import py_name
 from repro.errors import CodegenError
-from repro.ps.ast import (
-    BinOp,
-    BoolLit,
-    Call,
-    Expr,
-    FieldRef,
-    IfExpr,
-    Index,
-    IntLit,
-    Name,
-    RealLit,
-    UnOp,
-)
+from repro.ps.ast import Call, Expr
 from repro.ps.semantics import AnalyzedModule, is_builtin
 from repro.ps.symbols import SymbolKind
 from repro.ps.types import ArrayType, BoolType, RealType
-from repro.schedule.flowchart import Descriptor, Flowchart, LoopDescriptor, NodeDescriptor
+from repro.schedule.flowchart import (
+    Descriptor,
+    Flowchart,
+    LoopDescriptor,
+    NodeDescriptor,
+)
 from repro.schedule.scheduler import schedule_module
 
 _BUILTIN_PY = {
@@ -50,6 +44,37 @@ _BUILTIN_PY = {
 }
 
 
+class _PygenLowerer(ExprLowerer):
+    """The whole-module dialect: plain scalar Python over ``math``, mangled
+    identifiers, and origin-shifted (optionally windowed) array indexing."""
+
+    error_type = CodegenError
+
+    def __init__(self, generator: PyGenerator):
+        self.generator = generator
+
+    def lower_name(self, ident: str) -> str:
+        table = self.generator.analyzed.table
+        if ident in table.enum_members:
+            _, ordinal = table.enum_members[ident]
+            return str(ordinal)
+        return py_name(ident)
+
+    def lower_array_ref(self, name: str, subscripts: list[Expr]) -> str:
+        if not self.generator.analyzed.table.symbol(name):
+            raise self.error("indexing of computed values is not supported")
+        return self.generator._array_ref(name, subscripts)
+
+    def lower_call(self, expr: Call) -> str:
+        if is_builtin(expr.func):
+            args = ", ".join(self.lower(a) for a in expr.args)
+            return f"{_BUILTIN_PY[expr.func]}({args})"
+        raise self.error(
+            f"module call {expr.func!r} is not supported by the "
+            f"single-module Python generator"
+        )
+
+
 class PyGenerator:
     def __init__(
         self,
@@ -62,6 +87,7 @@ class PyGenerator:
         self.use_windows = use_windows
         self.lines: list[str] = []
         self.indent = 0
+        self.lowerer = _PygenLowerer(self)
 
     def _emit(self, text: str = "") -> None:
         self.lines.append(("    " * self.indent + text) if text else "")
@@ -173,65 +199,7 @@ class PyGenerator:
         return f"{pname}[{', '.join(parts)}]"
 
     def _expr(self, expr: Expr) -> str:
-        if isinstance(expr, IntLit):
-            return str(expr.value)
-        if isinstance(expr, RealLit):
-            return repr(expr.value)
-        if isinstance(expr, BoolLit):
-            return "True" if expr.value else "False"
-        if isinstance(expr, Name):
-            if expr.ident in self.analyzed.table.enum_members:
-                _, ordinal = self.analyzed.table.enum_members[expr.ident]
-                return str(ordinal)
-            return py_name(expr.ident)
-        if isinstance(expr, Index):
-            if isinstance(expr.base, Name) and self.analyzed.table.symbol(
-                expr.base.ident
-            ):
-                return self._array_ref(expr.base.ident, expr.subscripts)
-            raise CodegenError("indexing of computed values is not supported")
-        if isinstance(expr, BinOp):
-            return self._binop(expr)
-        if isinstance(expr, UnOp):
-            if expr.op == "not":
-                return f"(not {self._expr(expr.operand)})"
-            return f"({expr.op}{self._expr(expr.operand)})"
-        if isinstance(expr, IfExpr):
-            return (
-                f"({self._expr(expr.then)} if {self._expr(expr.cond)} "
-                f"else {self._expr(expr.orelse)})"
-            )
-        if isinstance(expr, Call):
-            if is_builtin(expr.func):
-                args = ", ".join(self._expr(a) for a in expr.args)
-                return f"{_BUILTIN_PY[expr.func]}({args})"
-            raise CodegenError(
-                f"module call {expr.func!r} is not supported by the "
-                f"single-module Python generator"
-            )
-        if isinstance(expr, FieldRef):
-            raise CodegenError("record fields are not supported")
-        raise CodegenError(f"cannot generate Python for {type(expr).__name__}")
-
-    def _binop(self, expr: BinOp) -> str:
-        left = self._expr(expr.left)
-        right = self._expr(expr.right)
-        op = expr.op
-        mapping = {
-            "+": "+", "-": "-", "*": "*", "<": "<", "<=": "<=", ">": ">",
-            ">=": ">=", "and": "and", "or": "or",
-        }
-        if op == "/":
-            return f"({left} / {right})"
-        if op == "div":
-            return f"({left} // {right})"
-        if op == "mod":
-            return f"({left} % {right})"
-        if op == "=":
-            return f"({left} == {right})"
-        if op == "<>":
-            return f"({left} != {right})"
-        return f"({left} {mapping[op]} {right})"
+        return self.lowerer.lower(expr)
 
 
 def generate_python(

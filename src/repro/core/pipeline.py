@@ -13,12 +13,13 @@ and window allocation (section 3.4).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable
+from typing import Any
 
 from repro.codegen.cgen import generate_c
 from repro.codegen.pygen import compile_python, generate_python
-from repro.errors import CodegenError, TransformError
+from repro.errors import CodegenError
 from repro.graph.build import build_dependency_graph
 from repro.graph.depgraph import DependencyGraph
 from repro.hyperplane.pipeline import HyperplaneResult, hyperplane_transform
@@ -26,6 +27,7 @@ from repro.ps.ast import Module
 from repro.ps.parser import parse_module
 from repro.ps.semantics import AnalyzedModule, AnalyzedProgram, analyze_module
 from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.kernels import KernelCache
 from repro.schedule.flowchart import Flowchart
 from repro.schedule.merge import merge_loops
 from repro.schedule.scheduler import schedule_module
@@ -51,6 +53,18 @@ class CompileResult:
     python_source: str | None = None
     hyperplane_result: HyperplaneResult | None = None
     warnings: list[str] = field(default_factory=list)
+    #: compiled-kernel cache shared by every ``run()`` of this result —
+    #: each equation is exec-compiled at most once per variant, no matter
+    #: how many times (or on how many backends) the module executes
+    _kernel_cache: KernelCache | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def kernel_cache(self) -> KernelCache:
+        if self._kernel_cache is None:
+            self._kernel_cache = KernelCache(self.analyzed, self.flowchart)
+        return self._kernel_cache
 
     def run(
         self,
@@ -73,7 +87,11 @@ class CompileResult:
                 workers=workers if workers is not None else base.workers,
             )
         return execute_module(
-            self.analyzed, args, flowchart=self.flowchart, options=execution
+            self.analyzed,
+            args,
+            flowchart=self.flowchart,
+            options=execution,
+            kernel_cache=self.kernel_cache,
         )
 
     def compile_python(self) -> Callable:

@@ -161,7 +161,7 @@ class DependencyGraph:
     def equation_nodes(self) -> list[Node]:
         return [n for n in self.nodes.values() if n.is_equation]
 
-    def full_view(self) -> "GraphView":
+    def full_view(self) -> GraphView:
         return GraphView(self, frozenset(self.nodes), frozenset(self.edges))
 
 
@@ -202,8 +202,8 @@ class GraphView:
     def in_edges(self, node_id: str) -> list[Edge]:
         return [e for e in self.graph.in_edges(node_id) if self.contains_edge(e)]
 
-    def restrict_nodes(self, node_ids: frozenset[str]) -> "GraphView":
+    def restrict_nodes(self, node_ids: frozenset[str]) -> GraphView:
         return GraphView(self.graph, node_ids & self.node_ids, self.edge_ids)
 
-    def without_edges(self, edge_ids: set[int]) -> "GraphView":
+    def without_edges(self, edge_ids: set[int]) -> GraphView:
         return GraphView(self.graph, self.node_ids, self.edge_ids - frozenset(edge_ids))

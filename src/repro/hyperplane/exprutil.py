@@ -102,7 +102,9 @@ def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
     in the mapping)."""
     if isinstance(expr, Name):
         return mapping.get(expr.ident, expr)
-    if isinstance(expr, IntLit) or not isinstance(expr, (BinOp, UnOp, IfExpr, Index, Call, FieldRef)):
+    if isinstance(expr, IntLit) or not isinstance(
+        expr, (BinOp, UnOp, IfExpr, Index, Call, FieldRef)
+    ):
         return expr
     if isinstance(expr, BinOp):
         return BinOp(expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping))

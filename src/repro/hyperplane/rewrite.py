@@ -51,7 +51,7 @@ from repro.ps.ast import (
     walk_expr,
 )
 from repro.ps.semantics import AnalyzedModule
-from repro.ps.types import ArrayType, RealType, SubrangeType
+from repro.ps.types import ArrayType, RealType
 
 
 @dataclass
@@ -328,7 +328,9 @@ def _rewrite_refs(
         return Index(Name(plan.new_array), subs)
     if isinstance(expr, Index):
         return Index(
-            expr.base if isinstance(expr.base, Name) else _rewrite_refs(expr.base, arr_type, plan, mapping),
+            expr.base
+            if isinstance(expr.base, Name)
+            else _rewrite_refs(expr.base, arr_type, plan, mapping),
             [_rewrite_refs(s, arr_type, plan, mapping) for s in expr.subscripts],
         )
     if isinstance(expr, Name):

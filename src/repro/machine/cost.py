@@ -38,7 +38,7 @@ class MachineModel:
     doall_barrier: int = 20  # joining it
     call_cost: int = 50  # module invocation overhead
 
-    def with_processors(self, p: int) -> "MachineModel":
+    def with_processors(self, p: int) -> MachineModel:
         return MachineModel(
             processors=p,
             op_cost=self.op_cost,

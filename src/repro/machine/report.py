@@ -8,7 +8,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.machine.cost import MachineModel
-from repro.machine.simulator import SimulationResult, simulate_flowchart
+from repro.machine.simulator import simulate_flowchart
 from repro.ps.semantics import AnalyzedModule
 from repro.schedule.flowchart import Flowchart
 

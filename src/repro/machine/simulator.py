@@ -33,7 +33,7 @@ class SimulationResult:
     model: MachineModel
     breakdown: dict[str, int] = field(default_factory=dict)
 
-    def speedup_against(self, baseline: "SimulationResult") -> float:
+    def speedup_against(self, baseline: SimulationResult) -> float:
         return baseline.cycles / self.cycles if self.cycles else float("inf")
 
 

@@ -64,31 +64,31 @@ class ModuleBuilder:
 
     # -- declarations --------------------------------------------------------
 
-    def param(self, name: str, typetext: str) -> "ModuleBuilder":
+    def param(self, name: str, typetext: str) -> ModuleBuilder:
         self._params.append(Param(name, parse_typeexpr_text(typetext)))
         return self
 
-    def result(self, name: str, typetext: str) -> "ModuleBuilder":
+    def result(self, name: str, typetext: str) -> ModuleBuilder:
         self._results.append(Param(name, parse_typeexpr_text(typetext)))
         return self
 
-    def subrange(self, name: str, lo: str | int, hi: str | int) -> "ModuleBuilder":
+    def subrange(self, name: str, lo: str | int, hi: str | int) -> ModuleBuilder:
         lo_e = parse_expression(str(lo))
         hi_e = parse_expression(str(hi))
         self._typedecls.append(TypeDecl([name], RangeTypeExpr(lo_e, hi_e)))
         return self
 
-    def typedecl(self, name: str, typetext: str) -> "ModuleBuilder":
+    def typedecl(self, name: str, typetext: str) -> ModuleBuilder:
         self._typedecls.append(TypeDecl([name], parse_typeexpr_text(typetext)))
         return self
 
-    def var(self, name: str, typetext: str) -> "ModuleBuilder":
+    def var(self, name: str, typetext: str) -> ModuleBuilder:
         self._vardecls.append(VarDecl([name], parse_typeexpr_text(typetext)))
         return self
 
     # -- equations -------------------------------------------------------------
 
-    def equation(self, text: str) -> "ModuleBuilder":
+    def equation(self, text: str) -> ModuleBuilder:
         """Add an equation from source text ``"lhs = rhs"`` (trailing ';'
         optional)."""
         text = text.strip()
@@ -101,7 +101,7 @@ class ModuleBuilder:
         self._equations.append(eq)
         return self
 
-    def define(self, lhs: str, rhs: Expr | str) -> "ModuleBuilder":
+    def define(self, lhs: str, rhs: Expr | str) -> ModuleBuilder:
         """Add an equation with a textual LHS and an AST or textual RHS."""
         if isinstance(rhs, str):
             rhs_expr = parse_expression(rhs)

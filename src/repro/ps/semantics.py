@@ -151,6 +151,9 @@ class AnalyzedEquation:
     calls: list[str]
     rhs_type: Type
     atomic: bool = False  # multi-target module-call equations execute wholesale
+    #: cached vectorisation-safety verdict, filled at flowchart-build time
+    #: (or lazily on first use) — see ``repro.schedule.flowchart``
+    vector_safe: bool | None = None
 
     @property
     def index_names(self) -> list[str]:
@@ -894,8 +897,14 @@ class _ExprChecker:
 
 
 def _signature_of(analyzed: AnalyzedModule) -> tuple[list[Type], list[Type]]:
-    params = [analyzed.table.symbol(p).type for p in analyzed.param_names]  # type: ignore[union-attr]
-    results = [analyzed.table.symbol(r).type for r in analyzed.result_names]  # type: ignore[union-attr]
+    params = [
+        analyzed.table.symbol(p).type  # type: ignore[union-attr]
+        for p in analyzed.param_names
+    ]
+    results = [
+        analyzed.table.symbol(r).type  # type: ignore[union-attr]
+        for r in analyzed.result_names
+    ]
     return params, results
 
 

@@ -72,10 +72,10 @@ class SubrangeType(Type):
     anonymous: bool = False
 
     @staticmethod
-    def fresh(lo: Expr, hi: Expr) -> "SubrangeType":
+    def fresh(lo: Expr, hi: Expr) -> SubrangeType:
         return SubrangeType(f"$range{next(_anon_counter)}", lo, hi, anonymous=True)
 
-    def bounds_equal(self, other: "SubrangeType") -> bool:
+    def bounds_equal(self, other: SubrangeType) -> bool:
         """Structural equality of the bound expressions."""
         return expr_equal(self.lo, other.lo) and expr_equal(self.hi, other.hi)
 

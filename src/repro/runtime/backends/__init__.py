@@ -18,7 +18,7 @@ from repro.runtime.backends.base import (
     chunk_safe,
     equation_is_vector_safe,
 )
-from repro.runtime.backends.process import ProcessBackend
+from repro.runtime.backends.process import ForkProcessBackend, ProcessBackend
 from repro.runtime.backends.serial import SerialBackend
 from repro.runtime.backends.threaded import ThreadedBackend
 from repro.runtime.backends.vectorized import VectorizedBackend
@@ -28,6 +28,9 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
     VectorizedBackend.name: VectorizedBackend,
     ThreadedBackend.name: ThreadedBackend,
     ProcessBackend.name: ProcessBackend,
+    # The fork-per-wavefront baseline the persistent pool replaced; kept
+    # for measurement (bench_kernels) and as a debugging escape hatch.
+    ForkProcessBackend.name: ForkProcessBackend,
 }
 
 
@@ -60,6 +63,7 @@ __all__ = [
     "BACKENDS",
     "ExecutionBackend",
     "ExecutionState",
+    "ForkProcessBackend",
     "ProcessBackend",
     "SerialBackend",
     "ThreadedBackend",

@@ -11,13 +11,18 @@ allocation); they differ only in how a ``DOALL`` subrange is run:
 * :class:`~repro.runtime.backends.threaded.ThreadedBackend` — chunked
   subranges on a thread pool (NumPy kernels release the GIL);
 * :class:`~repro.runtime.backends.process.ProcessBackend` — chunked
-  subranges in forked worker processes writing to shared-memory arrays,
-  with a barrier per wavefront.
+  subranges on a persistent pool of forked workers writing to shared-memory
+  arrays, with a barrier per wavefront (and
+  :class:`~repro.runtime.backends.process.ForkProcessBackend`, the
+  fork-per-wavefront baseline it replaced).
 
-The chunked backends rely on the ``DOALL`` guarantee that iterations are
-independent; :func:`chunk_safe` additionally rejects nests whose execution
-would race on shared interpreter state (scalar targets, atomic equations,
-windowed dimensions subscripted by a nest index).
+Equation evaluation dispatches through the compiled-kernel cache when one
+is attached to the state (see :mod:`repro.runtime.kernels`); the tree-
+walking evaluator remains the fallback. The chunked backends rely on the
+``DOALL`` guarantee that iterations are independent; :func:`chunk_safe`
+additionally rejects nests whose execution would race on shared interpreter
+state (scalar targets, atomic equations, windowed dimensions subscripted by
+a nest index).
 """
 
 from __future__ import annotations
@@ -29,8 +34,6 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.ps.ast import Call, names_in, walk_expr
-from repro.ps.semantics import _BUILTINS as _PS_BUILTINS
 from repro.ps.semantics import AnalyzedEquation, AnalyzedModule, AnalyzedProgram
 from repro.ps.symbols import SymbolKind
 from repro.ps.types import ArrayType
@@ -47,9 +50,9 @@ from repro.schedule.flowchart import (
     Flowchart,
     LoopDescriptor,
     NodeDescriptor,
+    equation_vector_safe,
+    loop_chunk_safe,
 )
-
-_SAFE_CALLS = set(_PS_BUILTINS)
 
 
 @dataclass
@@ -67,6 +70,8 @@ class ExecutionState:
     eval_counts: dict[str, int] = field(default_factory=dict)
     #: how target arrays are materialised (process backend: shared memory)
     storage_factory: StorageFactory = default_storage
+    #: compiled-kernel cache (None: evaluate everything on the tree walk)
+    kernels: Any = None  # KernelCache | None (untyped: import cycle)
 
     def scalar_env(self) -> dict[str, int]:
         return {
@@ -75,7 +80,7 @@ class ExecutionState:
             if isinstance(v, (int, np.integer))
         }
 
-    def fork(self) -> "ExecutionState":
+    def fork(self) -> ExecutionState:
         """A shallow copy with private eval counts, for one worker chunk.
         The data environment stays shared (threads) or becomes copy-on-write
         (forked processes); either way chunk workers only *write* array
@@ -89,50 +94,32 @@ class ExecutionState:
             program=self.program,
             eval_counts={},
             storage_factory=self.storage_factory,
+            kernels=self.kernels,
         )
 
     def merge_counts(self, counts: dict[str, int]) -> None:
         for label, n in counts.items():
             self.eval_counts[label] = self.eval_counts.get(label, 0) + n
 
+    def kernel_for(self, eq: AnalyzedEquation, vector: bool):
+        """The compiled kernel for ``eq`` (None: use the evaluator)."""
+        if self.kernels is None:
+            return None
+        return self.kernels.kernel_for(eq, vector, self.options.use_windows)
+
 
 def equation_is_vector_safe(eq: AnalyzedEquation) -> bool:
-    """A module call blocks vectorisation only when its arguments mention the
-    equation's index variables (then each element needs its own call)."""
-    index_names = set(eq.index_names)
-    for n in walk_expr(eq.rhs):
-        if isinstance(n, Call) and n.func not in _SAFE_CALLS:
-            for a in n.args:
-                if names_in(a) & index_names:
-                    return False
-    return True
+    """Cached vector-safety verdict (see ``repro.schedule.flowchart``)."""
+    return equation_vector_safe(eq)
 
 
 def chunk_safe(state: ExecutionState, desc: LoopDescriptor) -> bool:
-    """Whether a DOALL nest may be split across concurrently executing
-    workers. Beyond the structural :attr:`LoopDescriptor.chunkable` check,
-    every equation must write only array elements (a scalar target would be
-    an interpreter-state race), must not be atomic (atomic equations rebind
-    whole arrays), and no windowed dimension of a target may be subscripted
-    by a nest index (two chunks could then alias one window plane)."""
-    if not desc.chunkable:
-        return False
-    indices = desc.nest_indices()
-    for eq in desc.nested_equations():
-        if eq.atomic:
-            return False
-        for target in eq.targets:
-            sym = state.analyzed.symbol(target.name)
-            if not isinstance(sym.type, ArrayType):
-                return False
-            if state.options.use_windows:
-                wins = state.flowchart.window_of(target.name)
-                for d in wins:
-                    if d < len(target.subscripts) and (
-                        names_in(target.subscripts[d]) & indices
-                    ):
-                        return False
-    return True
+    """Cached chunk-safety verdict: precomputed at flowchart-build time by
+    :func:`repro.schedule.flowchart.annotate_flowchart`, derived on first
+    use for hand-built flowcharts."""
+    return loop_chunk_safe(
+        desc, state.analyzed, state.flowchart.windows, state.options.use_windows
+    )
 
 
 class ExecutionBackend:
@@ -234,6 +221,18 @@ class ExecutionBackend:
             return
 
         self.ensure_targets(state, eq)
+        kernel = state.kernel_for(eq, vector)
+        if kernel is not None:
+            try:
+                count = kernel(state.data, env)
+            except KeyError as exc:
+                # A missing data/env binding inside a kernel is the
+                # evaluator's "unbound name" error.
+                raise ExecutionError(f"unbound name {exc.args[0]!r}") from None
+            state.eval_counts[eq.label] = (
+                state.eval_counts.get(eq.label, 0) + count
+            )
+            return
         value = state.evaluator.eval(eq.rhs, env, vector=vector)
         state.eval_counts[eq.label] = state.eval_counts.get(eq.label, 0) + (
             int(np.size(value)) if vector else 1

@@ -1,13 +1,21 @@
-"""Process backend: forked wavefront workers over shared-memory arrays.
+"""Process backends: DOALL chunks in worker processes over shared memory.
 
-Target arrays are materialised in ``multiprocessing.shared_memory`` (the
-storage-factory hook), so worker processes forked at each wavefront write
-their chunk's elements directly into the planes the parent — and every
-other worker — maps. Joining all workers is the per-wavefront barrier;
-eval-count statistics travel back over a queue.
+Two strategies share the shared-memory storage machinery:
+
+* :class:`ProcessBackend` (``"process"``) — a **persistent pool**: workers
+  are forked once, at the first chunk dispatch, inheriting the interpreter
+  state *and the warmed kernel cache*; each wavefront then costs one task
+  message and one result message per worker instead of a fork/exec/teardown.
+  Arrays allocated (or rebound) after the fork are re-attached by name
+  through their ``multiprocessing.shared_memory`` segments, so workers
+  always address the planes the parent sees.
+* :class:`ForkProcessBackend` (``"process-fork"``) — the original
+  fork-per-wavefront strategy, kept as the measured baseline (see
+  ``benchmarks/bench_kernels.py``) and as the fallback for window-debug
+  runs, whose fault-on-overwrite tag arrays must be re-inherited fresh.
 
 Fork is required (the child must inherit the interpreter state without
-pickling); on platforms without it the backend degrades gracefully to
+pickling); on platforms without it both backends degrade gracefully to
 running the chunks in-process, preserving semantics without parallelism.
 Result arrays are copied out before the shared segments are unlinked.
 """
@@ -15,6 +23,7 @@ Result arrays are copied out before the shared segments are unlinked.
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_mod
 from multiprocessing import shared_memory
 from typing import Any
 
@@ -23,6 +32,8 @@ import numpy as np
 from repro.errors import ExecutionError
 from repro.runtime.backends.base import ExecutionState
 from repro.runtime.backends.threaded import ChunkedBackend
+from repro.runtime.backends.vectorized import VectorizedBackend
+from repro.runtime.values import RuntimeArray
 from repro.schedule.flowchart import LoopDescriptor
 
 
@@ -30,12 +41,31 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-class ProcessBackend(ChunkedBackend):
-    name = "process"
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment the parent owns.
+
+    On Python >= 3.13 ``track=False`` skips resource-tracker registration
+    outright. Earlier versions register on attach — harmless here, because a
+    forked worker shares the parent's tracker process and its name cache is
+    a set: the attach re-adds the name the parent's create registered, and
+    the parent's ``unlink`` removes it exactly once."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+class ForkProcessBackend(ChunkedBackend):
+    """Fork-per-wavefront baseline (PR 1 semantics)."""
+
+    name = "process-fork"
 
     def __init__(self, workers: int | None = None):
         super().__init__(workers)
         self._segments: list[shared_memory.SharedMemory] = []
+        #: id(storage) -> (storage, segment name); the strong reference
+        #: keeps the id stable for the backend's lifetime
+        self._seg_by_storage: dict[int, tuple[np.ndarray, str]] = {}
         self._ctx = (
             multiprocessing.get_context("fork") if _fork_available() else None
         )
@@ -50,7 +80,14 @@ class ProcessBackend(ChunkedBackend):
         self._segments.append(shm)
         arr = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
         arr[...] = 0
+        self._seg_by_storage[id(arr)] = (arr, shm.name)
         return arr
+
+    def segment_name_for(self, storage: np.ndarray) -> str | None:
+        entry = self._seg_by_storage.get(id(storage))
+        if entry is not None and entry[0] is storage:
+            return entry[1]
+        return None
 
     def export_result(self, array: np.ndarray) -> np.ndarray:
         # Results must outlive the shared segments backing them.
@@ -66,6 +103,7 @@ class ProcessBackend(ChunkedBackend):
         # garbage collected; close() here would raise BufferError while
         # exported views exist.
         self._segments.clear()
+        self._seg_by_storage.clear()
 
     # -- dispatch ----------------------------------------------------------
 
@@ -139,3 +177,195 @@ class ProcessBackend(ChunkedBackend):
             queue.put(("ok", state.eval_counts))
         except BaseException as exc:  # noqa: BLE001 — reported to the parent
             queue.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+def _pool_worker(backend: ProcessBackend, state: ExecutionState, task_q, result_q):
+    """Persistent-worker main loop (runs in the forked child).
+
+    The child inherited the interpreter state — analyzed module, flowchart,
+    compiled kernel cache, and every array allocated before the fork. Each
+    task carries the *full* current sync state (scalar bindings plus the
+    shared-memory table of array storage — a few hundred bytes; the array
+    contents themselves never travel) and the worker applies only the
+    deltas: an array is re-attached by segment name exactly when its
+    backing segment changed, i.e. it was allocated or rebound wholesale by
+    an atomic equation after the fork. Tasks are load-balanced off one
+    shared queue, so a worker may see none of a wavefront's tasks —
+    per-task full state is what keeps a later task self-sufficient.
+    """
+    vec = VectorizedBackend(workers=1)
+    known: dict[str, str] = {}
+    for name, val in state.data.items():
+        if isinstance(val, RuntimeArray):
+            seg = backend.segment_name_for(val.storage)
+            if seg is not None:
+                known[name] = seg
+    attached: dict[str, shared_memory.SharedMemory] = {}
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        task_id, path, lo, hi, env, scalars, specs = task
+        try:
+            state.data.update(scalars)
+            for name, (seg, shape, dtype, los, his, windows) in specs.items():
+                if known.get(name) == seg:
+                    continue
+                shm = attached.get(seg)
+                if shm is None:
+                    shm = _attach_shm(seg)
+                    attached[seg] = shm
+                storage = np.ndarray(
+                    tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf
+                )
+                state.data[name] = RuntimeArray(
+                    name, list(los), list(his), storage, dict(windows), None
+                )
+                known[name] = seg
+            desc = state.flowchart.descriptor_at(path)
+            sub = state.fork()
+            vec.exec_vector_span(sub, desc, lo, hi, env, [])
+            result_q.put((task_id, "ok", sub.eval_counts))
+        except BaseException as exc:  # noqa: BLE001 — reported to the parent
+            result_q.put((task_id, "error", f"{type(exc).__name__}: {exc}"))
+
+
+class ProcessBackend(ForkProcessBackend):
+    """Persistent worker pool: fork once, stream subranges thereafter."""
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        super().__init__(workers)
+        self._procs: list = []
+        self._task_q = None
+        self._result_q = None
+        self._task_seq = 0
+        self._path_cache: dict[int, tuple[int, ...]] = {}
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _ensure_pool(self, state: ExecutionState) -> None:
+        if self._procs:
+            return
+        # Compile every kernel in the parent before forking: workers receive
+        # the full cache once, at startup, and never compile anything.
+        if state.kernels is not None:
+            state.kernels.warm(state.options.use_windows)
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        for _ in range(self.workers):
+            p = self._ctx.Process(
+                target=_pool_worker,
+                args=(self, state, self._task_q, self._result_q),
+                daemon=True,
+            )
+            p.start()
+            self._procs.append(p)
+
+    def _array_specs(self, state: ExecutionState) -> dict[str, tuple]:
+        specs: dict[str, tuple] = {}
+        for name, val in state.data.items():
+            if not isinstance(val, RuntimeArray):
+                continue
+            seg = self.segment_name_for(val.storage)
+            if seg is not None:
+                specs[name] = (
+                    seg,
+                    val.storage.shape,
+                    val.storage.dtype.str,
+                    tuple(val.los),
+                    tuple(val.his),
+                    dict(val.windows),
+                )
+        return specs
+
+    def _path_for(self, state: ExecutionState, desc: LoopDescriptor):
+        path = self._path_cache.get(id(desc))
+        if path is None:
+            path = state.flowchart.path_of(desc)
+            if path is None:
+                raise ExecutionError(
+                    f"descriptor for DOALL {desc.index} is not part of the "
+                    f"executing flowchart"
+                )
+            self._path_cache[id(desc)] = path
+        return path
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch_chunks(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        spans: list[tuple[int, int]],
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        if self._ctx is None or state.options.debug_windows:
+            # No fork on this platform, or a window-debug run (workers must
+            # re-inherit the fault-injection tag arrays every wavefront).
+            super().dispatch_chunks(state, desc, spans, env, vector_names)
+            return
+        self._ensure_pool(state)
+        path = self._path_for(state, desc)
+        scalars = {
+            k: v
+            for k, v in state.data.items()
+            if not isinstance(v, RuntimeArray)
+        }
+        specs = self._array_specs(state)
+        batch: set[int] = set()
+        for clo, chi in spans:
+            task_id = self._task_seq
+            self._task_seq += 1
+            batch.add(task_id)
+            self._task_q.put((task_id, path, clo, chi, env, scalars, specs))
+        # The barrier: every chunk of the wavefront completes (or fails)
+        # before the next descriptor runs.
+        failures: list[str] = []
+        remaining = set(batch)
+        while remaining:
+            try:
+                task_id, status, payload = self._result_q.get(timeout=0.1)
+            except queue_mod.Empty:
+                if any(p.exitcode is not None for p in self._procs):
+                    codes = [p.exitcode for p in self._procs]
+                    raise ExecutionError(
+                        f"DOALL {desc.index} pool worker died "
+                        f"(exit codes {codes})"
+                    ) from None
+                continue
+            if task_id not in remaining:
+                continue  # stray result from an aborted batch
+            remaining.discard(task_id)
+            if status == "ok":
+                state.merge_counts(payload)
+            else:
+                failures.append(payload)
+        if failures:
+            raise ExecutionError(
+                f"DOALL {desc.index} worker failed: " + "; ".join(failures)
+            )
+
+    def close(self) -> None:
+        if self._procs:
+            for _ in self._procs:
+                try:
+                    self._task_q.put(None)
+                except Exception:
+                    pass
+            for p in self._procs:
+                p.join(timeout=5)
+                if p.is_alive():
+                    p.terminate()
+                    p.join(timeout=1)
+            self._procs = []
+            for q in (self._task_q, self._result_q):
+                if q is not None:
+                    q.close()
+                    q.cancel_join_thread()
+            self._task_q = None
+            self._result_q = None
+        self._path_cache.clear()
+        super().close()

@@ -14,7 +14,8 @@ Two modes share one code path:
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
@@ -182,9 +183,13 @@ class Evaluator:
                     left / right if right != 0 else float("inf") * (1 if left >= 0 else -1)
                 )
             if op == "div":
-                return left // right if not _is_vector(left) and not _is_vector(right) else np.floor_divide(left, right)
+                if not _is_vector(left) and not _is_vector(right):
+                    return left // right
+                return np.floor_divide(left, right)
             if op == "mod":
-                return left % right if not _is_vector(left) and not _is_vector(right) else np.mod(left, right)
+                if not _is_vector(left) and not _is_vector(right):
+                    return left % right
+                return np.mod(left, right)
             if op == "=":
                 return left == right
             if op == "<>":

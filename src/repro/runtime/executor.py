@@ -38,6 +38,7 @@ from repro.ps.types import ArrayType
 from repro.runtime.backends import create_backend
 from repro.runtime.backends.base import ExecutionState
 from repro.runtime.evaluator import Evaluator
+from repro.runtime.kernels import KernelCache
 from repro.runtime.values import RuntimeArray, array_bounds, dtype_for
 from repro.schedule.flowchart import Flowchart
 from repro.schedule.scheduler import schedule_module
@@ -57,6 +58,11 @@ class ExecutionOptions:
     backend: str = "auto"
     #: worker count for the chunked backends (None: os.cpu_count())
     workers: int | None = None
+    #: dispatch equations through cached exec-compiled kernels (the fast
+    #: path); off, everything runs on the tree-walking reference evaluator.
+    #: Window-debug runs always use the evaluator (kernels skip the
+    #: fault-on-overwrite tags).
+    use_kernels: bool = True
 
 
 def execute_module(
@@ -65,11 +71,15 @@ def execute_module(
     flowchart: Flowchart | None = None,
     options: ExecutionOptions | None = None,
     program: AnalyzedProgram | None = None,
+    kernel_cache: KernelCache | None = None,
 ) -> dict[str, Any]:
     """Execute a module with the given inputs; returns its results.
 
     Array arguments are NumPy arrays shaped to the declared bounds; scalar
-    arguments are Python numbers.
+    arguments are Python numbers. ``kernel_cache`` carries compiled kernels
+    across executions of the same ``(analyzed, flowchart)`` pair (a
+    :class:`~repro.core.pipeline.CompileResult` keeps one for its lifetime);
+    without it a transient cache is built per call.
     """
     options = options or ExecutionOptions()
     if flowchart is None:
@@ -110,6 +120,10 @@ def execute_module(
         if key not in data and "." in key:
             data[key] = value
 
+    kernels: KernelCache | None = None
+    if options.use_kernels and not options.debug_windows:
+        kernels = kernel_cache or KernelCache(analyzed, flowchart)
+
     state = ExecutionState(
         analyzed,
         flowchart,
@@ -117,6 +131,7 @@ def execute_module(
         data,
         Evaluator(data, call_fn=None, enums=_enum_env(analyzed)),
         program=program,
+        kernels=kernels,
     )
     state.evaluator.call_fn = lambda name, cargs: _call_module(state, name, cargs)
 
@@ -153,6 +168,24 @@ def _enum_env(analyzed: AnalyzedModule) -> dict[str, int]:
     }
 
 
+def _callee_runtime(program: AnalyzedProgram, name: str):
+    """The callee's schedule and kernel cache, memoized on the program —
+    module calls may fire once per element, and re-scheduling (let alone
+    re-``exec``-compiling kernels) per call would make the call path
+    slower than the plain evaluator."""
+    memo = getattr(program, "_runtime_memo", None)
+    if memo is None:
+        memo = {}
+        program._runtime_memo = memo
+    entry = memo.get(name)
+    if entry is None:
+        callee = program[name]
+        flowchart = schedule_module(callee)
+        entry = (flowchart, KernelCache(callee, flowchart))
+        memo[name] = entry
+    return entry
+
+
 def _call_module(state: ExecutionState, name: str, cargs: list[Any]) -> Any:
     if state.program is None:
         raise ExecutionError(
@@ -166,8 +199,14 @@ def _call_module(state: ExecutionState, name: str, cargs: list[Any]) -> Any:
     callee_options = state.options
     if callee_options.backend not in ("auto", "serial", "vectorized"):
         callee_options = replace(callee_options, backend="auto")
+    flowchart, kernel_cache = _callee_runtime(state.program, name)
     results = execute_module(
-        callee, call_args, options=callee_options, program=state.program
+        callee,
+        call_args,
+        flowchart=flowchart,
+        options=callee_options,
+        program=state.program,
+        kernel_cache=kernel_cache,
     )
     scalar_env = {
         k: int(v)

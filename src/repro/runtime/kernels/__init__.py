@@ -1,0 +1,29 @@
+"""Compiled wavefront kernels: cached exec-compiled per-equation functions.
+
+The runtime's fast path. Instead of re-walking an equation's expression tree
+per wavefront (and per element on the scalar path), each equation is lowered
+once into a specialized Python function — a scalar variant with the lazy
+reference semantics and a vectorized variant emitting NumPy ops with
+``np.where`` clipping — compiled with ``compile()``/``exec`` and cached per
+compilation. All execution backends dispatch DOALL work through the cache;
+equations the emitter cannot specialize stay on the reference evaluator.
+
+Disable with ``ExecutionOptions(use_kernels=False)`` or the CLI's
+``--no-kernels`` to run everything on the tree-walking evaluator.
+"""
+
+from repro.runtime.kernels.cache import KernelCache
+from repro.runtime.kernels.emit import (
+    KernelError,
+    compile_kernel,
+    emit_kernel_source,
+    kernelizable,
+)
+
+__all__ = [
+    "KernelCache",
+    "KernelError",
+    "compile_kernel",
+    "emit_kernel_source",
+    "kernelizable",
+]

@@ -1,0 +1,58 @@
+"""The per-compilation kernel cache.
+
+One :class:`KernelCache` lives for as long as its ``(analyzed, flowchart)``
+pair — :class:`repro.core.pipeline.CompileResult` keeps one across ``run()``
+calls, and ``execute_module`` creates a transient one otherwise. Kernels are
+compiled on first use and keyed by equation label, variant, and the window
+mode (window allocation changes the subscript mapping the kernel bakes in).
+A ``None`` entry records a non-kernelizable equation so the backends ask
+exactly once and fall back to the evaluator thereafter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.ps.semantics import AnalyzedEquation, AnalyzedModule
+from repro.runtime.kernels.emit import KernelError, compile_kernel, kernelizable
+from repro.schedule.flowchart import Flowchart
+
+
+class KernelCache:
+    def __init__(self, analyzed: AnalyzedModule, flowchart: Flowchart):
+        self.analyzed = analyzed
+        self.flowchart = flowchart
+        self._compiled: dict[tuple[str, bool, bool], Callable | None] = {}
+
+    def kernel_for(
+        self, eq: AnalyzedEquation, vector: bool, use_windows: bool
+    ) -> Callable | None:
+        """The compiled kernel for ``eq``, or None when it must stay on the
+        evaluator. Compiles (and memoizes) on first request."""
+        key = (eq.label, bool(vector), bool(use_windows))
+        try:
+            return self._compiled[key]
+        except KeyError:
+            pass
+        fn: Callable | None = None
+        if kernelizable(eq, self.analyzed):
+            try:
+                fn = compile_kernel(
+                    eq, self.analyzed, self.flowchart, vector, use_windows
+                )
+            except KernelError:
+                fn = None
+        self._compiled[key] = fn
+        return fn
+
+    def warm(self, use_windows: bool) -> None:
+        """Compile every equation's kernels up front — the process backend
+        calls this before forking so workers inherit the full cache and
+        never compile anything themselves."""
+        for eq in self.analyzed.equations:
+            for vector in (False, True):
+                self.kernel_for(eq, vector, use_windows)
+
+    def stats(self) -> dict[str, int]:
+        compiled = sum(1 for v in self._compiled.values() if v is not None)
+        return {"entries": len(self._compiled), "compiled": compiled}

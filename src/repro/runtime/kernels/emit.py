@@ -1,0 +1,419 @@
+"""Equation -> specialized Python kernel source, compiled once per module.
+
+For each analyzed equation two kernel variants are emitted on demand:
+
+* **scalar** — index variables are Python ints; ``if`` lowers to a lazy
+  conditional expression (reference semantics: the guarded branch is never
+  touched) and array elements are read through range-checked, origin-shifted
+  storage indexing (out-of-range subscripts raise ``ExecutionError`` exactly
+  like the evaluator);
+* **vector** — index variables may be contiguous NumPy aranges; ``if``
+  lowers to ``np.where`` and array reads clip into range exactly like the
+  vector evaluator, but affine subscripts (``I + c``) go through
+  :func:`~repro.runtime.kernels.runtime.affine_gather`, which selects the
+  same values via basic slices instead of fancy indexing.
+
+Both variants share the expression walk with the whole-module Python
+generator (:mod:`repro.codegen.exprlower`), so runtime kernels and generated
+modules provably lower expressions through one code path. An equation the
+emitter cannot specialize (module calls, record fields, partial-rank array
+values, atomic multi-target equations) is *non-kernelizable*: the backends
+keep evaluating it on the reference tree-walking evaluator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.codegen.exprlower import ExprLowerer
+from repro.codegen.naming import py_name
+from repro.errors import ExecutionError, ReproError
+from repro.ps.ast import (
+    BinOp,
+    Call,
+    Expr,
+    FieldRef,
+    IfExpr,
+    Index,
+    Name,
+    UnOp,
+    walk_expr,
+)
+from repro.ps.semantics import AnalyzedEquation, AnalyzedModule, is_builtin
+from repro.ps.symbols import SymbolKind
+from repro.ps.types import ArrayType
+from repro.runtime.kernels import runtime as _rt
+from repro.schedule.flowchart import Flowchart
+
+
+class KernelError(ReproError):
+    """The equation cannot be lowered to a specialized kernel."""
+
+
+def static_windows(
+    name: str, analyzed: AnalyzedModule, flowchart: Flowchart, use_windows: bool
+) -> dict[int, int]:
+    """The window dimensions ``RuntimeArray.allocate`` will give ``name`` —
+    the emitter mirrors the allocation rule in the backends exactly."""
+    sym = analyzed.symbol(name)
+    if not use_windows or sym.kind is not SymbolKind.VAR:
+        return {}
+    return dict(flowchart.window_of(name))
+
+
+def _atomic_target_names(analyzed: AnalyzedModule) -> set[str]:
+    return {
+        t.name for eq in analyzed.equations if eq.atomic for t in eq.targets
+    }
+
+
+def kernelizable(eq: AnalyzedEquation, analyzed: AnalyzedModule) -> bool:
+    """Static check: can this equation be compiled at all?
+
+    Rejected: atomic equations (multi-target wholesale rebinds), module
+    calls (they recurse into the interpreter), record fields, partial-rank
+    array indexing and bare array names (whole-array values), and unknown
+    names. Everything rejected here falls back to the evaluator.
+    """
+    if eq.atomic or len(eq.targets) != 1:
+        return False
+    exprs: list[Expr] = [eq.rhs]
+    exprs.extend(eq.targets[0].subscripts)
+
+    def scan(expr: Expr) -> bool:
+        if isinstance(expr, FieldRef):
+            return False
+        if isinstance(expr, Call):
+            if not is_builtin(expr.func):
+                return False
+            return all(scan(a) for a in expr.args)
+        if isinstance(expr, Index):
+            if not isinstance(expr.base, Name):
+                return False
+            sym = analyzed.table.symbol(expr.base.ident)
+            if sym is None or not isinstance(sym.type, ArrayType):
+                return False
+            if len(expr.subscripts) != sym.type.rank:
+                return False
+            return all(scan(s) for s in expr.subscripts)
+        if isinstance(expr, Name):
+            ident = expr.ident
+            if ident in eq.index_names:
+                return True
+            sym = analyzed.table.symbol(ident)
+            if sym is not None:
+                # A bare array name is a whole-array value — evaluator only.
+                return not isinstance(sym.type, ArrayType)
+            return ident in analyzed.table.enum_members
+        for child in _children(expr):
+            if not scan(child):
+                return False
+        return True
+
+    return all(scan(e) for e in exprs)
+
+
+def _children(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, UnOp):
+        return [expr.operand]
+    if isinstance(expr, IfExpr):
+        return [expr.cond, expr.then, expr.orelse]
+    return []
+
+
+class _KernelLowerer(ExprLowerer):
+    """Shared kernel dialect pieces: name hoisting and builtin calls."""
+
+    error_type = KernelError
+
+    def __init__(
+        self,
+        eq: AnalyzedEquation,
+        analyzed: AnalyzedModule,
+        flowchart: Flowchart,
+        use_windows: bool,
+    ):
+        self.eq = eq
+        self.analyzed = analyzed
+        self.flowchart = flowchart
+        self.use_windows = use_windows
+        self.dims = set(eq.index_names)
+        #: names hoisted from ``env`` / ``data`` in the kernel prologue
+        self.env_names: set[str] = set()
+        self.scalar_names: set[str] = set()
+        #: array name -> static window dims
+        self.arrays: dict[str, dict[int, int]] = {}
+        #: builtin functions referenced (bound into the kernel namespace)
+        self.builtins: set[str] = set()
+
+    def windows_of(self, name: str) -> dict[int, int]:
+        return static_windows(name, self.analyzed, self.flowchart, self.use_windows)
+
+    def register_array(self, name: str) -> dict[int, int]:
+        wins = self.arrays.get(name)
+        if wins is None:
+            wins = self.windows_of(name)
+            self.arrays[name] = wins
+        return wins
+
+    # Resolution order mirrors the evaluator: env (loop indices), then the
+    # data environment (symbols), then enum ordinals.
+    def lower_name(self, ident: str) -> str:
+        if ident in self.dims:
+            self.env_names.add(ident)
+            return f"_v_{py_name(ident)}"
+        sym = self.analyzed.table.symbol(ident)
+        if sym is not None:
+            if isinstance(sym.type, ArrayType):
+                raise self.error(f"whole-array value {ident!r}")
+            self.scalar_names.add(ident)
+            return f"_v_{py_name(ident)}"
+        if ident in self.analyzed.table.enum_members:
+            _, ordinal = self.analyzed.table.enum_members[ident]
+            return str(ordinal)
+        raise self.error(f"unbound name {ident!r}")
+
+    def lower_call(self, expr: Call) -> str:
+        if not is_builtin(expr.func):
+            raise self.error(f"module call {expr.func!r}")
+        self.builtins.add(expr.func)
+        args = ", ".join(self.lower(a) for a in expr.args)
+        return f"_bf_{expr.func}({args})"
+
+    # The evaluator dispatches these operators on the runtime value kind;
+    # the helpers replicate those branches exactly in both variants.
+    def lower_div(self, left: str, right: str) -> str:
+        return f"_div({left}, {right})"
+
+    def lower_floordiv(self, left: str, right: str) -> str:
+        return f"_fdiv({left}, {right})"
+
+    def lower_mod(self, left: str, right: str) -> str:
+        return f"_mod({left}, {right})"
+
+    def lower_not(self, operand: str) -> str:
+        return f"_not({operand})"
+
+
+class _ScalarLowerer(_KernelLowerer):
+    """Scalar variant: range-checked storage indexing, lazy ``if``,
+    short-circuit logicals — the reference semantics, minus the tree walk."""
+
+    def subscript_code(self, name: str, d: int, s: Expr) -> str:
+        """One storage-relative subscript, range-checked like the
+        evaluator's ``RuntimeArray`` access, window modulo applied."""
+        pname = py_name(name)
+        wins = self.arrays[name]
+        code = (
+            f"_ck({self.lower(s)}, _o_{pname}_{d}, _h_{pname}_{d}, "
+            f"{d}, {name!r})"
+        )
+        if d in wins:
+            code = f"({code}) % _w_{pname}_{d}"
+        return code
+
+    def lower_array_ref(self, name: str, subscripts: list[Expr]) -> str:
+        self.register_array(name)
+        parts = [
+            self.subscript_code(name, d, s) for d, s in enumerate(subscripts)
+        ]
+        return f"_s_{py_name(name)}[{', '.join(parts)}]"
+
+    def lower_logical(self, op: str, left: str, right: str) -> str:
+        return f"(bool({left}) {op} bool({right}))"
+
+
+class _VectorLowerer(_KernelLowerer):
+    """Vector variant: NumPy ops with ``np.where`` clipping; affine
+    subscripts go through the slice-based gather/scatter helpers."""
+
+    def lower_array_ref(self, name: str, subscripts: list[Expr]) -> str:
+        wins = self.register_array(name)
+        pname = py_name(name)
+        specs = self._affine_specs(subscripts, wins)
+        if specs is not None:
+            return f"_ag(_a_{pname}, ({', '.join(specs)},))"
+        codes = ", ".join(self.lower(s) for s in subscripts)
+        return f"_a_{pname}.get([{codes}], clip=True)"
+
+    def _affine_specs(
+        self, subscripts: list[Expr], wins: dict[int, int]
+    ) -> list[str] | None:
+        """One ``(base, offset)`` spec per subscript, or None when any
+        subscript is not affine-in-one-index (the generic gather then
+        reproduces the evaluator's clipped fancy indexing verbatim)."""
+        specs: list[str] = []
+        used: set[str] = set()
+        for d, s in enumerate(subscripts):
+            c = self._classify(s)
+            if c is None:
+                return None
+            kind, var, off = c
+            if kind == "affine":
+                if var in used or d in wins:
+                    return None
+                used.add(var)
+                self.env_names.add(var)
+                specs.append(f"(_v_{py_name(var)}, {off})")
+            else:
+                specs.append(f"({self.lower(s)}, 0)")
+        return specs
+
+    def _classify(self, sub: Expr) -> tuple[str, str | None, str] | None:
+        def mentions_dims(e: Expr) -> bool:
+            return any(
+                isinstance(n, Name) and n.ident in self.dims for n in walk_expr(e)
+            )
+
+        if not mentions_dims(sub):
+            return ("const", None, "0")
+        if isinstance(sub, Name) and sub.ident in self.dims:
+            return ("affine", sub.ident, "0")
+        if isinstance(sub, BinOp) and sub.op in ("+", "-"):
+            left, right = sub.left, sub.right
+            if (
+                isinstance(left, Name)
+                and left.ident in self.dims
+                and not mentions_dims(right)
+            ):
+                off = self.lower(right)
+                return ("affine", left.ident, off if sub.op == "+" else f"-({off})")
+            if (
+                sub.op == "+"
+                and isinstance(right, Name)
+                and right.ident in self.dims
+                and not mentions_dims(left)
+            ):
+                return ("affine", right.ident, self.lower(left))
+        return None
+
+    def lower_logical(self, op: str, left: str, right: str) -> str:
+        fn = "np.logical_and" if op == "and" else "np.logical_or"
+        return f"{fn}({left}, {right})"
+
+    def lower_if(self, expr) -> str:
+        return (
+            f"np.where({self.lower(expr.cond)}, {self.lower(expr.then)}, "
+            f"{self.lower(expr.orelse)})"
+        )
+
+
+def emit_kernel_source(
+    eq: AnalyzedEquation,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    vector: bool,
+    use_windows: bool,
+) -> tuple[str, set[str]]:
+    """Emit the kernel function source; returns ``(source, builtins_used)``.
+
+    Raises :class:`KernelError` when the equation cannot be specialized.
+    """
+    lowerer_cls = _VectorLowerer if vector else _ScalarLowerer
+    low = lowerer_cls(eq, analyzed, flowchart, use_windows)
+
+    # An atomic equation elsewhere may rebind an array wholesale, dropping
+    # its window mapping; a kernel that baked the mapping in would then
+    # address stale planes. Such equations stay on the evaluator.
+    atomic_names = _atomic_target_names(analyzed)
+
+    value_code = low.lower(eq.rhs)
+
+    target = eq.targets[0]
+    sym = analyzed.symbol(target.name)
+    store_lines: list[str] = []
+    if isinstance(sym.type, ArrayType):
+        if len(target.subscripts) != sym.type.rank:
+            raise low.error(f"partial-rank target {target.name!r}")
+        pname = py_name(target.name)
+        wins = low.register_array(target.name)
+        if vector:
+            specs = low._affine_specs(target.subscripts, wins)
+            if specs is not None:
+                store_lines.append(
+                    f"_asc(_a_{pname}, ({', '.join(specs)},), __v)"
+                )
+            else:
+                codes = ", ".join(low.lower(s) for s in target.subscripts)
+                store_lines.append(f"_a_{pname}.set([{codes}], __v)")
+        else:
+            parts = [
+                low.subscript_code(target.name, d, s)
+                for d, s in enumerate(target.subscripts)
+            ]
+            store_lines.append(f"_s_{pname}[{', '.join(parts)}] = __v")
+    else:
+        store_lines.append(f"_store(data, {target.name!r}, __v)")
+
+    for name, wins in low.arrays.items():
+        if wins and name in atomic_names:
+            raise low.error(
+                f"windowed array {name!r} is rebound by an atomic equation"
+            )
+
+    lines = ["def _kernel(data, env):"]
+    for name in sorted(low.arrays):
+        pname = py_name(name)
+        lines.append(f"    _a_{pname} = data[{name!r}]")
+        if not vector:
+            sym_t = analyzed.symbol(name).type
+            lines.append(f"    _s_{pname} = _a_{pname}.storage")
+            for d in range(sym_t.rank):
+                lines.append(f"    _o_{pname}_{d} = _a_{pname}.los[{d}]")
+                lines.append(f"    _h_{pname}_{d} = _a_{pname}.his[{d}]")
+            for d in sorted(low.arrays[name]):
+                lines.append(f"    _w_{pname}_{d} = _a_{pname}.windows[{d}]")
+    for name in sorted(low.env_names):
+        lines.append(f"    _v_{py_name(name)} = env[{name!r}]")
+    for name in sorted(low.scalar_names):
+        lines.append(f"    _v_{py_name(name)} = data[{name!r}]")
+    lines.append("    with np.errstate(invalid='ignore', divide='ignore'):")
+    lines.append(f"        __v = {value_code}")
+    for stmt in store_lines:
+        lines.append(f"        {stmt}")
+    if vector:
+        lines.append("    return int(np.size(__v))")
+    else:
+        lines.append("    return 1")
+    return "\n".join(lines) + "\n", set(low.builtins)
+
+
+def compile_kernel(
+    eq: AnalyzedEquation,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    vector: bool,
+    use_windows: bool,
+) -> Callable:
+    """Emit, ``compile()``/``exec`` and return the kernel callable.
+
+    The callable has signature ``kernel(data, env) -> int`` (the element
+    count for the evaluation statistics) and writes its target in place.
+    """
+    source, builtins = emit_kernel_source(
+        eq, analyzed, flowchart, vector, use_windows
+    )
+    namespace: dict = {
+        "np": np,
+        "ExecutionError": ExecutionError,
+        "_ag": _rt.affine_gather,
+        "_asc": _rt.affine_scatter,
+        "_ck": _rt.check_index,
+        "_div": _rt.kdiv,
+        "_fdiv": _rt.kfloordiv,
+        "_mod": _rt.kmod,
+        "_not": _rt.knot,
+        "_store": _rt.store_scalar,
+    }
+    for name in builtins:
+        namespace[f"_bf_{name}"] = _rt.BUILTIN_FUNCS[name]
+    variant = "vector" if vector else "scalar"
+    filename = f"<kernel:{analyzed.name}.{eq.label}:{variant}>"
+    exec(compile(source, filename, "exec"), namespace)
+    fn = namespace["_kernel"]
+    fn.__kernel_source__ = source
+    return fn

@@ -9,14 +9,14 @@ failure-injection tests rely on this)."""
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.ps.ast import BinOp, BoolLit, Expr, IntLit, Name, RealLit, UnOp
-from repro.ps.types import ArrayType, BoolType, IntType, RealType, Type
+from repro.ps.ast import BinOp, Expr, IntLit, Name, UnOp
+from repro.ps.types import ArrayType, BoolType, RealType, Type
 
 #: ``(shape, dtype) -> ndarray`` — how a backend materialises array storage.
 #: The default is plain ``np.zeros``; the process backend supplies a factory
@@ -90,7 +90,7 @@ class RuntimeArray:
         windows: dict[int, int] | None = None,
         debug: bool = False,
         storage_factory: StorageFactory | None = None,
-    ) -> "RuntimeArray":
+    ) -> RuntimeArray:
         make = storage_factory or default_storage
         windows = dict(windows or {})
         los = [lo for lo, _ in bounds]
@@ -143,7 +143,8 @@ class RuntimeArray:
         subscripts that the `where` discards)."""
         mapped = []
         for d, idx in enumerate(indices):
-            idx = np.asarray(idx) if not np.isscalar(idx) and not isinstance(idx, (int, np.integer)) else idx
+            if not np.isscalar(idx) and not isinstance(idx, (int, np.integer)):
+                idx = np.asarray(idx)
             if clip:
                 idx = np.clip(idx, self.los[d], self.his[d])
             else:
@@ -193,7 +194,7 @@ class RuntimeArray:
         array: np.ndarray,
         bounds: list[tuple[int, int]],
         storage_factory: StorageFactory | None = None,
-    ) -> "RuntimeArray":
+    ) -> RuntimeArray:
         expected = tuple(hi - lo + 1 for lo, hi in bounds)
         if array.shape != expected:
             raise ExecutionError(

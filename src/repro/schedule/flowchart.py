@@ -13,11 +13,12 @@ generated from this subrange or ... a parallel loop" — printed as ``DO`` and
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
-from typing import Iterator, Union
 
 from repro.graph.depgraph import Node
-from repro.ps.types import SubrangeType
+from repro.ps.ast import Call, names_in, walk_expr
+from repro.ps.types import ArrayType, SubrangeType
 
 
 @dataclass
@@ -46,10 +47,14 @@ class LoopDescriptor:
     subrange: SubrangeType
     index: str
     parallel: bool
-    body: list["Descriptor"] = field(default_factory=list)
+    body: list[Descriptor] = field(default_factory=list)
     #: arrays whose dimension scheduled by this loop is virtual:
     #: data-node id -> (dimension position, window size)
     windows: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: precomputed chunk-safety verdicts keyed by ``use_windows`` — filled at
+    #: flowchart-build time by :func:`annotate_flowchart` (or lazily by the
+    #: execution backends) so wavefront execution never re-derives them
+    chunk_safety: dict[bool, bool] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def keyword(self) -> str:
@@ -57,7 +62,7 @@ class LoopDescriptor:
 
     # -- chunkable-subrange metadata (parallel execution backends) ------------
 
-    def nested_descriptors(self) -> Iterator["Descriptor"]:
+    def nested_descriptors(self) -> Iterator[Descriptor]:
         """Every descriptor in this loop's nest, pre-order, self excluded."""
         stack: list[Descriptor] = list(reversed(self.body))
         while stack:
@@ -66,7 +71,7 @@ class LoopDescriptor:
             if isinstance(d, LoopDescriptor):
                 stack.extend(reversed(d.body))
 
-    def nested_loops(self) -> list["LoopDescriptor"]:
+    def nested_loops(self) -> list[LoopDescriptor]:
         return [d for d in self.nested_descriptors() if isinstance(d, LoopDescriptor)]
 
     def nested_equations(self) -> list:
@@ -108,7 +113,98 @@ class LoopDescriptor:
         return (self.keyword, self.index, [d.shape() for d in self.body])
 
 
-Descriptor = Union[NodeDescriptor, LoopDescriptor]
+Descriptor = NodeDescriptor | LoopDescriptor
+
+
+# -- execution metadata -------------------------------------------------------
+#
+# The parallel backends need two safety verdicts per wavefront: whether an
+# equation may be evaluated as one vector operation, and whether a DOALL nest
+# may be split across concurrent workers. Both are static properties of the
+# analyzed module and the flowchart, so they are derived once here — eagerly
+# by the scheduler via :func:`annotate_flowchart`, or lazily on first use —
+# instead of being re-derived on every wavefront execution.
+
+
+def equation_vector_safe(eq) -> bool:
+    """A module call blocks vectorisation only when its arguments mention the
+    equation's index variables (then each element needs its own call). The
+    verdict is cached on the equation."""
+    if eq.vector_safe is None:
+        from repro.ps.semantics import is_builtin
+
+        safe = True
+        index_names = set(eq.index_names)
+        for n in walk_expr(eq.rhs):
+            if isinstance(n, Call) and not is_builtin(n.func):
+                for a in n.args:
+                    if names_in(a) & index_names:
+                        safe = False
+                        break
+            if not safe:
+                break
+        eq.vector_safe = safe
+    return eq.vector_safe
+
+
+def compute_chunk_safety(
+    desc: LoopDescriptor,
+    analyzed,
+    window_map: dict[str, dict[int, int]],
+    use_windows: bool,
+) -> bool:
+    """Whether a DOALL nest may be split across concurrently executing
+    workers. Beyond the structural :attr:`LoopDescriptor.chunkable` check,
+    every equation must write only array elements (a scalar target would be
+    an interpreter-state race), must not be atomic (atomic equations rebind
+    whole arrays), and no windowed dimension of a target may be subscripted
+    by a nest index (two chunks could then alias one window plane)."""
+    if not desc.chunkable:
+        return False
+    indices = desc.nest_indices()
+    for eq in desc.nested_equations():
+        if eq.atomic:
+            return False
+        for target in eq.targets:
+            sym = analyzed.symbol(target.name)
+            if not isinstance(sym.type, ArrayType):
+                return False
+            if use_windows:
+                wins = window_map.get(target.name, {})
+                for d in wins:
+                    if d < len(target.subscripts) and (
+                        names_in(target.subscripts[d]) & indices
+                    ):
+                        return False
+    return True
+
+
+def loop_chunk_safe(
+    desc: LoopDescriptor,
+    analyzed,
+    window_map: dict[str, dict[int, int]],
+    use_windows: bool,
+) -> bool:
+    """The cached chunk-safety verdict, computing it on a cache miss."""
+    use_windows = bool(use_windows)
+    cached = desc.chunk_safety.get(use_windows)
+    if cached is None:
+        cached = compute_chunk_safety(desc, analyzed, window_map, use_windows)
+        desc.chunk_safety[use_windows] = cached
+    return cached
+
+
+def annotate_flowchart(flowchart: Flowchart, analyzed) -> None:
+    """Precompute every loop's chunk-safety (both window modes) and every
+    equation's vector-safety at flowchart-build time."""
+    for desc in flowchart.walk():
+        if isinstance(desc, LoopDescriptor):
+            for use_windows in (False, True):
+                loop_chunk_safe(desc, analyzed, flowchart.windows, use_windows)
+            for eq in desc.nested_equations():
+                equation_vector_safe(eq)
+        elif desc.node.is_equation:
+            equation_vector_safe(desc.node.equation)
 
 
 def split_range(lo: int, hi: int, parts: int) -> list[tuple[int, int]]:
@@ -177,3 +273,30 @@ class Flowchart:
 
     def window_of(self, name: str) -> dict[int, int]:
         return self.windows.get(name, {})
+
+    def path_of(self, target: Descriptor) -> tuple[int, ...] | None:
+        """The child-index path of ``target`` in the descriptor tree — a
+        picklable descriptor handle the process backend sends to persistent
+        workers (which resolve it against their inherited flowchart)."""
+
+        def search(descs: list[Descriptor], prefix: tuple[int, ...]):
+            for i, d in enumerate(descs):
+                if d is target:
+                    return prefix + (i,)
+                if isinstance(d, LoopDescriptor):
+                    found = search(d.body, prefix + (i,))
+                    if found is not None:
+                        return found
+            return None
+
+        return search(self.descriptors, ())
+
+    def descriptor_at(self, path: tuple[int, ...]) -> Descriptor:
+        descs = self.descriptors
+        desc: Descriptor | None = None
+        for i in path:
+            desc = descs[i]
+            descs = desc.body if isinstance(desc, LoopDescriptor) else []
+        if desc is None:
+            raise IndexError("empty descriptor path")
+        return desc

@@ -24,11 +24,17 @@ from dataclasses import dataclass, field
 
 from repro.errors import InconsistentPositionError, ScheduleError
 from repro.graph.build import build_dependency_graph
-from repro.graph.depgraph import DependencyGraph, EdgeKind, GraphView, Node
+from repro.graph.depgraph import DependencyGraph, EdgeKind, GraphView
 from repro.graph.labels import SubscriptClass
 from repro.graph.scc import condensation_order
 from repro.ps.semantics import AnalyzedModule
-from repro.schedule.flowchart import Descriptor, Flowchart, LoopDescriptor, NodeDescriptor
+from repro.schedule.flowchart import (
+    Descriptor,
+    Flowchart,
+    LoopDescriptor,
+    NodeDescriptor,
+    annotate_flowchart,
+)
 from repro.schedule.virtual import check_virtual
 
 
@@ -59,6 +65,7 @@ def schedule_module(
     descriptors = _schedule_graph(graph.full_view(), frozenset(), ctx)
     flow = Flowchart(descriptors, windows=ctx.windows)
     flow.assumptions = list(ctx.assumptions)
+    annotate_flowchart(flow, analyzed)
     return flow
 
 

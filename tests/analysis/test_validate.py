@@ -1,7 +1,6 @@
 """Schedule-validation tests: the scheduler's DO/DOALL decisions never
 allow a read-before-write, and sabotaged schedules are caught."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

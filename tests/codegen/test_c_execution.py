@@ -7,10 +7,8 @@ Python side, the module function is called, and the result array is printed
 at full precision.
 """
 
-import pathlib
 import shutil
 import subprocess
-import sys
 
 import numpy as np
 import pytest

@@ -11,7 +11,6 @@ from repro.hyperplane.pipeline import hyperplane_transform
 from repro.ps.parser import parse_module
 from repro.ps.semantics import analyze_module
 from repro.runtime.executor import execute_module
-from repro.schedule.scheduler import schedule_module
 
 
 class TestCText:

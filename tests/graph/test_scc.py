@@ -2,7 +2,6 @@
 networkx on random directed multigraphs."""
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

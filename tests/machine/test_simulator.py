@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
 from repro.hyperplane.pipeline import hyperplane_transform
-from repro.machine.cost import MachineModel, equation_cost, expression_cost
+from repro.machine.cost import MachineModel, expression_cost
 from repro.machine.report import speedup_table
 from repro.machine.simulator import simulate_flowchart
 from repro.ps.parser import parse_expression

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.errors import CoverageError, SemanticError
-from repro.ps.ast import Index, IntLit, Name
+from repro.ps.ast import Index, IntLit
 from repro.ps.parser import parse_module, parse_program
 from repro.ps.semantics import analyze_module, analyze_program
-from repro.ps.types import ArrayType, BoolType, IntType, RealType
+from repro.ps.types import ArrayType, BoolType, RealType
 
 
 def analyze(src: str):

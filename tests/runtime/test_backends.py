@@ -71,7 +71,9 @@ def options_for(backend: str, use_windows: bool = False) -> ExecutionOptions:
 
 class TestRegistry:
     def test_available_backends(self):
-        assert available_backends() == ["process", "serial", "threaded", "vectorized"]
+        assert available_backends() == [
+            "process", "process-fork", "serial", "threaded", "vectorized",
+        ]
 
     def test_auto_follows_vectorize_flag(self):
         assert resolve_backend_name(ExecutionOptions()) == "vectorized"

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.analysis.validate import validate_flowchart_order
 from repro.core.paper import jacobi_analyzed
 from repro.graph.build import build_dependency_graph
 from repro.ps.parser import parse_module
@@ -10,7 +11,6 @@ from repro.ps.semantics import analyze_module
 from repro.runtime.executor import execute_module
 from repro.schedule.merge import merge_loops
 from repro.schedule.scheduler import schedule_module
-from repro.analysis.validate import validate_flowchart_order
 
 
 def setup(src):

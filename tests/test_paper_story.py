@@ -13,7 +13,7 @@ from repro.core.paper import (
 from repro.graph.build import build_dependency_graph, bound_adjacency, data_adjacency
 from repro.graph.scc import condensation_order
 from repro.hyperplane.pipeline import hyperplane_transform
-from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.executor import execute_module
 from repro.runtime.wavefront import execute_transformed_windowed
 from repro.schedule.scheduler import schedule_module
 

@@ -12,7 +12,6 @@ These are the strongest guarantees in the suite:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -42,7 +41,9 @@ def stencil_case(draw):
     )
     n = draw(st.integers(min_value=4, max_value=8))
     terms = " + ".join(
-        f"{w} * G[R{di:+d}, C{dj:+d}]".replace("+0]", "]").replace("-0]", "]").replace("R+0", "R").replace("C+0", "C")
+        f"{w} * G[R{di:+d}, C{dj:+d}]"
+        .replace("+0]", "]").replace("-0]", "]")
+        .replace("R+0", "R").replace("C+0", "C")
         for w, (di, dj) in zip(weights, offsets)
     )
     back_r = max(-di for di, _ in offsets)
