@@ -65,13 +65,14 @@ def _matrix_for(name, analyzed, flowchart, args):
     )
     rows.append({"workload": name, "backend": "serial", "workers": 1,
                  "seconds": t_serial, "speedup": 1.0})
-    combos = [("vectorized", [1])] + [
-        (b, WORKER_COUNTS) for b in ("threaded", "process")
+    combos = [
+        ("vectorized", [1]),
+        *((b, WORKER_COUNTS) for b in ("threaded", "process")),
     ]
     for backend, worker_counts in combos:
         for w in worker_counts:
             t, out = _time(
-                lambda: execute_module(
+                lambda backend=backend, w=w: execute_module(
                     analyzed, args, flowchart=flowchart,
                     options=ExecutionOptions(backend=backend, workers=w),
                 )

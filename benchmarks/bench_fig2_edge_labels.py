@@ -49,7 +49,7 @@ def test_fig2_classification(benchmark, artifact):
         assert info.cls is expected_cls, text
         assert info.offset == expected_off, text
         lines.append(
-            f"{text:<12} {info.cls.value:<16} {str(info.offset):<8} "
+            f"{text:<12} {info.cls.value:<16} {info.offset!s:<8} "
             f"{info.is_upper_bound}"
         )
     # A[maxK] where maxK is the declared upper bound (section 3.4, rule 2).

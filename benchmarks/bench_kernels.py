@@ -5,7 +5,7 @@ per-wavefront AST interpretation tax: each equation is exec-compiled once
 into a specialized NumPy kernel and cached, and the process backend keeps a
 persistent forked worker pool instead of forking per wavefront. This bench
 measures both claims on the paper workloads — Jacobi relaxation (Figure 6)
-and the hyperplane-transformed Gauss–Seidel relaxation (section 4) — and
+and the hyperplane-transformed Gauss-Seidel relaxation (section 4) — and
 writes the matrix to ``BENCH_kernels.json``.
 
 Acceptance gates (CI-enforced):
@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
 from repro.hyperplane.pipeline import hyperplane_transform
+from repro.plan.planner import forced_plan
 from repro.runtime.executor import ExecutionOptions, execute_module
 from repro.schedule.scheduler import schedule_module
 
@@ -60,25 +61,45 @@ def _hyperplane_gs(m, maxk=6):
     return analyzed, schedule_module(analyzed), args
 
 
-def _run(analyzed, flow, args, backend, kernels, workers=1):
-    return execute_module(
-        analyzed, args, flowchart=flow,
-        options=ExecutionOptions(
-            backend=backend, workers=workers, use_kernels=kernels
-        ),
+def _run(analyzed, flow, args, backend, kernels, workers=1, plan=None):
+    options = ExecutionOptions(
+        backend=backend, workers=workers, use_kernels=kernels
     )
+    if plan is None and backend == "serial" and kernels:
+        plan = _per_equation_plan(analyzed, flow, options)
+    return execute_module(
+        analyzed, args, flowchart=flow, options=options, plan=plan
+    )
+
+
+def _per_equation_plan(analyzed, flow, options):
+    """Pin the per-equation kernel path: this bench (and the cost-model
+    calibration anchored on its artifact) measures the per-equation layer;
+    nest fusion has its own gate in bench_plan.py. Built once per timed
+    series — plan construction must stay outside the timed region."""
+    return forced_plan(analyzed, flow, "serial", options, default="serial")
 
 
 def _kernel_matrix(workload, make, grids, backend, repeats):
     rows = []
     for m in grids:
         analyzed, flow, args = make(m)
+        kern_plan = (
+            _per_equation_plan(
+                analyzed, flow,
+                ExecutionOptions(backend=backend, workers=1, use_kernels=True),
+            )
+            if backend == "serial"
+            else None
+        )
         t_eval, ref = _time(
-            lambda: _run(analyzed, flow, args, backend, kernels=False),
+            lambda a=analyzed, f=flow, g=args: _run(a, f, g, backend, kernels=False),
             repeats=repeats,
         )
         t_kern, out = _time(
-            lambda: _run(analyzed, flow, args, backend, kernels=True),
+            lambda a=analyzed, f=flow, g=args, p=kern_plan: _run(
+                a, f, g, backend, kernels=True, plan=p
+            ),
             repeats=repeats,
         )
         assert np.array_equal(out["newA"], ref["newA"]), (
@@ -88,6 +109,8 @@ def _kernel_matrix(workload, make, grids, backend, repeats):
             "workload": workload,
             "backend": backend,
             "grid": m,
+            # the sweep count: calibration derives per-element seconds from it
+            "maxk": args["maxK"],
             "evaluator_seconds": t_eval,
             "kernel_seconds": t_kern,
             "speedup": t_eval / t_kern,

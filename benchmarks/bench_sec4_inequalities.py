@@ -35,7 +35,7 @@ def test_sec4_dependence_vectors(benchmark, artifact):
              "t(A[K,I,J]) = aK + bI + cJ", ""]
     ref_names = deps.describe()
     for ref, vec, ineq in zip(ref_names, deps.vectors, inequalities):
-        lines.append(f"{ref:<20} d = {str(vec):<12} =>  {ineq}")
+        lines.append(f"{ref:<20} d = {vec!s:<12} =>  {ineq}")
     artifact("sec4_inequalities.txt", "\n".join(lines))
 
 

@@ -1,0 +1,114 @@
+"""Diff gated benchmark numbers against the committed baseline.
+
+The benchmark suite writes ``BENCH_*.json`` artifacts into
+``benchmarks/out/``; the repository commits a known-good snapshot under
+``benchmarks/baseline/``. This tool pairs every numeric *gated* value
+(anything under a ``gates`` object, plus top-level ``speedup`` fields) and
+prints the relative change — the perf-trend record CI attaches to every
+run. By default it only reports (runner hardware varies); ``--max-regress``
+turns it into a gate that fails when any speedup-like number regresses by
+more than the given fraction.
+
+Usage::
+
+    python benchmarks/diff_trend.py
+    python benchmarks/diff_trend.py --max-regress 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+#: leaf names that count as "bigger is better" performance numbers
+SPEEDUP_KEYS = {"speedup"}
+
+
+def _numeric_leaves(obj, path=(), gated=False):
+    """Yield ((key, path...), value, is_speedup) for gated numeric leaves."""
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            yield from _numeric_leaves(
+                v, path + (k,), gated or k == "gates"
+            )
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            yield from _numeric_leaves(v, path + (str(i),), gated)
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        # Gated values live under a "gates" object; flat gate artifacts
+        # (e.g. BENCH_plan_nest.json) expose speedup/required at top level.
+        if gated or path[-1] in SPEEDUP_KEYS or path[-1] == "required":
+            yield path, float(obj), path[-1] in SPEEDUP_KEYS
+
+
+def collect(directory: pathlib.Path) -> dict[tuple, tuple[float, bool]]:
+    out: dict[tuple, tuple[float, bool]] = {}
+    for f in sorted(directory.glob("BENCH_*.json")):
+        payload = json.loads(f.read_text())
+        for path, value, is_speedup in _numeric_leaves(payload, (f.name,)):
+            out[path] = (value, is_speedup)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=HERE / "baseline",
+        help="committed baseline directory",
+    )
+    parser.add_argument(
+        "--current", type=pathlib.Path, default=HERE / "out",
+        help="freshly generated artifact directory",
+    )
+    parser.add_argument(
+        "--max-regress", type=float, default=None, metavar="FRACTION",
+        help="fail when any speedup regresses by more than this fraction "
+        "(default: report only)",
+    )
+    args = parser.parse_args(argv)
+
+    base = collect(args.baseline)
+    curr = collect(args.current)
+    if not base:
+        print(f"no baseline artifacts in {args.baseline}", file=sys.stderr)
+        return 1
+    if not curr:
+        print(f"no current artifacts in {args.current}", file=sys.stderr)
+        return 1
+
+    shared = sorted(set(base) & set(curr))
+    regressions = []
+    print(f"{'gated value':<70} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for key in shared:
+        b, is_speedup = base[key]
+        c, _ = curr[key]
+        delta = (c - b) / b if b else float("inf")
+        label = "/".join(key)
+        marker = ""
+        if is_speedup and args.max_regress is not None and -delta > args.max_regress:
+            marker = "  << REGRESSION"
+            regressions.append(label)
+        print(f"{label:<70} {b:>12.4g} {c:>12.4g} {delta:>+7.1%}{marker}")
+    only_base = sorted(set(base) - set(curr))
+    for key in only_base:
+        print(f"{'/'.join(key):<70} {'(missing from current run)':>34}")
+    only_curr = sorted(set(curr) - set(base))
+    for key in only_curr:
+        print(f"{'/'.join(key):<70} {'(new; not in baseline)':>34}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} gated speedup(s) regressed beyond "
+            f"{args.max_regress:.0%}: " + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,7 +77,7 @@ def main() -> None:
                       {"M": 64, "maxK": 100})
 
     for name, arr, windows, full, win in rows:
-        print(f"{name:<28} {arr:<6} {str(windows):<12} {full:>8} {win:>8} "
+        print(f"{name:<28} {arr:<6} {windows!s:<12} {full:>8} {win:>8} "
               f"{full / win:>7.1f}x")
 
     print()

@@ -31,7 +31,7 @@ from repro.errors import (
     TransformError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CodegenError",
@@ -79,6 +79,11 @@ def __getattr__(name):
         "simulate_flowchart": "repro.machine.simulator",
         "predicted_speedup": "repro.machine.simulator",
         "measure_backend_speedups": "repro.machine.report",
+        "compare_plans": "repro.machine.report",
+        "ExecutionPlan": "repro.plan.ir",
+        "LoopPlan": "repro.plan.ir",
+        "build_plan": "repro.plan.planner",
+        "forced_plan": "repro.plan.planner",
     }
     if name in lazy:
         return getattr(import_module(lazy[name]), name)

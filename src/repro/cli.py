@@ -6,6 +6,8 @@ schedule   print the flowchart (Figure-6 style) and window analysis
 graph      print the dependency graph (text or Graphviz dot)
 compile    print generated C or Python
 transform  run the section-4 hyperplane derivation and print the report
+plan       print the cost-driven execution plan (backend, chunking, and
+           kernel choice per loop nest)
 run        execute a module (scalars via --set, array inputs random or
            loaded from .npy via --load)
 """
@@ -107,6 +109,23 @@ def _cmd_transform(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from repro.plan.planner import build_plan
+
+    analyzed = analyze_module(_read_module(args.module))
+    flow = schedule_module(analyzed)
+    options = ExecutionOptions(
+        backend=args.backend,
+        workers=args.workers,
+        use_windows=args.windows,
+        use_kernels=not args.no_kernels,
+    )
+    scalars = _parse_assignments(args.set or [])
+    plan = build_plan(analyzed, flow, options, scalars)
+    print(plan.pretty(cycles=args.cycles))
+    return 0
+
+
 def _parse_assignments(pairs: Sequence[str]) -> dict[str, int]:
     out: dict[str, int] = {}
     for pair in pairs:
@@ -189,6 +208,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--emit-module", action="store_true",
                    help="also print the transformed PS source")
     p.set_defaults(func=_cmd_transform)
+
+    p = sub.add_parser("plan", help="print the cost-driven execution plan")
+    p.add_argument("module")
+    p.add_argument("--set", action="append", metavar="NAME=INT",
+                   help="scalar parameter (trip counts need sizes)")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", *available_backends()],
+                   help="pin the plan to a backend (default: planner's choice)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker count the plan budgets for")
+    p.add_argument("--windows", action="store_true",
+                   help="plan for window-allocated virtual dimensions")
+    p.add_argument("--no-kernels", action="store_true",
+                   help="plan for evaluator-only execution")
+    p.add_argument("--cycles", action="store_true",
+                   help="include calibrated cycle predictions")
+    p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser("run", help="execute a module")
     p.add_argument("module")

@@ -5,7 +5,7 @@ Two variants, matching the paper's two relaxation equations:
 * **Jacobi** (Equation 1 / Figure 1): every interior element is computed from
   the *previous* iteration, ``A[K-1, ...]`` only. Its schedule is Figure 6:
   an outer iterative DO over ``K`` with inner parallel DOALLs.
-* **Gauss–Seidel** (Equation 2 / section 4): west and north neighbours come
+* **Gauss-Seidel** (Equation 2 / section 4): west and north neighbours come
   from the *current* iteration (``A[K,I,J-1]``, ``A[K,I-1,J]``). Its naive
   schedule is Figure 7 (fully iterative); the hyperplane transformation of
   section 4 recovers the Figure-6 shape.

@@ -17,12 +17,16 @@ from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+import numpy as np
+
 from repro.codegen.cgen import generate_c
 from repro.codegen.pygen import compile_python, generate_python
 from repro.errors import CodegenError
 from repro.graph.build import build_dependency_graph
 from repro.graph.depgraph import DependencyGraph
 from repro.hyperplane.pipeline import HyperplaneResult, hyperplane_transform
+from repro.plan.ir import ExecutionPlan
+from repro.plan.planner import build_plan
 from repro.ps.ast import Module
 from repro.ps.parser import parse_module
 from repro.ps.semantics import AnalyzedModule, AnalyzedProgram, analyze_module
@@ -59,6 +63,9 @@ class CompileResult:
     _kernel_cache: KernelCache | None = field(
         default=None, repr=False, compare=False
     )
+    #: execution plans cached per (options, scalar bindings) — the planner
+    #: runs once per distinct configuration, not once per run()
+    _plan_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def kernel_cache(self) -> KernelCache:
@@ -66,32 +73,77 @@ class CompileResult:
             self._kernel_cache = KernelCache(self.analyzed, self.flowchart)
         return self._kernel_cache
 
+    @staticmethod
+    def _merge_execution(
+        execution: ExecutionOptions | None,
+        backend: str | None,
+        workers: int | None,
+    ) -> ExecutionOptions:
+        base = execution or ExecutionOptions()
+        if backend is not None or workers is not None:
+            base = replace(
+                base,
+                backend=backend if backend is not None else base.backend,
+                workers=workers if workers is not None else base.workers,
+            )
+        return base
+
+    def plan(
+        self,
+        args: dict[str, Any] | None = None,
+        execution: ExecutionOptions | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
+    ) -> ExecutionPlan:
+        """The execution plan for this compilation under the given options
+        and (integer) arguments, cached across ``run()`` calls.
+
+        ``backend="auto"`` (the default) asks the cost-driven planner to
+        choose; an explicit backend pins the plan to it.
+        """
+        execution = self._merge_execution(execution, backend, workers)
+        scalars = {
+            k: int(v)
+            for k, v in (args or {}).items()
+            if isinstance(v, (int, np.integer))
+        }
+        key = (
+            execution.backend, execution.workers, execution.vectorize,
+            execution.use_windows, execution.use_kernels,
+            execution.debug_windows, tuple(sorted(scalars.items())),
+        )
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = build_plan(self.analyzed, self.flowchart, execution, scalars)
+            self._plan_cache[key] = plan
+        return plan
+
     def run(
         self,
         args: dict[str, Any],
         execution: ExecutionOptions | None = None,
         backend: str | None = None,
         workers: int | None = None,
+        plan: ExecutionPlan | None = None,
     ) -> dict[str, Any]:
         """Execute the (possibly transformed) module on the interpreter.
 
         ``backend`` / ``workers`` select the DOALL execution backend
         (overriding ``execution`` when given) — e.g.
-        ``result.run(args, backend="threaded", workers=4)``.
+        ``result.run(args, backend="threaded", workers=4)``. The execution
+        follows the cached cost-driven :meth:`plan` unless a prebuilt
+        ``plan`` is supplied.
         """
-        if backend is not None or workers is not None:
-            base = execution or ExecutionOptions()
-            execution = replace(
-                base,
-                backend=backend if backend is not None else base.backend,
-                workers=workers if workers is not None else base.workers,
-            )
+        execution = self._merge_execution(execution, backend, workers)
+        if plan is None:
+            plan = self.plan(args, execution=execution)
         return execute_module(
             self.analyzed,
             args,
             flowchart=self.flowchart,
             options=execution,
             kernel_cache=self.kernel_cache,
+            plan=plan,
         )
 
     def compile_python(self) -> Callable:

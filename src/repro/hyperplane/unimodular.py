@@ -53,7 +53,7 @@ def integer_inverse(m: Matrix) -> Matrix:
     det = determinant(m)
     if det not in (1, -1):
         raise TransformError(f"matrix is not unimodular (det = {det})")
-    a = [[Fraction(x) for x in row] + [Fraction(int(i == r)) for i in range(n)]
+    a = [[*(Fraction(x) for x in row), *(Fraction(int(i == r)) for i in range(n))]
          for r, row in enumerate(m)]
     # Gauss-Jordan.
     for col in range(n):
@@ -85,8 +85,9 @@ def _greedy_completion(pi: tuple[int, ...]) -> Matrix | None:
     — reproduces the paper's I' = K, J' = I for pi = (2,1,1)."""
     n = len(pi)
     for combo in itertools.combinations(range(n), n - 1):
-        rows = [list(pi)] + [
-            [int(j == i) for j in range(n)] for i in combo
+        rows = [
+            list(pi),
+            *([int(j == i) for j in range(n)] for i in combo),
         ]
         if determinant(rows) in (1, -1):
             return rows

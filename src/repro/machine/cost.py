@@ -1,15 +1,23 @@
-"""Cost model for the simulated MIMD machine.
+"""Cost model for the simulated MIMD machine and the execution planner.
 
-Costs are in abstract cycles. Defaults are loosely calibrated to a 1980s
-shared-memory multiprocessor (cheap scalar ops, noticeable fork/barrier
-overhead) — the regime the paper targets, where loop-level parallelism pays
-only when the loop body times the iteration count dominates the
-synchronisation cost.
+Costs are in abstract cycles. The *structural* defaults (``op_cost`` …
+``call_cost``) are loosely calibrated to a 1980s shared-memory
+multiprocessor (cheap scalar ops, noticeable fork/barrier overhead) — the
+regime the paper targets, where loop-level parallelism pays only when the
+loop body times the iteration count dominates the synchronisation cost.
+
+The *execution-mode* fields are calibrated against this repo's own runtime
+(``BENCH_kernels.json``): the same equation costs wildly different numbers
+of cycles depending on whether it runs on the tree-walking evaluator, a
+per-equation compiled kernel, a fused nest kernel, or the NumPy vector
+path. One cycle is anchored at roughly 50 ns of the calibration machine;
+only ratios matter to the planner. ``MachineModel.from_kernel_bench``
+re-derives the mode overheads from a fresh benchmark artifact.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.ps.ast import (
     BinOp,
@@ -25,6 +33,9 @@ from repro.ps.ast import (
     UnOp,
 )
 
+#: execution modes the model distinguishes (see :func:`element_cost`)
+EXECUTION_MODES = ("abstract", "evaluator", "kernel", "nest", "vector")
+
 
 @dataclass(frozen=True)
 class MachineModel:
@@ -38,15 +49,95 @@ class MachineModel:
     doall_barrier: int = 20  # joining it
     call_cost: int = 50  # module invocation overhead
 
+    # -- execution-mode costs, calibrated against BENCH_kernels.json --------
+    #: per-element tax of the tree-walking reference evaluator
+    eval_element_overhead: float = 3300.0
+    #: per-element tax of a per-equation compiled scalar kernel (one Python
+    #: call + prologue hoisting per element)
+    kernel_element_overhead: float = 95.0
+    #: per-element tax inside a fused nest kernel (hoisting amortised over
+    #: the whole nest; only the compiled loop body remains)
+    nest_element_overhead: float = 12.0
+    #: fraction of the scalar equation cost a NumPy vector op pays per
+    #: element once the span is large enough to amortise dispatch
+    vector_element_factor: float = 0.012
+    #: per-equation launch cost of one NumPy vector span
+    vector_setup: float = 250.0
+    #: submitting + collecting one chunk on the thread pool
+    chunk_dispatch: float = 3500.0
+    #: submitting + collecting one chunk task on the persistent process pool
+    process_dispatch: float = 40000.0
+    #: one-time cost of forking the persistent process pool
+    process_spinup: float = 120000.0
+
     def with_processors(self, p: int) -> MachineModel:
-        return MachineModel(
-            processors=p,
-            op_cost=self.op_cost,
-            memory_cost=self.memory_cost,
-            loop_overhead=self.loop_overhead,
-            doall_fork=self.doall_fork,
-            doall_barrier=self.doall_barrier,
-            call_cost=self.call_cost,
+        return replace(self, processors=p)
+
+    def element_overhead(self, mode: str) -> float:
+        """The per-element execution-mode tax added to the structural
+        equation cost (``"abstract"``: the paper-era machine, no tax)."""
+        if mode in ("abstract", "vector"):
+            return 0.0
+        if mode == "evaluator":
+            return self.eval_element_overhead
+        if mode == "kernel":
+            return self.kernel_element_overhead
+        if mode == "nest":
+            return self.nest_element_overhead
+        raise ValueError(f"unknown execution mode {mode!r}")
+
+    def element_cost(self, eq, mode: str = "abstract") -> float:
+        """Cycles for one element of ``eq`` under an execution mode.
+        ``"abstract"`` stays integral — the paper-era simulator artifacts
+        print whole cycle counts."""
+        base = equation_cost(eq, self)
+        if mode == "vector":
+            return base * self.vector_element_factor
+        overhead = self.element_overhead(mode)
+        return base + overhead if overhead else base
+
+    @classmethod
+    def from_kernel_bench(
+        cls, bench: dict, base: MachineModel | None = None
+    ) -> MachineModel:
+        """Recalibrate the execution-mode overheads from a
+        ``BENCH_kernels.json`` payload (see ``benchmarks/bench_kernels.py``).
+
+        The Jacobi rows carry enough information to solve for the per-element
+        costs: a grid of ``M`` swept ``maxK`` times performs
+        ``(maxK + 1) * (M + 2)^2`` element evaluations per run (eq.1 and
+        eq.2 once each, eq.3 over ``maxK - 1`` sweeps); each row records its
+        own ``maxk`` (rows from older artifacts fall back to the historical
+        8). The compiled scalar kernel row anchors the cycle length (its
+        overhead is held at the default); evaluator and vector overheads are
+        then solved from their measured per-element seconds.
+        """
+        from repro.core.paper import jacobi_analyzed
+
+        base = base or cls()
+        analyzed = jacobi_analyzed()
+        eq3 = next(eq for eq in analyzed.equations if eq.label == "eq.3")
+        eqc = equation_cost(eq3, base)
+
+        def per_element(backend: str) -> tuple[float, float]:
+            rows = [
+                r
+                for r in bench.get("rows", [])
+                if r["workload"] == "jacobi" and r["backend"] == backend
+            ]
+            if not rows:
+                raise ValueError(f"no jacobi/{backend} rows in bench payload")
+            row = max(rows, key=lambda r: r["grid"])
+            elements = (row.get("maxk", 8) + 1) * (row["grid"] + 2) ** 2
+            return row["evaluator_seconds"] / elements, row["kernel_seconds"] / elements
+
+        eval_s, kernel_s = per_element("serial")
+        _, vector_s = per_element("vectorized")
+        cycle = kernel_s / (eqc + base.kernel_element_overhead)
+        return replace(
+            base,
+            eval_element_overhead=max(0.0, eval_s / cycle - eqc),
+            vector_element_factor=max(1e-6, (vector_s / cycle) / eqc),
         )
 
 

@@ -200,3 +200,123 @@ def measure_backend_speedups(
         predicted=predicted,
     )
 
+
+# ---------------------------------------------------------------------------
+# Predicted vs planned vs measured: the planner against the stopwatch
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlanComparison:
+    """For one workload: what the calibrated model *predicted* each backend
+    would cost, what the planner consequently *planned*, and what the wall
+    clock *measured*. The planner is honest when the backend it picks for
+    ``auto`` lands within noise of the measured-best backend."""
+
+    workload: str
+    auto_backend: str
+    #: per candidate backend: predicted cycles, plan fingerprint, seconds
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def best_backend(self) -> str:
+        return min(self.rows, key=lambda r: r["seconds"])["backend"]
+
+    @property
+    def auto_seconds(self) -> float:
+        for r in self.rows:
+            if r["backend"] == self.auto_backend:
+                return r["seconds"]
+        raise ValueError(
+            f"auto-planned backend {self.auto_backend!r} was not measured "
+            f"(rows: {[r['backend'] for r in self.rows]})"
+        )
+
+    @property
+    def best_seconds(self) -> float:
+        return min(r["seconds"] for r in self.rows)
+
+    def pretty(self, title: str = "") -> str:
+        lines = [title] if title else []
+        lines.append(
+            f"auto plans {self.auto_backend!r}; measured best "
+            f"{self.best_backend!r}"
+        )
+        lines.append(f"{'backend':>12}  {'predicted':>12}  {'seconds':>10}  planned")
+        for r in sorted(self.rows, key=lambda r: r["predicted_cycles"]):
+            strategies = ",".join(s for _, s in r["strategies"])
+            lines.append(
+                f"{r['backend']:>12}  {r['predicted_cycles']:>12.0f}  "
+                f"{r['seconds']:>10.4f}  {strategies}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "auto_backend": self.auto_backend,
+            "best_backend": self.best_backend,
+            "auto_seconds": self.auto_seconds,
+            "best_seconds": self.best_seconds,
+            "rows": self.rows,
+        }
+
+
+def compare_plans(
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    run_args: dict[str, Any],
+    backends: list[str] | None = None,
+    workers: int | None = None,
+    execution=None,
+    repeats: int = 3,
+    workload: str = "",
+) -> PlanComparison:
+    """Plan and execute ``analyzed`` on every candidate backend, pairing
+    the planner's predicted cycles with measured wall clock, and record
+    which backend ``auto`` would pick."""
+    import numpy as np
+
+    from repro.plan.planner import AUTO_CANDIDATES, build_plan
+    from repro.runtime.executor import ExecutionOptions, execute_module
+
+    backends = list(backends or AUTO_CANDIDATES)
+    base = execution or ExecutionOptions()
+    if workers is None:
+        workers = base.workers
+    scalars = {
+        k: int(v)
+        for k, v in run_args.items()
+        if isinstance(v, (int, np.integer))
+    }
+
+    auto_plan = build_plan(
+        analyzed, flowchart, replace(base, backend="auto", workers=workers), scalars
+    )
+    if auto_plan.backend not in backends:
+        # auto must always be measurable against its own pick
+        backends.append(auto_plan.backend)
+    rows: list[dict[str, Any]] = []
+    for backend in backends:
+        options = replace(base, backend=backend, workers=workers)
+        plan = build_plan(analyzed, flowchart, options, scalars)
+        seconds = _best_of(
+            lambda options=options, plan=plan: execute_module(
+                analyzed, run_args, flowchart=flowchart, options=options, plan=plan
+            ),
+            repeats,
+        )
+        rows.append(
+            {
+                "backend": backend,
+                "predicted_cycles": plan.cycles,
+                "strategies": plan.strategies(),
+                "seconds": seconds,
+            }
+        )
+    return PlanComparison(
+        workload=workload or analyzed.name,
+        auto_backend=auto_plan.backend,
+        rows=rows,
+    )
+

@@ -14,6 +14,11 @@ Semantics:
 An option models *collapsed* nests (``collapse=True``), where perfectly
 nested DOALLs share the team as one flattened iteration space; the paper's
 "DOALL I (DOALL J ...)" would typically be compiled that way.
+
+``mode`` selects the per-element execution tax of the calibrated machine
+model: ``"abstract"`` (default) is the paper's idealised machine, while
+``"evaluator"`` / ``"kernel"`` / ``"nest"`` / ``"vector"`` predict this
+repo's own runtime paths (see :class:`repro.machine.cost.MachineModel`).
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import ceil
 
-from repro.machine.cost import MachineModel, equation_cost
+from repro.machine.cost import MachineModel
 from repro.ps.semantics import AnalyzedModule
 from repro.runtime.values import eval_bound
 from repro.schedule.flowchart import Descriptor, Flowchart, LoopDescriptor, NodeDescriptor
@@ -29,9 +34,9 @@ from repro.schedule.flowchart import Descriptor, Flowchart, LoopDescriptor, Node
 
 @dataclass
 class SimulationResult:
-    cycles: int
+    cycles: float
     model: MachineModel
-    breakdown: dict[str, int] = field(default_factory=dict)
+    breakdown: dict[str, float] = field(default_factory=dict)
 
     def speedup_against(self, baseline: SimulationResult) -> float:
         return baseline.cycles / self.cycles if self.cycles else float("inf")
@@ -43,6 +48,7 @@ def simulate_flowchart(
     args: dict[str, int],
     model: MachineModel,
     collapse: bool = True,
+    mode: str = "abstract",
 ) -> SimulationResult:
     """Simulate a scheduled module for given scalar parameter values."""
     scalars = {k: int(v) for k, v in args.items()}
@@ -52,7 +58,7 @@ def simulate_flowchart(
     breakdown: dict[str, int] = {}
     total = 0
     for desc in flowchart.descriptors:
-        c = _cost(desc, scalars, model, parallel_available=True, collapse=collapse)
+        c = _cost(desc, scalars, model, parallel_available=True, collapse=collapse, mode=mode)
         label = _label(desc)
         breakdown[label] = breakdown.get(label, 0) + c
         total += c
@@ -66,16 +72,19 @@ def predicted_speedup(
     workers: int,
     model: MachineModel | None = None,
     collapse: bool = True,
+    mode: str = "abstract",
 ) -> float:
     """Cost-model speedup of the schedule at ``workers`` processors over one
     — the paper's prediction, for comparison against a backend's measured
     wall-clock speedup (see :func:`repro.machine.report.measure_backend_speedups`)."""
     model = model or MachineModel()
     serial = simulate_flowchart(
-        analyzed, flowchart, args, model.with_processors(1), collapse=collapse
+        analyzed, flowchart, args, model.with_processors(1), collapse=collapse,
+        mode=mode,
     )
     parallel = simulate_flowchart(
-        analyzed, flowchart, args, model.with_processors(workers), collapse=collapse
+        analyzed, flowchart, args, model.with_processors(workers),
+        collapse=collapse, mode=mode,
     )
     return parallel.speedup_against(serial)
 
@@ -123,10 +132,11 @@ def _cost(
     model: MachineModel,
     parallel_available: bool,
     collapse: bool,
-) -> int:
+    mode: str = "abstract",
+) -> float:
     if isinstance(desc, NodeDescriptor):
         if desc.node.is_equation:
-            return equation_cost(desc.node.equation, model)
+            return model.element_cost(desc.node.equation, mode)
         return 0
     assert isinstance(desc, LoopDescriptor)
 
@@ -137,7 +147,8 @@ def _cost(
             for loop in chain:
                 n *= _extent(loop, scalars)
             body_cost = sum(
-                _cost(d, scalars, model, parallel_available=False, collapse=collapse)
+                _cost(d, scalars, model, parallel_available=False,
+                      collapse=collapse, mode=mode)
                 for d in body
             )
             per_iter = model.loop_overhead * len(chain) + body_cost
@@ -147,7 +158,8 @@ def _cost(
             return model.doall_fork + chunks * per_iter + model.doall_barrier
         n = _extent(desc, scalars)
         body_cost = sum(
-            _cost(d, scalars, model, parallel_available=False, collapse=collapse)
+            _cost(d, scalars, model, parallel_available=False,
+                  collapse=collapse, mode=mode)
             for d in desc.body
         )
         per_iter = model.loop_overhead + body_cost
@@ -157,7 +169,8 @@ def _cost(
     # Sequential execution (DO, or DOALL without a free team).
     n = _extent(desc, scalars)
     body_cost = sum(
-        _cost(d, scalars, model, parallel_available=parallel_available, collapse=collapse)
+        _cost(d, scalars, model, parallel_available=parallel_available,
+              collapse=collapse, mode=mode)
         for d in desc.body
     )
     return n * (model.loop_overhead + body_cost)

@@ -1,0 +1,216 @@
+"""The ExecutionPlan IR.
+
+An :class:`ExecutionPlan` is a per-module execution recipe produced once by
+the planner (:mod:`repro.plan.planner`) and consumed by every execution
+backend. It mirrors the flowchart's loop tree: one :class:`LoopPlan` per
+loop descriptor (addressed by the descriptor's child-index path, the same
+picklable handle the process backend already uses) plus one
+:class:`EquationPlan` per equation. The plan is inspectable —
+``repro plan module.ps`` pretty-prints it — and *forcible*: tests and
+benchmarks build hand-forced plans to pin a strategy per loop, and any
+forced plan must stay bit-exact against the serial reference evaluator.
+
+Loop strategies
+---------------
+
+``serial``
+    Scalar iterations in subrange order (the reference semantics); body
+    equations run on per-equation scalar kernels or the evaluator.
+``nest``
+    The whole DOALL nest runs as one fused compiled kernel — the
+    per-element Python call of the serial path is amortised into compiled
+    ``for`` loops.
+``vector``
+    The subrange executes as one NumPy span (nested DOALLs broadcast).
+``chunk``
+    The subrange splits into ``parts`` contiguous chunks dispatched to
+    workers; each chunk runs as a vector span.
+``iterate``
+    This loop's iterations run one at a time *so that an inner loop's plan
+    gets the workers* — the planner emits it for a DOALL whose trip count
+    is below the worker count but whose inner DOALL chunks well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: valid LoopPlan.strategy values
+STRATEGIES = ("serial", "nest", "vector", "chunk", "iterate")
+
+#: valid EquationPlan.kernel values
+KERNEL_VARIANTS = ("scalar", "vector", "nest", "evaluator")
+
+
+class PlanError(ReproError):
+    """An invalid or inapplicable execution plan."""
+
+
+@dataclass
+class EquationPlan:
+    """How one equation executes under the chosen enclosing strategy."""
+
+    label: str
+    #: descriptor path of the equation's NodeDescriptor
+    path: tuple[int, ...]
+    #: kernel variant the equation runs on under the planned strategy
+    kernel: str = "scalar"
+    #: why the equation cannot leave the evaluator (when kernel=evaluator)
+    reason: str = ""
+
+    def annotation(self) -> str:
+        note = f"kernel={self.kernel}"
+        if self.reason:
+            note += f" ({self.reason})"
+        return note
+
+
+@dataclass
+class LoopPlan:
+    """The planner's decision for one loop descriptor."""
+
+    #: descriptor path in the flowchart tree (picklable handle)
+    path: tuple[int, ...]
+    index: str
+    keyword: str  # "DO" | "DOALL"
+    strategy: str
+    #: chunk count when strategy == "chunk"
+    parts: int | None = None
+    #: trip count the planner saw (None: bounds not statically evaluable)
+    trip: int | None = None
+    #: whether this nest is fused into one compiled kernel
+    fuse: bool = False
+    #: index of the loop that actually receives the workers (for pretty
+    #: output on "iterate" loops this names the chunked inner loop)
+    chunk_index: str | None = None
+    #: predicted cycles for the chosen strategy (calibrated model)
+    cycles: float | None = None
+    #: one-line rationale for the choice
+    reason: str = ""
+
+    def annotation(self) -> str:
+        bits = [self.strategy]
+        if self.strategy == "chunk" and self.parts:
+            bits[-1] += f" x{self.parts}"
+        if self.strategy == "iterate" and self.chunk_index:
+            bits.append(f"inner-chunk {self.chunk_index}")
+        if self.trip is not None:
+            bits.append(f"trip {self.trip}")
+        if self.reason:
+            bits.append(self.reason)
+        return "; ".join(bits)
+
+
+@dataclass
+class PlanEntry:
+    """One pre-order row of the plan tree (for pretty-printing)."""
+
+    depth: int
+    loop: LoopPlan | None = None
+    equation: EquationPlan | None = None
+    #: non-equation data node label (declarations pass through untouched)
+    label: str | None = None
+
+
+@dataclass
+class ExecutionPlan:
+    """The full per-module execution recipe."""
+
+    module: str
+    #: the concrete backend registry key execution will instantiate
+    backend: str
+    #: what the user asked for ("auto" or an explicit backend)
+    requested: str
+    workers: int
+    use_windows: bool
+    use_kernels: bool
+    #: True when an explicit --backend pinned the plan
+    pinned: bool
+    entries: list[PlanEntry] = field(default_factory=list)
+    #: loop plans keyed by descriptor path
+    loops: dict[tuple[int, ...], LoopPlan] = field(default_factory=dict)
+    #: equation plans keyed by label
+    equations: dict[str, EquationPlan] = field(default_factory=dict)
+    #: total predicted cycles for the planned execution (calibrated model)
+    cycles: float | None = None
+    #: id(descriptor) -> LoopPlan for O(1) lookup during execution; rebuilt
+    #: by bind() — valid only against the flowchart the plan was built from
+    _by_id: dict[int, LoopPlan] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: id() of the flowchart the index above was built against
+    _bound_to: int | None = field(default=None, repr=False, compare=False)
+
+    # -- lookup ------------------------------------------------------------
+
+    def bind(self, flowchart) -> ExecutionPlan:
+        """Index the plan against ``flowchart``'s descriptor identities so
+        backends can look up plans without recomputing paths. A no-op when
+        already bound to this flowchart; otherwise the new index is built
+        aside and swapped in atomically (plans are shared across runs — a
+        concurrent reader must never observe a half-built index)."""
+        from repro.schedule.flowchart import LoopDescriptor
+
+        if self._bound_to == id(flowchart) and self._by_id:
+            return self
+        by_id: dict[int, LoopPlan] = {}
+        stack = [((i,), d) for i, d in enumerate(flowchart.descriptors)]
+        while stack:
+            path, desc = stack.pop()
+            if isinstance(desc, LoopDescriptor):
+                plan = self.loops.get(path)
+                if plan is not None:
+                    by_id[id(desc)] = plan
+                stack.extend(
+                    (path + (i,), d) for i, d in enumerate(desc.body)
+                )
+        self._by_id = by_id
+        self._bound_to = id(flowchart)
+        return self
+
+    def loop_for(self, desc) -> LoopPlan | None:
+        """The plan for a loop descriptor of the bound flowchart."""
+        return self._by_id.get(id(desc))
+
+    def equation_for(self, label: str) -> EquationPlan | None:
+        return self.equations.get(label)
+
+    # -- summaries ---------------------------------------------------------
+
+    def strategies(self) -> list[tuple[str, str]]:
+        """(index, strategy) per loop, pre-order — a quick fingerprint."""
+        return [
+            (e.loop.index, e.loop.strategy)
+            for e in self.entries
+            if e.loop is not None
+        ]
+
+    def pretty(self, cycles: bool = False) -> str:
+        """Human-readable plan. ``cycles=True`` appends the calibrated
+        cycle predictions (omitted by default: golden tests pin the text
+        and the calibration constants may be retuned)."""
+        mode = "pinned" if self.pinned else "auto"
+        head = (
+            f"plan {self.module}: backend={self.backend} "
+            f"workers={self.workers} "
+            f"kernels={'on' if self.use_kernels else 'off'} "
+            f"windows={'on' if self.use_windows else 'off'} [{mode}]"
+        )
+        lines = [head]
+        for e in self.entries:
+            pad = "    " * e.depth
+            if e.loop is not None:
+                lp = e.loop
+                note = lp.annotation()
+                if cycles and lp.cycles is not None:
+                    note += f"; ~{lp.cycles:.0f} cycles"
+                lines.append(f"{pad}{lp.keyword} {lp.index} -> {note}")
+            elif e.equation is not None:
+                lines.append(f"{pad}{e.equation.label} [{e.equation.annotation()}]")
+            else:
+                lines.append(f"{pad}{e.label}")
+        if cycles and self.cycles is not None:
+            lines.append(f"predicted total: ~{self.cycles:.0f} cycles")
+        return "\n".join(lines)

@@ -1,0 +1,630 @@
+"""The cost-driven planner: annotated flowchart -> ExecutionPlan.
+
+The planner makes every decision the backends used to re-derive at loop
+entry, exactly once per (module, options, scalar bindings):
+
+* which backend executes the module — ``backend="auto"`` compares the
+  calibrated cost of a serial, vectorized, threaded, and process execution
+  at the *effective* parallelism ``min(workers, cpu_count)`` and picks the
+  cheapest; an explicit backend pins the plan;
+* how each DOALL runs on that backend — scalar walk, fused nest kernel,
+  vector span, or chunked across workers;
+* where the workers go in a nest — a DOALL whose trip count is below the
+  worker count hands the team to a chunk-safe inner DOALL instead of
+  leaving workers idle (``iterate`` + inner ``chunk``);
+* which kernel variant each equation uses (scalar, vector, fused nest, or
+  the reference evaluator for non-kernelizable equations).
+
+Safety verdicts (chunk-safety, vector-safety, nest fusability) come from
+the flowchart annotations and the kernel emitter's static checks; the plan
+only ever narrows execution strategy, never semantics — any plan must stay
+bit-exact against the serial reference evaluator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from math import ceil
+from types import SimpleNamespace
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.machine.cost import MachineModel
+from repro.plan.ir import (
+    STRATEGIES,
+    EquationPlan,
+    ExecutionPlan,
+    LoopPlan,
+    PlanEntry,
+    PlanError,
+)
+from repro.runtime.kernels.emit import kernelizable, nest_fusable
+from repro.runtime.values import eval_bound
+from repro.schedule.flowchart import (
+    Flowchart,
+    LoopDescriptor,
+    NodeDescriptor,
+    equation_vector_safe,
+    loop_chunk_safe,
+)
+
+#: backends that split DOALL subranges into worker chunks
+CHUNKED_BACKENDS = ("threaded", "process", "process-fork")
+
+#: every backend a plan may target (kept in sync with the registry in
+#: ``repro.runtime.backends`` — the plan layer must not import the runtime)
+KNOWN_BACKENDS = ("serial", "vectorized") + CHUNKED_BACKENDS
+
+#: the candidate set ``backend="auto"`` chooses from
+AUTO_CANDIDATES = ("serial", "vectorized", "threaded", "process")
+
+#: assumed trip count when subrange bounds are not statically evaluable
+DEFAULT_TRIP = 16
+
+#: a chunk-safe inner DOALL takes the team only when its own trip count
+#: keeps every worker busy at least this many chunks deep
+INNER_CHUNK_FACTOR = 2
+
+
+def _default_options() -> Any:
+    return SimpleNamespace(
+        vectorize=True,
+        use_windows=False,
+        debug_windows=False,
+        backend="auto",
+        workers=None,
+        use_kernels=True,
+    )
+
+
+def build_plan(
+    analyzed,
+    flowchart: Flowchart,
+    options: Any | None = None,
+    scalar_env: dict[str, int] | None = None,
+    model: MachineModel | None = None,
+    cpu_count: int | None = None,
+    backend: str | None = None,
+    candidates: tuple[str, ...] | None = None,
+) -> ExecutionPlan:
+    """Plan one module execution.
+
+    ``options`` duck-types :class:`repro.runtime.executor.ExecutionOptions`;
+    ``scalar_env`` supplies integer parameter values for trip counts (loops
+    whose bounds cannot be evaluated get a conservative default);
+    ``cpu_count`` bounds the parallelism the cost model believes in (the
+    machine's real core count by default — a worker count above it buys
+    nothing, which is exactly what ``auto`` must know); ``backend``
+    overrides ``options.backend`` (a backend walking a hand-built state
+    pins the plan to itself); ``candidates`` narrows what ``auto`` may
+    choose from (module calls restrict callees to the in-process backends
+    — nested pools inside worker chunks would oversubscribe or crash).
+    """
+    options = options or _default_options()
+    scalar_env = scalar_env or {}
+    model = model or MachineModel()
+    workers = max(1, options.workers if options.workers is not None else os.cpu_count() or 1)
+    effective = max(1, min(workers, cpu_count if cpu_count is not None else os.cpu_count() or 1))
+    use_kernels = bool(options.use_kernels) and not options.debug_windows
+
+    requested = backend if backend is not None else getattr(options, "backend", "auto")
+    if requested != "auto" and requested not in KNOWN_BACKENDS:
+        raise ExecutionError(
+            f"unknown execution backend {requested!r}; "
+            f"available: {', '.join(KNOWN_BACKENDS)}"
+        )
+    if requested == "auto" and not options.vectorize:
+        # The legacy --scalar path: auto used to follow the vectorize flag.
+        requested = "serial"
+
+    if requested == "auto":
+        pool = list(candidates or AUTO_CANDIDATES)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # Without fork the process backends degrade to inline chunk
+            # execution — the model's concurrency assumption would be a
+            # lie, so auto never offers them (pinning still works and
+            # degrades gracefully, as before).
+            pool = [c for c in pool if c not in ("process", "process-fork")]
+        best: _Planner | None = None
+        for candidate in pool:
+            p = _Planner(
+                analyzed, flowchart, candidate, workers, effective,
+                scalar_env, model, use_kernels, bool(options.use_windows),
+            )
+            p.plan_module()
+            if best is None or p.total < best.total:
+                best = p
+        assert best is not None
+        return best.finish(analyzed.name, requested="auto", pinned=False)
+
+    planner = _Planner(
+        analyzed, flowchart, requested, workers, effective,
+        scalar_env, model, use_kernels, bool(options.use_windows),
+    )
+    planner.plan_module()
+    return planner.finish(analyzed.name, requested=requested, pinned=True)
+
+
+def forced_plan(
+    analyzed,
+    flowchart: Flowchart,
+    backend: str,
+    options: Any | None = None,
+    scalar_env: dict[str, int] | None = None,
+    default: str | None = None,
+    overrides: dict[tuple[int, ...], str] | None = None,
+    model: MachineModel | None = None,
+) -> ExecutionPlan:
+    """A hand-forced plan: every parallel loop takes ``default`` (when
+    given), individual loops take ``overrides[path]``. Strategies are
+    validated — forcing ``chunk`` on a chunk-unsafe loop or ``nest`` on an
+    unfusable one raises :class:`PlanError` rather than risking semantics.
+    """
+    options = options or _default_options()
+    planner = _Planner(
+        analyzed,
+        flowchart,
+        backend,
+        max(1, options.workers or os.cpu_count() or 1),
+        1,
+        scalar_env or {},
+        model or MachineModel(),
+        bool(options.use_kernels) and not options.debug_windows,
+        bool(options.use_windows),
+        force_default=default,
+        force_overrides=overrides or {},
+    )
+    planner.plan_module()
+    return planner.finish(analyzed.name, requested=backend, pinned=True)
+
+
+def valid_strategies(
+    analyzed, flowchart: Flowchart, desc: LoopDescriptor, use_windows: bool = False
+) -> list[str]:
+    """The strategies a parallel loop may be forced to (property tests draw
+    from this set)."""
+    if not desc.parallel:
+        return ["serial"]
+    out = ["serial", "vector", "iterate"]
+    if nest_fusable(desc, analyzed, flowchart, use_windows):
+        out.append("nest")
+    if loop_chunk_safe(desc, analyzed, flowchart.windows, use_windows):
+        out.append("chunk")
+    return out
+
+
+class _Planner:
+    """One backend-pinned planning pass (auto runs one per candidate)."""
+
+    def __init__(
+        self,
+        analyzed,
+        flowchart: Flowchart,
+        backend: str,
+        workers: int,
+        parallelism: int,
+        scalar_env: dict[str, int],
+        model: MachineModel,
+        use_kernels: bool,
+        use_windows: bool,
+        force_default: str | None = None,
+        force_overrides: dict[tuple[int, ...], str] | None = None,
+    ):
+        self.analyzed = analyzed
+        self.flowchart = flowchart
+        self.backend = backend
+        self.workers = workers
+        self.parallelism = parallelism
+        self.scalar_env = scalar_env
+        self.model = model
+        self.use_kernels = use_kernels
+        self.use_windows = use_windows
+        self.force_default = force_default
+        self.force_overrides = force_overrides or {}
+        self.entries: list[PlanEntry] = []
+        self.loops: dict[tuple[int, ...], LoopPlan] = {}
+        self.equations: dict[str, EquationPlan] = {}
+        self.total = 0.0
+        self._chunked_somewhere = False
+        self._trips: dict[int, int | None] = {}
+        self._choices: dict[int, tuple[str, int | None, float, str, str | None]] = {}
+
+    # -- shared verdicts ---------------------------------------------------
+
+    def trip(self, desc: LoopDescriptor) -> int | None:
+        t = self._trips.get(id(desc))
+        if id(desc) not in self._trips:
+            try:
+                lo = eval_bound(desc.subrange.lo, self.scalar_env)
+                hi = eval_bound(desc.subrange.hi, self.scalar_env)
+                t = max(0, hi - lo + 1)
+            except ExecutionError:
+                t = None
+            self._trips[id(desc)] = t
+        return t
+
+    def _trip_est(self, desc: LoopDescriptor) -> int:
+        t = self.trip(desc)
+        return DEFAULT_TRIP if t is None else t
+
+    def _chunk_safe(self, desc: LoopDescriptor) -> bool:
+        return loop_chunk_safe(
+            desc, self.analyzed, self.flowchart.windows, self.use_windows
+        )
+
+    def _fusable(self, desc: LoopDescriptor) -> bool:
+        return self.use_kernels and nest_fusable(
+            desc, self.analyzed, self.flowchart, self.use_windows
+        )
+
+    def _eq_mode(self, eq, ctx: str) -> str:
+        """Which execution path an equation takes under ``ctx``; one of the
+        cost model's modes ("evaluator" | "kernel" | "vector" | "nest")."""
+        if ctx == "nest":
+            return "nest"
+        if not (self.use_kernels and kernelizable(eq, self.analyzed)):
+            return "evaluator"
+        if ctx == "vector":
+            return "vector" if equation_vector_safe(eq) else "kernel"
+        return "kernel"
+
+    # -- costing -----------------------------------------------------------
+
+    def _eq_vector_costs(self, eq, span: float) -> tuple[float, float]:
+        """(GIL-releasing, GIL-bound) cycles for one span of ``eq`` on the
+        vector path. NumPy spans release the GIL; the per-element scalar
+        fallback (vector-unsafe or non-kernelizable equations) holds it —
+        the distinction the chunk-cost model needs to price the threaded
+        backend honestly."""
+        mode = self._eq_mode(eq, "vector")
+        m = self.model
+        if mode == "vector":
+            return (m.vector_setup + span * m.element_cost(eq, "vector"), 0.0)
+        if mode == "evaluator" and equation_vector_safe(eq):
+            # vector-safe but non-kernelizable: the vector *evaluator* runs
+            # it — one tree walk per span, NumPy per element
+            return (
+                4 * m.vector_setup + 2 * span * m.element_cost(eq, "vector"),
+                0.0,
+            )
+        # per-element scalar fallback inside the span
+        return (0.0, span * m.element_cost(eq, mode))
+
+    def _eq_cost(self, eq, ctx: str, span: float) -> float:
+        if ctx == "vector":
+            released, bound = self._eq_vector_costs(eq, span)
+            return released + bound
+        return span * self.model.element_cost(eq, self._eq_mode(eq, ctx))
+
+    def _cost(self, desc, ctx: str, span: float) -> float:
+        """Cycles to execute ``desc`` once in context ``ctx`` with ``span``
+        elements per vectorised lane (1 on the scalar walk)."""
+        if isinstance(desc, NodeDescriptor):
+            if not desc.node.is_equation:
+                return 0.0
+            return self._eq_cost(desc.node.equation, ctx, span)
+        assert isinstance(desc, LoopDescriptor)
+        t = self._trip_est(desc)
+        if ctx == "nest":
+            return sum(self._cost(d, "nest", span * t) for d in desc.body)
+        if ctx == "vector":
+            released, bound = self._vector_costs(desc, span)
+            return released + bound
+        # ctx == "walk"
+        if not desc.parallel:
+            return t * (
+                self.model.loop_overhead
+                + sum(self._cost(d, "walk", 1) for d in desc.body)
+            )
+        return self._choose(desc)[2]
+
+    def _cost_serial_root(self, desc: LoopDescriptor) -> float:
+        t = self._trip_est(desc)
+        return t * (
+            self.model.loop_overhead
+            + sum(self._cost(d, "walk", 1) for d in desc.body)
+        )
+
+    def _cost_nest_root(self, desc: LoopDescriptor) -> float:
+        t = self._trip_est(desc)
+        return self.model.vector_setup + sum(
+            self._cost(d, "nest", t) for d in desc.body
+        )
+
+    def _cost_vector_root(self, desc: LoopDescriptor) -> float:
+        t = self._trip_est(desc)
+        return sum(self._cost(d, "vector", t) for d in desc.body)
+
+    def _dispatch_cost(self) -> float:
+        if self.backend in ("process", "process-fork"):
+            return self.model.process_dispatch
+        return self.model.chunk_dispatch
+
+    def _vector_costs(self, desc, span: float) -> tuple[float, float]:
+        """(GIL-releasing, GIL-bound) cycles to run ``desc`` once inside a
+        vector span of ``span`` elements per lane."""
+        if isinstance(desc, NodeDescriptor):
+            if not desc.node.is_equation:
+                return (0.0, 0.0)
+            return self._eq_vector_costs(desc.node.equation, span)
+        assert isinstance(desc, LoopDescriptor)
+        t = self._trip_est(desc)
+        if desc.parallel:
+            pairs = [self._vector_costs(d, span * t) for d in desc.body]
+            return (sum(r for r, _ in pairs), sum(b for _, b in pairs))
+        pairs = [self._vector_costs(d, span) for d in desc.body]
+        released = t * sum(r for r, _ in pairs)
+        bound = t * (self.model.loop_overhead + sum(b for _, b in pairs))
+        return (released, bound)
+
+    def _cost_chunk_root(self, desc: LoopDescriptor, parts: int) -> float:
+        t = self._trip_est(desc)
+        per_chunk = ceil(t / parts) if parts else t
+        pairs = [self._vector_costs(d, per_chunk) for d in desc.body]
+        released = sum(r for r, _ in pairs)
+        bound = sum(b for _, b in pairs)
+        waves = ceil(parts / self.parallelism)
+        # NumPy chunk work overlaps across threads (the GIL is released);
+        # scalar-fallback work serializes on the threaded backend but runs
+        # truly concurrently in forked processes.
+        if self.backend == "threaded":
+            bound_total = parts * bound
+        else:
+            bound_total = waves * bound
+        m = self.model
+        return (
+            m.doall_fork
+            + m.doall_barrier
+            + parts * self._dispatch_cost()
+            + waves * released
+            + bound_total
+        )
+
+    def _cost_iterate_root(self, desc: LoopDescriptor) -> float:
+        t = self._trip_est(desc)
+        return t * (
+            self.model.loop_overhead
+            + sum(self._cost(d, "walk", 1) for d in desc.body)
+        )
+
+    # -- strategy choice ---------------------------------------------------
+
+    def _inner_chunk_candidate(self, desc: LoopDescriptor) -> LoopDescriptor | None:
+        """A chunk-safe parallel loop directly in ``desc``'s body whose trip
+        count can keep the whole team busy."""
+        for d in desc.body:
+            if not isinstance(d, LoopDescriptor) or not d.parallel:
+                continue
+            if not self._chunk_safe(d):
+                continue
+            it = self.trip(d)
+            if it is None or it >= INNER_CHUNK_FACTOR * self.workers:
+                return d
+        return None
+
+    def _choose(self, desc: LoopDescriptor):
+        """(strategy, parts, cycles, reason, chunk_index) for a parallel
+        loop met on the scalar walk. Memoized per descriptor."""
+        cached = self._choices.get(id(desc))
+        if cached is not None:
+            return cached
+        choice = self._choose_uncached(desc)
+        if choice[0] not in STRATEGIES:
+            raise PlanError(f"planner produced unknown strategy {choice[0]!r}")
+        self._choices[id(desc)] = choice
+        return choice
+
+    def _forced_for(self, desc: LoopDescriptor) -> str | None:
+        path = self.flowchart.path_of(desc)
+        forced = self.force_overrides.get(path, self.force_default)
+        if forced is None:
+            return None
+        if forced not in STRATEGIES:
+            raise PlanError(f"unknown forced strategy {forced!r}")
+        if forced == "chunk" and not self._chunk_safe(desc):
+            raise PlanError(
+                f"cannot force 'chunk' on DOALL {desc.index}: not chunk-safe"
+            )
+        if forced == "nest" and not self._fusable(desc):
+            raise PlanError(
+                f"cannot force 'nest' on DOALL {desc.index}: not fusable"
+            )
+        return forced
+
+    def _choose_uncached(self, desc: LoopDescriptor):
+        forced = self._forced_for(desc)
+        if forced is not None:
+            parts = (
+                min(self.workers, self._trip_est(desc) or 1)
+                if forced == "chunk"
+                else None
+            )
+            cost = {
+                "serial": self._cost_serial_root,
+                "nest": self._cost_nest_root,
+                "vector": self._cost_vector_root,
+                "iterate": self._cost_iterate_root,
+            }.get(forced)
+            c = cost(desc) if cost else self._cost_chunk_root(desc, parts or 1)
+            return (forced, parts, c, "forced", None)
+
+        if self.backend == "serial":
+            c_serial = self._cost_serial_root(desc)
+            if self._fusable(desc):
+                c_nest = self._cost_nest_root(desc)
+                if c_nest < c_serial:
+                    return ("nest", None, c_nest, "fused nest kernel", None)
+            return ("serial", None, c_serial, "", None)
+
+        if self.backend == "vectorized":
+            return ("vector", None, self._cost_vector_root(desc), "", None)
+
+        if self.backend in CHUNKED_BACKENDS:
+            t = self.trip(desc)
+            te = self._trip_est(desc)
+            if not self._chunk_safe(desc):
+                return (
+                    "vector", None, self._cost_vector_root(desc),
+                    "not chunk-safe", None,
+                )
+            if self.workers < 2 or te < 2:
+                return (
+                    "vector", None, self._cost_vector_root(desc),
+                    "nothing to chunk", None,
+                )
+            if t is not None and t < self.workers:
+                # Utilization rule, deliberately not a cost comparison: an
+                # outer chunk with trip < workers idles (workers - trip)
+                # workers for the whole wavefront, and the dispatch
+                # constants — calibrated on whatever machine produced the
+                # baseline, possibly a 1-core CI box where thread dispatch
+                # is pathologically expensive — would veto the inner
+                # chunking that real multicore hardware rewards. The
+                # INNER_CHUNK_FACTOR guard keeps the extra dispatches
+                # amortised over a genuinely wide inner loop.
+                inner = self._inner_chunk_candidate(desc)
+                if inner is not None:
+                    return (
+                        "iterate", None, self._cost_iterate_root(desc),
+                        f"trip {t} < {self.workers} workers", inner.index,
+                    )
+            parts = min(self.workers, te)
+            return ("chunk", parts, self._cost_chunk_root(desc, parts), "", None)
+
+        raise PlanError(f"unknown execution backend {self.backend!r}")
+
+    # -- emission ----------------------------------------------------------
+
+    def plan_module(self) -> None:
+        total = 0.0
+        for i, d in enumerate(self.flowchart.descriptors):
+            total += self._emit(d, (i,), 0, "walk", 1.0)
+        if self.backend == "process" and self._chunked_somewhere:
+            total += self.model.process_spinup
+        self.total = total
+
+    def _emit_equation(self, desc: NodeDescriptor, path, depth, ctx, span) -> float:
+        if not desc.node.is_equation:
+            self.entries.append(PlanEntry(depth, label=desc.node.id))
+            return 0.0
+        eq = desc.node.equation
+        mode = self._eq_mode(eq, ctx)
+        kernel, reason = mode, ""
+        if mode == "evaluator":
+            if not self.use_kernels:
+                reason = "kernels off"
+            elif not kernelizable(eq, self.analyzed):
+                reason = "not kernelizable"
+        elif mode == "kernel":
+            kernel = "scalar"
+            if ctx == "vector" and not equation_vector_safe(eq):
+                reason = "vector-unsafe: per-element fallback"
+        ep = EquationPlan(eq.label, path, kernel=kernel, reason=reason)
+        self.equations[eq.label] = ep
+        self.entries.append(PlanEntry(depth, equation=ep))
+        return self._eq_cost(eq, ctx, span)
+
+    def _emit(self, desc, path, depth, ctx, span) -> float:
+        if isinstance(desc, NodeDescriptor):
+            return self._emit_equation(desc, path, depth, ctx, span)
+        assert isinstance(desc, LoopDescriptor)
+        t = self.trip(desc)
+        te = self._trip_est(desc)
+
+        if ctx == "nest":
+            lp = LoopPlan(
+                path, desc.index, desc.keyword, "nest", trip=t, fuse=True,
+                reason="fused",
+            )
+            self._register(lp, depth)
+            cost = sum(
+                self._emit(d, path + (i,), depth + 1, "nest", span * te)
+                for i, d in enumerate(desc.body)
+            )
+            lp.cycles = cost
+            return cost
+
+        if ctx == "vector":
+            lp = LoopPlan(
+                path, desc.index, desc.keyword,
+                "vector" if desc.parallel else "serial",
+                trip=t, reason="nested in span" if desc.parallel else "",
+            )
+            self._register(lp, depth)
+            if desc.parallel:
+                cost = sum(
+                    self._emit(d, path + (i,), depth + 1, "vector", span * te)
+                    for i, d in enumerate(desc.body)
+                )
+            else:
+                cost = te * (
+                    self.model.loop_overhead
+                    + sum(
+                        self._emit(d, path + (i,), depth + 1, "vector", span)
+                        for i, d in enumerate(desc.body)
+                    )
+                )
+            lp.cycles = cost
+            return cost
+
+        # ctx == "walk"
+        if not desc.parallel:
+            lp = LoopPlan(path, desc.index, desc.keyword, "serial", trip=t)
+            self._register(lp, depth)
+            body = sum(
+                self._emit(d, path + (i,), depth + 1, "walk", 1.0)
+                for i, d in enumerate(desc.body)
+            )
+            lp.cycles = te * (self.model.loop_overhead + body)
+            return lp.cycles
+
+        strategy, parts, cost, reason, chunk_index = self._choose(desc)
+        lp = LoopPlan(
+            path, desc.index, desc.keyword, strategy,
+            parts=parts, trip=t, fuse=strategy == "nest",
+            chunk_index=chunk_index if strategy == "iterate" else (
+                desc.index if strategy == "chunk" else None
+            ),
+            cycles=cost, reason=reason,
+        )
+        self._register(lp, depth)
+        if strategy == "chunk":
+            self._chunked_somewhere = True
+        body_ctx = {
+            "serial": "walk",
+            "iterate": "walk",
+            "nest": "nest",
+            "vector": "vector",
+            "chunk": "vector",
+        }[strategy]
+        body_span = {
+            "serial": 1.0,
+            "iterate": 1.0,
+            "nest": float(te),
+            "vector": float(te),
+            "chunk": float(ceil(te / parts)) if parts else float(te),
+        }[strategy]
+        for i, d in enumerate(desc.body):
+            self._emit(d, path + (i,), depth + 1, body_ctx, body_span)
+        return cost
+
+    def _register(self, lp: LoopPlan, depth: int) -> None:
+        self.loops[lp.path] = lp
+        self.entries.append(PlanEntry(depth, loop=lp))
+
+    def finish(self, module: str, requested: str, pinned: bool) -> ExecutionPlan:
+        plan = ExecutionPlan(
+            module=module,
+            backend=self.backend,
+            requested=requested,
+            workers=self.workers,
+            use_windows=self.use_windows,
+            use_kernels=self.use_kernels,
+            pinned=pinned,
+            entries=self.entries,
+            loops=self.loops,
+            equations=self.equations,
+            cycles=self.total,
+        )
+        return plan.bind(self.flowchart)

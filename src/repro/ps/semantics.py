@@ -377,7 +377,7 @@ class ModuleAnalyzer:
             raise SemanticError(
                 f"too many subscripts for {item.name!r}", item.line
             )
-        for pos, sub in enumerate(item.subscripts):
+        for sub in item.subscripts:
             if isinstance(sub, Name) and self.table.subrange(sub.ident) is not None:
                 if sub.ident in used_index:
                     raise SemanticError(

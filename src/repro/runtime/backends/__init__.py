@@ -39,16 +39,21 @@ def available_backends() -> list[str]:
 
 
 def resolve_backend_name(options) -> str:
-    """Map ExecutionOptions to a registry key (``"auto"`` honours the
-    legacy ``vectorize`` flag)."""
+    """Legacy direct-construction resolution: ``"auto"`` falls back to the
+    historical ``vectorize``-flag behaviour. The executor does NOT use
+    this — it asks the cost-driven planner (:mod:`repro.plan.planner`) and
+    instantiates ``plan.backend``; this path remains for helpers that walk
+    descriptors without a plan (e.g. ``runtime.wavefront``) and for tests
+    constructing backends directly."""
     name = getattr(options, "backend", "auto")
     if name == "auto":
         return "vectorized" if options.vectorize else "serial"
     return name
 
 
-def create_backend(options) -> ExecutionBackend:
-    name = resolve_backend_name(options)
+def instantiate_backend(name: str, workers: int | None = None) -> ExecutionBackend:
+    """Registry lookup shared by the executor (``plan.backend``) and the
+    legacy :func:`create_backend` path."""
     try:
         cls = BACKENDS[name]
     except KeyError:
@@ -56,7 +61,13 @@ def create_backend(options) -> ExecutionBackend:
             f"unknown execution backend {name!r}; "
             f"available: {', '.join(available_backends())}"
         ) from None
-    return cls(workers=getattr(options, "workers", None))
+    return cls(workers=workers)
+
+
+def create_backend(options) -> ExecutionBackend:
+    return instantiate_backend(
+        resolve_backend_name(options), workers=getattr(options, "workers", None)
+    )
 
 
 __all__ = [
@@ -72,5 +83,6 @@ __all__ = [
     "chunk_safe",
     "create_backend",
     "equation_is_vector_safe",
+    "instantiate_backend",
     "resolve_backend_name",
 ]

@@ -1,28 +1,31 @@
 """The execution-backend interface and the shared flowchart walk.
 
-A backend is a strategy for *executing* a scheduled flowchart. All backends
-share one walk (sequential ``DO`` loops, equation evaluation, lazy target
-allocation); they differ only in how a ``DOALL`` subrange is run:
+A backend *executes* a scheduled flowchart according to an
+:class:`~repro.plan.ir.ExecutionPlan`. All backends share one walk
+(sequential ``DO`` loops, equation evaluation, lazy target allocation) and
+one strategy dispatch — a ``DOALL`` runs by whatever its
+:class:`~repro.plan.ir.LoopPlan` says:
 
-* :class:`~repro.runtime.backends.serial.SerialBackend` — one scalar
-  iteration at a time (the reference semantics);
-* :class:`~repro.runtime.backends.vectorized.VectorizedBackend` — the whole
-  subrange as one NumPy operation;
-* :class:`~repro.runtime.backends.threaded.ThreadedBackend` — chunked
-  subranges on a thread pool (NumPy kernels release the GIL);
-* :class:`~repro.runtime.backends.process.ProcessBackend` — chunked
-  subranges on a persistent pool of forked workers writing to shared-memory
-  arrays, with a barrier per wavefront (and
-  :class:`~repro.runtime.backends.process.ForkProcessBackend`, the
-  fork-per-wavefront baseline it replaced).
+* ``serial`` / ``iterate`` — scalar iterations in subrange order (the
+  reference semantics; ``iterate`` exists so a low-trip outer DOALL hands
+  the workers to a chunked inner loop);
+* ``nest`` — the whole nest as one fused compiled kernel;
+* ``vector`` — the whole subrange as one NumPy operation;
+* ``chunk`` — the subrange split into contiguous chunks handed to
+  :meth:`ExecutionBackend.dispatch_chunks`, the one hook the parallel
+  backends override (:class:`~repro.runtime.backends.threaded.ThreadedBackend`
+  submits chunks to a thread pool;
+  :class:`~repro.runtime.backends.process.ProcessBackend` to a persistent
+  pool of forked workers over shared memory, with a barrier per wavefront).
 
-Equation evaluation dispatches through the compiled-kernel cache when one
-is attached to the state (see :mod:`repro.runtime.kernels`); the tree-
-walking evaluator remains the fallback. The chunked backends rely on the
-``DOALL`` guarantee that iterations are independent; :func:`chunk_safe`
-additionally rejects nests whose execution would race on shared interpreter
-state (scalar targets, atomic equations, windowed dimensions subscripted by
-a nest index).
+No backend re-derives chunking, safety, or kernel decisions from the
+flowchart: those live in the plan, produced once per execution by
+:mod:`repro.plan.planner` (a state constructed without a plan gets one
+built on first use, so hand-built executions behave identically — the
+planner remains the single decision point). Equation evaluation dispatches
+through the compiled-kernel cache when one is attached to the state (see
+:mod:`repro.runtime.kernels`); the tree-walking evaluator remains the
+fallback.
 """
 
 from __future__ import annotations
@@ -52,6 +55,7 @@ from repro.schedule.flowchart import (
     NodeDescriptor,
     equation_vector_safe,
     loop_chunk_safe,
+    split_range,
 )
 
 
@@ -72,6 +76,27 @@ class ExecutionState:
     storage_factory: StorageFactory = default_storage
     #: compiled-kernel cache (None: evaluate everything on the tree walk)
     kernels: Any = None  # KernelCache | None (untyped: import cycle)
+    #: the ExecutionPlan driving strategy dispatch (built lazily when a
+    #: state is constructed by hand without one)
+    plan: Any = None  # ExecutionPlan | None (untyped: import cycle)
+
+    def plan_of(self, desc, backend: str | None = None):
+        """The LoopPlan for ``desc``, building the module plan on first
+        use — the planner, not the backend, owns every strategy decision.
+        ``backend`` pins the lazily built plan to the backend actually
+        walking the state (a hand-driven walk must not execute under a
+        plan costed for a different backend)."""
+        if self.plan is None:
+            from repro.plan.planner import build_plan
+
+            self.plan = build_plan(
+                self.analyzed,
+                self.flowchart,
+                self.options,
+                self.scalar_env(),
+                backend=backend,
+            )
+        return self.plan.loop_for(desc)
 
     def scalar_env(self) -> dict[str, int]:
         return {
@@ -95,6 +120,7 @@ class ExecutionState:
             eval_counts={},
             storage_factory=self.storage_factory,
             kernels=self.kernels,
+            plan=self.plan,
         )
 
     def merge_counts(self, counts: dict[str, int]) -> None:
@@ -136,6 +162,18 @@ class ExecutionBackend:
     def run(self, state: ExecutionState) -> None:
         """Execute the whole flowchart against ``state``."""
         state.storage_factory = self.make_storage
+        if state.plan is None:
+            # A hand-built state: plan for *this* backend (the executor
+            # normally supplies the plan and instantiates plan.backend).
+            from repro.plan.planner import build_plan
+
+            state.plan = build_plan(
+                state.analyzed,
+                state.flowchart,
+                state.options,
+                state.scalar_env(),
+                backend=self.name,
+            )
         for desc in state.flowchart.descriptors:
             self.exec_descriptor(state, desc, {}, [])
 
@@ -191,6 +229,10 @@ class ExecutionBackend:
             for d in desc.body:
                 self.exec_descriptor(state, d, env2, vector_names)
 
+    #: how a DOALL with no LoopPlan runs (hand-built flowcharts whose
+    #: descriptors are not part of the state's planned flowchart)
+    fallback_strategy = "vector"
+
     def exec_parallel_loop(
         self,
         state: ExecutionState,
@@ -200,7 +242,107 @@ class ExecutionBackend:
         env: dict[str, Any],
         vector_names: list[str],
     ) -> None:
-        raise NotImplementedError
+        """Run a DOALL by its LoopPlan. Inside a vector span the nest is
+        already one NumPy operation — nested DOALLs broadcast structurally
+        and the plan has nothing left to decide."""
+        if vector_names:
+            self.exec_vector_span(state, desc, lo, hi, env, vector_names)
+            return
+        plan = state.plan_of(desc, self.name)
+        strategy = plan.strategy if plan is not None else self.fallback_strategy
+        if strategy == "nest":
+            if self.exec_nest_kernel(state, desc, lo, hi, env):
+                return
+            strategy = "serial"  # kernels unavailable: the reference walk
+        if strategy in ("serial", "iterate"):
+            self.exec_sequential_loop(state, desc, lo, hi, env, vector_names)
+        elif strategy == "vector":
+            self.exec_vector_span(state, desc, lo, hi, env, vector_names)
+        elif strategy == "chunk":
+            self.exec_chunked_loop(state, desc, lo, hi, env, vector_names, plan)
+        else:
+            raise ExecutionError(f"unknown plan strategy {strategy!r}")
+
+    def exec_vector_span(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        """Run one contiguous subrange of a DOALL as a vector operation.
+        The chunked backends reuse this per worker chunk."""
+        env2 = dict(env)
+        for vn in vector_names:
+            env2[vn] = np.asarray(env2[vn])[..., None]
+        env2[desc.index] = np.arange(lo, hi + 1)
+        for d in desc.body:
+            self.exec_descriptor(state, d, env2, vector_names + [desc.index])
+
+    def exec_nest_kernel(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+    ) -> bool:
+        """Run the whole nest through its fused compiled kernel; False when
+        no kernel is available (the caller falls back to the scalar walk)."""
+        if state.kernels is None:
+            return False
+        kernel = state.kernels.nest_kernel_for(desc, state.options.use_windows)
+        if kernel is None:
+            return False
+        for eq in desc.nested_equations():
+            self.ensure_targets(state, eq)
+        try:
+            counts = kernel(state.data, env, lo, hi)
+        except KeyError as exc:
+            raise ExecutionError(f"unbound name {exc.args[0]!r}") from None
+        state.merge_counts(counts)
+        return True
+
+    def exec_chunked_loop(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+        vector_names: list[str],
+        plan: Any,
+    ) -> None:
+        """Split the subrange into the planned chunk count and hand the
+        spans to :meth:`dispatch_chunks`. Targets are allocated up front so
+        workers never race on the data environment — inside a chunk they
+        only write array elements, which the planner's chunk-safety verdict
+        guarantees are disjoint."""
+        parts = plan.parts if plan is not None and plan.parts else self.workers
+        for eq in desc.nested_equations():
+            self.ensure_targets(state, eq)
+        spans = split_range(lo, hi, parts)
+        if len(spans) < 2:
+            self.exec_vector_span(state, desc, lo, hi, env, vector_names)
+            return
+        self.dispatch_chunks(state, desc, spans, env, vector_names)
+
+    def dispatch_chunks(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        spans: list[tuple[int, int]],
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        """Execute the chunk spans. The base implementation runs them
+        inline — a plan forced onto a backend without a worker pool stays
+        correct, just not concurrent; the parallel backends override this
+        with their pools."""
+        for clo, chi in spans:
+            self.exec_vector_span(state, desc, clo, chi, env, vector_names)
 
     # -- equations ---------------------------------------------------------
 

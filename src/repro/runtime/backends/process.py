@@ -30,8 +30,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.runtime.backends.base import ExecutionState
-from repro.runtime.backends.threaded import ChunkedBackend
+from repro.runtime.backends.base import ExecutionBackend, ExecutionState
 from repro.runtime.backends.vectorized import VectorizedBackend
 from repro.runtime.values import RuntimeArray
 from repro.schedule.flowchart import LoopDescriptor
@@ -55,7 +54,7 @@ def _attach_shm(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
 
 
-class ForkProcessBackend(ChunkedBackend):
+class ForkProcessBackend(ExecutionBackend):
     """Fork-per-wavefront baseline (PR 1 semantics)."""
 
     name = "process-fork"
@@ -175,7 +174,7 @@ class ForkProcessBackend(ChunkedBackend):
         try:
             self.exec_vector_span(state, desc, lo, hi, env, vector_names)
             queue.put(("ok", state.eval_counts))
-        except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        except BaseException as exc:  # broad by design — reported to the parent
             queue.put(("error", f"{type(exc).__name__}: {exc}"))
 
 
@@ -226,7 +225,7 @@ def _pool_worker(backend: ProcessBackend, state: ExecutionState, task_q, result_
             sub = state.fork()
             vec.exec_vector_span(sub, desc, lo, hi, env, [])
             result_q.put((task_id, "ok", sub.eval_counts))
-        except BaseException as exc:  # noqa: BLE001 — reported to the parent
+        except BaseException as exc:  # broad by design — reported to the parent
             result_q.put((task_id, "error", f"{type(exc).__name__}: {exc}"))
 
 

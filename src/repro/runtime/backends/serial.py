@@ -1,28 +1,20 @@
 """Serial backend: the scalar reference semantics.
 
-A ``DOALL`` is semantically unordered; the serial backend simply runs it
-low-to-high like a ``DO``, one scalar element evaluation at a time. Every
-other backend is cross-checked against this one.
+A ``DOALL`` is semantically unordered; under a serial plan it runs
+low-to-high like a ``DO``, one scalar element evaluation at a time — or,
+when the planner fused the nest, as one compiled nest kernel producing the
+identical element order and stores. Every other backend is cross-checked
+against this one (with kernels off, the pure tree-walking evaluator).
 """
 
 from __future__ import annotations
 
-from typing import Any
-
-from repro.runtime.backends.base import ExecutionBackend, ExecutionState
-from repro.schedule.flowchart import LoopDescriptor
+from repro.runtime.backends.base import ExecutionBackend
 
 
 class SerialBackend(ExecutionBackend):
     name = "serial"
 
-    def exec_parallel_loop(
-        self,
-        state: ExecutionState,
-        desc: LoopDescriptor,
-        lo: int,
-        hi: int,
-        env: dict[str, Any],
-        vector_names: list[str],
-    ) -> None:
-        self.exec_sequential_loop(state, desc, lo, hi, env, vector_names)
+    #: a hand-built descriptor without a plan runs scalar, preserving the
+    #: reference semantics this backend exists to provide
+    fallback_strategy = "serial"

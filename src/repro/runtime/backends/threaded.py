@@ -1,11 +1,12 @@
-"""Threaded backend: chunked DOALL subranges on a thread pool.
+"""Threaded backend: planned DOALL chunks on a thread pool.
 
-The outermost ``DOALL`` of a wavefront is split into balanced contiguous
-chunks (one per worker); each chunk runs the vectorised NumPy path, so the
-heavy lifting happens inside NumPy kernels that release the GIL. Waiting on
-all futures is the per-wavefront barrier. A DOALL that is not chunk-safe
-(scalar targets, atomic equations, window aliasing) falls back to the
-single-threaded vectorised span, preserving semantics.
+The planner splits a chunk-planned ``DOALL`` into balanced contiguous
+chunks; each chunk runs the vectorised NumPy path, so the heavy lifting
+happens inside NumPy kernels that release the GIL. Waiting on all futures
+is the per-wavefront barrier. Chunk-safety (scalar targets, atomic
+equations, window aliasing) is the planner's concern: a DOALL this backend
+sees with a ``vector`` or ``serial`` plan simply runs that strategy via
+the shared base dispatch.
 """
 
 from __future__ import annotations
@@ -13,53 +14,11 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
-from repro.runtime.backends.base import ExecutionState, chunk_safe
-from repro.runtime.backends.vectorized import VectorizedBackend
-from repro.schedule.flowchart import LoopDescriptor, split_range
+from repro.runtime.backends.base import ExecutionBackend, ExecutionState
+from repro.schedule.flowchart import LoopDescriptor
 
 
-class ChunkedBackend(VectorizedBackend):
-    """Shared machinery for backends that split DOALL subranges into
-    worker chunks. Subclasses implement :meth:`dispatch_chunks`."""
-
-    def exec_parallel_loop(
-        self,
-        state: ExecutionState,
-        desc: LoopDescriptor,
-        lo: int,
-        hi: int,
-        env: dict[str, Any],
-        vector_names: list[str],
-    ) -> None:
-        # Only the *outermost* DOALL of a nest is chunked (vector_names is
-        # empty there); inner DOALLs vectorise within each chunk.
-        if (
-            vector_names
-            or self.workers < 2
-            or hi - lo + 1 < 2
-            or not chunk_safe(state, desc)
-        ):
-            self.exec_vector_span(state, desc, lo, hi, env, vector_names)
-            return
-        # Allocate every target up front so workers never race on the
-        # data environment — inside a chunk they only write array elements.
-        for eq in desc.nested_equations():
-            self.ensure_targets(state, eq)
-        spans = split_range(lo, hi, self.workers)
-        self.dispatch_chunks(state, desc, spans, env, vector_names)
-
-    def dispatch_chunks(
-        self,
-        state: ExecutionState,
-        desc: LoopDescriptor,
-        spans: list[tuple[int, int]],
-        env: dict[str, Any],
-        vector_names: list[str],
-    ) -> None:
-        raise NotImplementedError
-
-
-class ThreadedBackend(ChunkedBackend):
+class ThreadedBackend(ExecutionBackend):
     name = "threaded"
 
     def __init__(self, workers: int | None = None):

@@ -1,50 +1,18 @@
 """Vectorized backend: each DOALL dimension becomes a NumPy axis.
 
-A ``DOALL`` subrange executes as one NumPy operation over the whole index
-range; nested DOALLs broadcast against each other (outer indices gain a
-trailing axis). An inner ``DO`` nested under a vectorised ``DOALL`` keeps
-its own scalar loop — e.g. the ``DOALL R (DO C (...))`` schedule of
-per-row scans.
+Under a vector plan a ``DOALL`` subrange executes as one NumPy operation
+over the whole index range; nested DOALLs broadcast against each other
+(outer indices gain a trailing axis). An inner ``DO`` nested under a
+vectorised ``DOALL`` keeps its own scalar loop — e.g. the ``DOALL R (DO C
+(...))`` schedule of per-row scans. The span machinery itself lives in
+:class:`~repro.runtime.backends.base.ExecutionBackend` (every backend runs
+vector spans — the chunked backends per worker chunk).
 """
 
 from __future__ import annotations
 
-from typing import Any
-
-import numpy as np
-
-from repro.runtime.backends.base import ExecutionBackend, ExecutionState
-from repro.schedule.flowchart import LoopDescriptor
+from repro.runtime.backends.base import ExecutionBackend
 
 
 class VectorizedBackend(ExecutionBackend):
     name = "vectorized"
-
-    def exec_parallel_loop(
-        self,
-        state: ExecutionState,
-        desc: LoopDescriptor,
-        lo: int,
-        hi: int,
-        env: dict[str, Any],
-        vector_names: list[str],
-    ) -> None:
-        self.exec_vector_span(state, desc, lo, hi, env, vector_names)
-
-    def exec_vector_span(
-        self,
-        state: ExecutionState,
-        desc: LoopDescriptor,
-        lo: int,
-        hi: int,
-        env: dict[str, Any],
-        vector_names: list[str],
-    ) -> None:
-        """Run one contiguous subrange of a DOALL as a vector operation.
-        The chunked backends reuse this per worker chunk."""
-        env2 = dict(env)
-        for vn in vector_names:
-            env2[vn] = np.asarray(env2[vn])[..., None]
-        env2[desc.index] = np.arange(lo, hi + 1)
-        for d in desc.body:
-            self.exec_descriptor(state, d, env2, vector_names + [desc.index])

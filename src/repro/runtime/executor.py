@@ -15,8 +15,9 @@ program would: a ``DO`` loop runs its subrange low-to-high sequentially; a
 
 Options:
 
-* ``backend`` / ``workers`` — backend selection; ``"auto"`` preserves the
-  historical behaviour of the ``vectorize`` flag;
+* ``backend`` / ``workers`` — backend selection; ``"auto"`` asks the
+  cost-driven planner (:mod:`repro.plan.planner`) to choose, while an
+  explicit backend pins the plan to it;
 * ``vectorize`` — NumPy the DOALL dimensions (default; the scalar path is
   the reference semantics used to cross-check it);
 * ``use_windows`` — allocate virtual dimensions as windows, as the paper's
@@ -28,20 +29,26 @@ Options:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.ps.semantics import AnalyzedModule, AnalyzedProgram
 from repro.ps.types import ArrayType
-from repro.runtime.backends import create_backend
+from repro.runtime.backends import instantiate_backend
 from repro.runtime.backends.base import ExecutionState
 from repro.runtime.evaluator import Evaluator
 from repro.runtime.kernels import KernelCache
 from repro.runtime.values import RuntimeArray, array_bounds, dtype_for
 from repro.schedule.flowchart import Flowchart
 from repro.schedule.scheduler import schedule_module
+
+if TYPE_CHECKING:  # a module-level import would cycle through the package
+    # __init__ chain (plan -> machine -> runtime -> executor); the planner
+    # is imported lazily at the call sites instead
+    from repro.plan.ir import ExecutionPlan
+
 
 #: Backward-compatible alias — the mutable per-execution state now lives in
 #: :mod:`repro.runtime.backends.base`.
@@ -54,7 +61,9 @@ class ExecutionOptions:
     use_windows: bool = False
     debug_windows: bool = False
     #: execution backend: "auto", "serial", "vectorized", "threaded",
-    #: "process" ("auto" follows the ``vectorize`` flag)
+    #: "process" — "auto" asks the cost-driven planner to choose (with
+    #: ``vectorize=False`` it pins the serial reference path, preserving
+    #: the historical --scalar flag)
     backend: str = "auto"
     #: worker count for the chunked backends (None: os.cpu_count())
     workers: int | None = None
@@ -72,6 +81,7 @@ def execute_module(
     options: ExecutionOptions | None = None,
     program: AnalyzedProgram | None = None,
     kernel_cache: KernelCache | None = None,
+    plan: ExecutionPlan | None = None,
 ) -> dict[str, Any]:
     """Execute a module with the given inputs; returns its results.
 
@@ -79,7 +89,10 @@ def execute_module(
     arguments are Python numbers. ``kernel_cache`` carries compiled kernels
     across executions of the same ``(analyzed, flowchart)`` pair (a
     :class:`~repro.core.pipeline.CompileResult` keeps one for its lifetime);
-    without it a transient cache is built per call.
+    without it a transient cache is built per call. ``plan`` supplies a
+    prebuilt (possibly hand-forced) :class:`ExecutionPlan`; without it the
+    cost-driven planner runs once for this execution — ``backend="auto"``
+    asks it to choose, an explicit backend pins the plan.
     """
     options = options or ExecutionOptions()
     if flowchart is None:
@@ -124,6 +137,15 @@ def execute_module(
     if options.use_kernels and not options.debug_windows:
         kernels = kernel_cache or KernelCache(analyzed, flowchart)
 
+    if plan is None:
+        from repro.plan.planner import build_plan
+
+        plan = build_plan(analyzed, flowchart, options, scalar_env)
+    else:
+        # A supplied plan may have been built against another copy of the
+        # flowchart tree; re-index it on these descriptor identities.
+        plan.bind(flowchart)
+
     state = ExecutionState(
         analyzed,
         flowchart,
@@ -132,10 +154,11 @@ def execute_module(
         Evaluator(data, call_fn=None, enums=_enum_env(analyzed)),
         program=program,
         kernels=kernels,
+        plan=plan,
     )
     state.evaluator.call_fn = lambda name, cargs: _call_module(state, name, cargs)
 
-    backend = create_backend(options)
+    backend = instantiate_backend(plan.backend, workers=plan.workers)
     try:
         backend.run(state)
         results = {}
@@ -186,6 +209,42 @@ def _callee_runtime(program: AnalyzedProgram, name: str):
     return entry
 
 
+def _callee_plan(
+    state: ExecutionState,
+    name: str,
+    callee,
+    flowchart: Flowchart,
+    options: ExecutionOptions,
+    scalar_env: dict[str, int],
+) -> ExecutionPlan:
+    """The callee's execution plan, memoized next to its schedule — the
+    planner must run once per callee, not once per element call. Trip
+    counts are taken from the first call's scalar arguments; strategy
+    *safety* is static, so later calls with different sizes stay correct.
+    """
+    memo = getattr(state.program, "_plan_memo", None)
+    if memo is None:
+        memo = {}
+        state.program._plan_memo = memo
+    key = (
+        name, options.backend, options.workers, options.vectorize,
+        options.use_windows, options.use_kernels, options.debug_windows,
+    )
+    plan = memo.get(key)
+    if plan is None:
+        from repro.plan.planner import build_plan
+
+        # Callees run in-process even under "auto": the planner must not
+        # hand a per-element module call its own worker pool (nested pools
+        # inside worker chunks would oversubscribe or crash).
+        plan = build_plan(
+            callee, flowchart, options, scalar_env,
+            candidates=("serial", "vectorized"),
+        )
+        memo[key] = plan
+    return plan
+
+
 def _call_module(state: ExecutionState, name: str, cargs: list[Any]) -> Any:
     if state.program is None:
         raise ExecutionError(
@@ -200,6 +259,12 @@ def _call_module(state: ExecutionState, name: str, cargs: list[Any]) -> Any:
     if callee_options.backend not in ("auto", "serial", "vectorized"):
         callee_options = replace(callee_options, backend="auto")
     flowchart, kernel_cache = _callee_runtime(state.program, name)
+    scalar_env = {
+        k: int(v) for k, v in call_args.items() if isinstance(v, (int, np.integer))
+    }
+    plan = _callee_plan(
+        state, name, callee, flowchart, callee_options, scalar_env
+    )
     results = execute_module(
         callee,
         call_args,
@@ -207,12 +272,8 @@ def _call_module(state: ExecutionState, name: str, cargs: list[Any]) -> Any:
         options=callee_options,
         program=state.program,
         kernel_cache=kernel_cache,
+        plan=plan,
     )
-    scalar_env = {
-        k: int(v)
-        for k, v in call_args.items()
-        if isinstance(v, (int, np.integer))
-    }
     values = []
     for rname in callee.result_names:
         v = results[rname]

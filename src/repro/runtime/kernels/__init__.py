@@ -16,14 +16,20 @@ from repro.runtime.kernels.cache import KernelCache
 from repro.runtime.kernels.emit import (
     KernelError,
     compile_kernel,
+    compile_nest_kernel,
     emit_kernel_source,
+    emit_nest_kernel_source,
     kernelizable,
+    nest_fusable,
 )
 
 __all__ = [
     "KernelCache",
     "KernelError",
     "compile_kernel",
+    "compile_nest_kernel",
     "emit_kernel_source",
+    "emit_nest_kernel_source",
     "kernelizable",
+    "nest_fusable",
 ]

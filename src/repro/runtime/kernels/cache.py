@@ -14,8 +14,14 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.ps.semantics import AnalyzedEquation, AnalyzedModule
-from repro.runtime.kernels.emit import KernelError, compile_kernel, kernelizable
-from repro.schedule.flowchart import Flowchart
+from repro.runtime.kernels.emit import (
+    KernelError,
+    compile_kernel,
+    compile_nest_kernel,
+    kernelizable,
+    nest_fusable,
+)
+from repro.schedule.flowchart import Flowchart, LoopDescriptor
 
 
 class KernelCache:
@@ -23,6 +29,8 @@ class KernelCache:
         self.analyzed = analyzed
         self.flowchart = flowchart
         self._compiled: dict[tuple[str, bool, bool], Callable | None] = {}
+        #: fused nest kernels keyed by (descriptor path, window mode)
+        self._nests: dict[tuple[tuple[int, ...], bool], Callable | None] = {}
 
     def kernel_for(
         self, eq: AnalyzedEquation, vector: bool, use_windows: bool
@@ -45,14 +53,59 @@ class KernelCache:
         self._compiled[key] = fn
         return fn
 
+    def nest_kernel_for(
+        self, desc: LoopDescriptor, use_windows: bool
+    ) -> Callable | None:
+        """The fused kernel for a whole DOALL nest, or None when the nest
+        cannot be fused (the caller then walks it descriptor by descriptor).
+        Keyed by the descriptor's path in this cache's flowchart."""
+        path = self.flowchart.path_of(desc)
+        if path is None:
+            return None
+        key = (path, bool(use_windows))
+        try:
+            return self._nests[key]
+        except KeyError:
+            pass
+        fn: Callable | None = None
+        if nest_fusable(desc, self.analyzed, self.flowchart, use_windows):
+            try:
+                fn = compile_nest_kernel(
+                    desc, self.analyzed, self.flowchart, use_windows
+                )
+            except KernelError:
+                fn = None
+        self._nests[key] = fn
+        return fn
+
     def warm(self, use_windows: bool) -> None:
-        """Compile every equation's kernels up front — the process backend
-        calls this before forking so workers inherit the full cache and
-        never compile anything themselves."""
+        """Compile every equation's kernels (and every *reachable* nest
+        kernel) up front — the process backend calls this before forking so
+        workers inherit the full cache and never compile anything
+        themselves. Only outermost parallel loops met on the scalar walk
+        can execute as fused nests (inner loops of a span or nest never
+        dispatch their own kernel), so only those are compiled."""
         for eq in self.analyzed.equations:
             for vector in (False, True):
                 self.kernel_for(eq, vector, use_windows)
 
+        def outermost_parallel(descs):
+            for d in descs:
+                if not isinstance(d, LoopDescriptor):
+                    continue
+                if d.parallel:
+                    yield d
+                else:
+                    yield from outermost_parallel(d.body)
+
+        for desc in outermost_parallel(self.flowchart.descriptors):
+            self.nest_kernel_for(desc, use_windows)
+
     def stats(self) -> dict[str, int]:
         compiled = sum(1 for v in self._compiled.values() if v is not None)
-        return {"entries": len(self._compiled), "compiled": compiled}
+        nests = sum(1 for v in self._nests.values() if v is not None)
+        return {
+            "entries": len(self._compiled) + len(self._nests),
+            "compiled": compiled + nests,
+            "nests": nests,
+        }

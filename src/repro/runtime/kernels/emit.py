@@ -37,6 +37,7 @@ from repro.ps.ast import (
     FieldRef,
     IfExpr,
     Index,
+    IntLit,
     Name,
     UnOp,
     walk_expr,
@@ -45,7 +46,7 @@ from repro.ps.semantics import AnalyzedEquation, AnalyzedModule, is_builtin
 from repro.ps.symbols import SymbolKind
 from repro.ps.types import ArrayType
 from repro.runtime.kernels import runtime as _rt
-from repro.schedule.flowchart import Flowchart
+from repro.schedule.flowchart import Flowchart, LoopDescriptor, NodeDescriptor
 
 
 class KernelError(ReproError):
@@ -413,6 +414,209 @@ def compile_kernel(
         namespace[f"_bf_{name}"] = _rt.BUILTIN_FUNCS[name]
     variant = "vector" if vector else "scalar"
     filename = f"<kernel:{analyzed.name}.{eq.label}:{variant}>"
+    exec(compile(source, filename, "exec"), namespace)
+    fn = namespace["_kernel"]
+    fn.__kernel_source__ = source
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Nest-level kernels: one compiled function per fusable DOALL nest
+# ---------------------------------------------------------------------------
+#
+# The per-equation scalar kernel still pays one Python call, one prologue
+# hoist, and one eval-count dict update *per element*. A fused nest kernel
+# hoists once and runs the whole nest as compiled ``for`` loops — the serial
+# path's per-element interpretation tax collapses to the loop body itself.
+# Semantics are identical to the serial walk: descriptors execute in order
+# inside each iteration, subranges ascend, and every element store goes
+# through the same range-checked, window-mapped scalar indexing.
+
+
+def nest_fusable(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+) -> bool:
+    """Static check: can this DOALL nest be lowered into one kernel?
+
+    Required: a parallel root; a nest of loops and equations only (no data
+    declarations); every equation kernelizable with a full-rank *array*
+    target. A scalar target is rejected because the nest kernel hoists
+    scalar reads once — a write inside the nest would be invisible to a
+    later read, unlike the per-element walk.
+    """
+    if not desc.parallel:
+        return False
+    saw_equation = False
+    for d in desc.nested_descriptors():
+        if isinstance(d, LoopDescriptor):
+            continue
+        assert isinstance(d, NodeDescriptor)
+        if not d.node.is_equation:
+            return False
+        eq = d.node.equation
+        if not kernelizable(eq, analyzed):
+            return False
+        target = eq.targets[0]
+        sym = analyzed.symbol(target.name)
+        if not isinstance(sym.type, ArrayType):
+            return False
+        if len(target.subscripts) != sym.type.rank:
+            return False
+        saw_equation = True
+    return saw_equation
+
+
+class _BoundLowerer:
+    """Subrange bounds -> Python ints read from the data environment.
+
+    Bounds only ever reference integer parameters (``eval_bound`` evaluates
+    them against the scalar environment, never loop indices), so the nest
+    kernel hoists each referenced scalar once and computes the bound in the
+    prologue."""
+
+    def __init__(self, scalars: set[str]):
+        self.scalars = scalars
+
+    def lower(self, expr: Expr) -> str:
+        if isinstance(expr, IntLit):
+            return str(expr.value)
+        if isinstance(expr, Name):
+            self.scalars.add(expr.ident)
+            return f"_v_{py_name(expr.ident)}"
+        if isinstance(expr, UnOp):
+            return f"({expr.op}{self.lower(expr.operand)})"
+        if isinstance(expr, BinOp):
+            ops = {"+": "+", "-": "-", "*": "*", "div": "//", "mod": "%"}
+            if expr.op not in ops:
+                raise KernelError(f"invalid bound operator {expr.op!r}")
+            return f"({self.lower(expr.left)} {ops[expr.op]} {self.lower(expr.right)})"
+        raise KernelError(f"invalid bound expression {type(expr).__name__}")
+
+
+def emit_nest_kernel_source(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+) -> tuple[str, set[str]]:
+    """Emit one kernel for the whole nest; ``(source, builtins_used)``.
+
+    The kernel has signature ``kernel(data, env, lo, hi) -> dict`` where
+    ``[lo, hi]`` is the root subrange to execute (chunkable by the caller)
+    and the result maps equation labels to element counts.
+    """
+    if not nest_fusable(desc, analyzed, flowchart, use_windows):
+        raise KernelError(f"DOALL {desc.index} nest is not fusable")
+
+    atomic_names = _atomic_target_names(analyzed)
+    nest_indices = desc.nest_indices()
+    arrays: dict[str, dict[int, int]] = {}
+    scalar_names: set[str] = set()
+    env_names: set[str] = set()
+    builtins: set[str] = set()
+    bounds = _BoundLowerer(scalar_names)
+    counters: list[str] = []  # equation labels, emission order
+    body_lines: list[str] = []
+
+    def emit_equation(eq: AnalyzedEquation, indent: int) -> None:
+        low = _ScalarLowerer(eq, analyzed, flowchart, use_windows)
+        value_code = low.lower(eq.rhs)
+        target = eq.targets[0]
+        low.register_array(target.name)
+        parts = [
+            low.subscript_code(target.name, d, s)
+            for d, s in enumerate(target.subscripts)
+        ]
+        arrays.update(low.arrays)
+        scalar_names.update(low.scalar_names)
+        env_names.update(low.env_names)
+        builtins.update(low.builtins)
+        label_ix = len(counters)
+        counters.append(eq.label)
+        pad = "    " * indent
+        body_lines.append(f"{pad}__v = {value_code}")
+        body_lines.append(f"{pad}_s_{py_name(target.name)}[{', '.join(parts)}] = __v")
+        body_lines.append(f"{pad}_c{label_ix} += 1")
+
+    def emit_descriptor(d, indent: int, root: bool = False) -> None:
+        if isinstance(d, NodeDescriptor):
+            emit_equation(d.node.equation, indent)
+            return
+        assert isinstance(d, LoopDescriptor)
+        pad = "    " * indent
+        var = f"_v_{py_name(d.index)}"
+        if root:
+            body_lines.append(f"{pad}for {var} in range(_nlo, _nhi + 1):")
+        else:
+            lo = bounds.lower(d.subrange.lo)
+            hi = bounds.lower(d.subrange.hi)
+            body_lines.append(f"{pad}for {var} in range({lo}, {hi} + 1):")
+        for child in d.body:
+            emit_descriptor(child, indent + 1)
+
+    emit_descriptor(desc, 2, root=True)
+
+    for name, wins in arrays.items():
+        if wins and name in atomic_names:
+            raise KernelError(
+                f"windowed array {name!r} is rebound by an atomic equation"
+            )
+
+    lines = ["def _kernel(data, env, _nlo, _nhi):"]
+    for name in sorted(arrays):
+        pname = py_name(name)
+        sym_t = analyzed.symbol(name).type
+        lines.append(f"    _a_{pname} = data[{name!r}]")
+        lines.append(f"    _s_{pname} = _a_{pname}.storage")
+        for d in range(sym_t.rank):
+            lines.append(f"    _o_{pname}_{d} = _a_{pname}.los[{d}]")
+            lines.append(f"    _h_{pname}_{d} = _a_{pname}.his[{d}]")
+        for d in sorted(arrays[name]):
+            lines.append(f"    _w_{pname}_{d} = _a_{pname}.windows[{d}]")
+    for name in sorted(env_names - nest_indices):
+        lines.append(f"    _v_{py_name(name)} = env[{name!r}]")
+    for name in sorted(scalar_names):
+        lines.append(f"    _v_{py_name(name)} = data[{name!r}]")
+    for i in range(len(counters)):
+        lines.append(f"    _c{i} = 0")
+    lines.append("    with np.errstate(invalid='ignore', divide='ignore'):")
+    lines.extend(body_lines)
+    result = ", ".join(
+        f"{label!r}: _c{i}" for i, label in enumerate(counters)
+    )
+    lines.append(f"    return {{{result}}}")
+    return "\n".join(lines) + "\n", builtins
+
+
+def compile_nest_kernel(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+) -> Callable:
+    """Emit and compile the fused nest kernel for ``desc``.
+
+    The callable has signature ``kernel(data, env, lo, hi) -> dict[str, int]``
+    (per-equation element counts) and writes its targets in place.
+    """
+    source, builtins = emit_nest_kernel_source(
+        desc, analyzed, flowchart, use_windows
+    )
+    namespace: dict = {
+        "np": np,
+        "ExecutionError": ExecutionError,
+        "_ck": _rt.check_index,
+        "_div": _rt.kdiv,
+        "_fdiv": _rt.kfloordiv,
+        "_mod": _rt.kmod,
+        "_not": _rt.knot,
+    }
+    for name in builtins:
+        namespace[f"_bf_{name}"] = _rt.BUILTIN_FUNCS[name]
+    filename = f"<kernel:{analyzed.name}.nest-{desc.index}>"
     exec(compile(source, filename, "exec"), namespace)
     fn = namespace["_kernel"]
     fn.__kernel_source__ = source

@@ -158,7 +158,7 @@ def affine_gather(arr: RuntimeArray, specs):
     if order != list(range(len(vecs))):
         block = block.transpose(order)
     shape = [1] * nd
-    for start, n, depth, d in vecs:
+    for _start, n, depth, _d in vecs:
         shape[nd - 1 - depth] = n
     if list(block.shape) != shape:
         block = block.reshape(shape)

@@ -8,7 +8,7 @@ reflects the nesting structure of the generated program."
 
 A :class:`LoopDescriptor` records whether "an iterative loop [is] to be
 generated from this subrange or ... a parallel loop" — printed as ``DO`` and
-``DOALL`` to match Figures 5–7.
+``DOALL`` to match Figures 5-7.
 """
 
 from __future__ import annotations

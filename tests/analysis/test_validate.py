@@ -59,7 +59,7 @@ def _force_parallel(flow: Flowchart) -> Flowchart:
 
 class TestSabotagedSchedules:
     def test_parallelised_gauss_seidel_detected(self):
-        """Making the Gauss–Seidel K/I/J loops DOALL is exactly the bug the
+        """Making the Gauss-Seidel K/I/J loops DOALL is exactly the bug the
         scheduler exists to prevent; the validator must catch it."""
         analyzed = gauss_seidel_analyzed()
         flow = _force_parallel(schedule_module(analyzed))

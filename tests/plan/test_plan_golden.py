@@ -1,0 +1,151 @@
+"""Golden-text plan stability: ``ExecutionPlan.pretty()`` is part of the
+tool's interface (``repro plan``), so its text on the five paper workloads
+is pinned. The planner runs with an explicit ``cpu_count`` — ``auto``'s
+backend choice must not depend on the machine running the tests."""
+
+import textwrap
+
+import pytest
+
+from repro.plan.planner import build_plan
+from repro.runtime.executor import ExecutionOptions
+
+from tests.plan.conftest import WORKLOADS
+
+GOLDEN = {
+    "jacobi": """\
+        plan Relaxation: backend=vectorized workers=4 kernels=on windows=off [auto]
+        DOALL I -> vector; trip 10
+            DOALL J -> vector; trip 10; nested in span
+                eq.1 [kernel=vector]
+        DO K -> serial; trip 3
+            DOALL I -> vector; trip 10
+                DOALL J -> vector; trip 10; nested in span
+                    eq.3 [kernel=vector]
+        DOALL I -> vector; trip 10
+            DOALL J -> vector; trip 10; nested in span
+                eq.2 [kernel=vector]""",
+    "gauss_seidel": """\
+        plan Relaxation: backend=vectorized workers=4 kernels=on windows=off [auto]
+        DOALL I -> vector; trip 10
+            DOALL J -> vector; trip 10; nested in span
+                eq.1 [kernel=vector]
+        DO K -> serial; trip 3
+            DO I -> serial; trip 10
+                DO J -> serial; trip 10
+                    eq.3 [kernel=scalar]
+        DOALL I -> vector; trip 10
+            DOALL J -> vector; trip 10; nested in span
+                eq.2 [kernel=vector]""",
+    "hyperplane_gs": """\
+        plan RelaxationHyper: backend=vectorized workers=4 kernels=on windows=off [auto]
+        DO Kp -> serial; trip 25
+            DOALL Ip -> vector; trip 4
+                DOALL Jp -> vector; trip 10; nested in span
+                    eq.1 [kernel=vector]
+        DOALL I -> vector; trip 10
+            DOALL J -> vector; trip 10; nested in span
+                eq.2 [kernel=vector]""",
+    "dp": """\
+        plan Align: backend=vectorized workers=4 kernels=on windows=off [auto]
+        DOALL _i1 -> vector; trip 7
+            eq.1 [kernel=vector]
+        DOALL I -> vector; trip 6
+            eq.2 [kernel=vector]
+        DO I -> serial; trip 6
+            DO J -> serial; trip 6
+                eq.3 [kernel=scalar]
+        eq.4 [kernel=scalar]""",
+    "paths_int": """\
+        plan Paths: backend=vectorized workers=4 kernels=on windows=off [auto]
+        DOALL _i1 -> vector; trip 7
+            eq.1 [kernel=vector]
+        DOALL I -> vector; trip 6
+            eq.2 [kernel=vector]
+        DO I -> serial; trip 6
+            DO J -> serial; trip 6
+                eq.3 [kernel=scalar]
+        DOALL _i0 -> vector; trip 7
+            eq.4 [kernel=vector]""",
+}
+
+
+def _scalars(args):
+    return {k: v for k, v in args.items() if isinstance(v, int)}
+
+
+class TestGoldenPlans:
+    def test_every_workload_has_a_golden(self):
+        assert set(GOLDEN) == {w[0] for w in WORKLOADS}
+
+    @pytest.mark.parametrize(
+        "workload", WORKLOADS, ids=[w[0] for w in WORKLOADS]
+    )
+    def test_auto_plan_text(self, workload):
+        name, analyzed, flow, args, _ = workload
+        plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend="auto", workers=4),
+            _scalars(args), cpu_count=4,
+        )
+        assert plan.pretty() == textwrap.dedent(GOLDEN[name])
+
+    def test_pinned_serial_jacobi_fuses_nests(self):
+        name, analyzed, flow, args, _ = WORKLOADS[0]
+        plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend="serial", workers=1),
+            _scalars(args), cpu_count=4,
+        )
+        assert plan.pretty() == textwrap.dedent("""\
+            plan Relaxation: backend=serial workers=1 kernels=on windows=off [pinned]
+            DOALL I -> nest; trip 10; fused nest kernel
+                DOALL J -> nest; trip 10; fused
+                    eq.1 [kernel=nest]
+            DO K -> serial; trip 3
+                DOALL I -> nest; trip 10; fused nest kernel
+                    DOALL J -> nest; trip 10; fused
+                        eq.3 [kernel=nest]
+            DOALL I -> nest; trip 10; fused nest kernel
+                DOALL J -> nest; trip 10; fused
+                    eq.2 [kernel=nest]""")
+
+    def test_pinned_threaded_jacobi_chunks(self):
+        name, analyzed, flow, args, _ = WORKLOADS[0]
+        plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend="threaded", workers=4),
+            _scalars(args), cpu_count=4,
+        )
+        assert plan.pretty() == textwrap.dedent("""\
+            plan Relaxation: backend=threaded workers=4 kernels=on windows=off [pinned]
+            DOALL I -> chunk x4; trip 10
+                DOALL J -> vector; trip 10; nested in span
+                    eq.1 [kernel=vector]
+            DO K -> serial; trip 3
+                DOALL I -> chunk x4; trip 10
+                    DOALL J -> vector; trip 10; nested in span
+                        eq.3 [kernel=vector]
+            DOALL I -> chunk x4; trip 10
+                DOALL J -> vector; trip 10; nested in span
+                    eq.2 [kernel=vector]""")
+
+    def test_cycles_rendering_is_optional(self):
+        name, analyzed, flow, args, _ = WORKLOADS[0]
+        plan = build_plan(
+            analyzed, flow, ExecutionOptions(workers=4), _scalars(args),
+            cpu_count=4,
+        )
+        assert "cycles" not in plan.pretty()
+        assert "cycles" in plan.pretty(cycles=True)
+        assert plan.cycles is not None and plan.cycles > 0
+
+    def test_kernels_off_plans_evaluator(self):
+        name, analyzed, flow, args, _ = WORKLOADS[0]
+        plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend="serial", use_kernels=False),
+            _scalars(args), cpu_count=4,
+        )
+        assert all(e.kernel == "evaluator" for e in plan.equations.values())
+        assert all(lp.strategy != "nest" for lp in plan.loops.values())

@@ -34,6 +34,36 @@ class TestSchedule:
         assert "error" in capsys.readouterr().err
 
 
+class TestPlan:
+    def test_prints_auto_plan(self, jacobi_file, capsys):
+        assert main(["plan", jacobi_file, "--set", "M=8", "--set", "maxK=4",
+                     "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "plan Relaxation:" in out
+        assert "[auto]" in out
+        assert "trip 10" in out
+
+    def test_pinned_backend_plan(self, jacobi_file, capsys):
+        assert main(["plan", jacobi_file, "--backend", "serial",
+                     "--set", "M=8", "--set", "maxK=4"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=serial" in out
+        assert "[pinned]" in out
+        assert "nest" in out
+
+    def test_cycles_flag(self, jacobi_file, capsys):
+        assert main(["plan", jacobi_file, "--set", "M=8", "--set", "maxK=4",
+                     "--cycles"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_no_kernels_plan(self, jacobi_file, capsys):
+        assert main(["plan", jacobi_file, "--no-kernels",
+                     "--set", "M=8", "--set", "maxK=4"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels=off" in out
+        assert "evaluator" in out
+
+
 class TestGraph:
     def test_text(self, jacobi_file, capsys):
         assert main(["graph", jacobi_file]) == 0
