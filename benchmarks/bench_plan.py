@@ -1,13 +1,19 @@
 """B-plan — the cost-driven planner against the stopwatch.
 
-The ExecutionPlan layer (``repro.plan``) claims two things worth gating:
+The ExecutionPlan layer (``repro.plan``) claims four things worth gating:
 
 * ``backend="auto"`` is a *good* choice: on every paper workload the
   planner-picked backend lands within 15% of the best hand-picked backend's
   measured wall clock (plus a small absolute grace for sub-millisecond
   runs, where scheduler jitter dominates);
 * fusing a DOALL nest into one compiled kernel pays on the serial path:
-  >= 1.5x over the per-equation kernels on Jacobi.
+  >= 1.5x over the per-equation kernels on Jacobi;
+* *collapsing* a tall-skinny DOALL nest pays on the process backend: on a
+  4x4096 Jacobi grid at >= 4 workers, the flattened fused-chunk path beats
+  the PR 3 ``iterate``+inner-``chunk`` plan (one dispatch wave per sweep
+  instead of one per row);
+* the fused flat kernels themselves pay: >= 1.5x over running the same
+  flat chunks through the per-equation walk.
 
 Every timed pair is checked bit-exact against the serial reference first.
 Results land in ``BENCH_plan.json`` (the perf-trend artifact CI diffs
@@ -16,13 +22,14 @@ against ``benchmarks/baseline/``).
 
 import json
 import time
+from dataclasses import replace
 
 import numpy as np
 
 from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
 from repro.hyperplane.pipeline import hyperplane_transform
 from repro.machine.report import compare_plans
-from repro.plan.planner import forced_plan
+from repro.plan.planner import build_plan, forced_plan
 from repro.ps.parser import parse_module
 from repro.ps.semantics import analyze_module
 from repro.runtime.executor import ExecutionOptions, execute_module
@@ -34,9 +41,36 @@ AUTO_GATE_FACTOR = 1.15
 AUTO_GATE_GRACE = 0.005
 #: nest-fused kernels must beat per-equation kernels by this factor
 NEST_GATE_SPEEDUP = 1.5
+#: the collapsed fused-chunk path must beat the PR 3 iterate+inner-chunk
+#: path per backend ("beats" with a little noise margin; the threaded win
+#: is structural — one dispatch wave instead of one per row — so it gates
+#: harder)
+COLLAPSE_GATE_SPEEDUP = {"threaded": 1.3, "process": 1.05}
+#: fused flat kernels must beat the per-equation flat-chunk walk
+COLLAPSE_FUSE_GATE_SPEEDUP = 1.5
+#: worker count for the collapse gates (the ISSUE floor is 4)
+COLLAPSE_WORKERS = 8
 
 #: hand-picked candidates auto competes against
 CANDIDATES = ["serial", "vectorized", "threaded", "process"]
+
+#: tall-skinny Jacobi: a handful of rows, thousands of columns, maxK sweeps
+#: — the geometry where chunking on the outer DOALL alone starves workers
+TALL_SKINNY_JACOBI_SOURCE = """\
+Relax: module (InitialA: array[0 .. r + 1, 0 .. c + 1] of real;
+               r: int; c: int; maxK: int):
+       [newA: array[0 .. r + 1, 0 .. c + 1] of real];
+type
+    I = 1 .. r; J = 1 .. c; K = 1 .. maxK;
+var
+    A: array [0 .. maxK, 0 .. r + 1, 0 .. c + 1] of real;
+define
+    A[0, I, J] = InitialA[I, J];
+    A[K, I, J] = (A[K-1, I-1, J] + A[K-1, I+1, J] +
+                  A[K-1, I, J-1] + A[K-1, I, J+1]) / 4.0;
+    newA[I, J] = A[maxK, I, J];
+end Relax;
+"""
 
 DP_SOURCE = """\
 Align: module (CostA: array[1 .. n] of real;
@@ -190,6 +224,127 @@ def test_nest_fusion_beats_per_equation_kernels(artifact):
                 "nest_seconds": t_fused,
                 "speedup": speedup,
                 "required": NEST_GATE_SPEEDUP,
+                "passed": True,
+            },
+            indent=2,
+        ),
+    )
+
+
+def _tall_skinny_setup(r=4, c=4096, maxk=6):
+    analyzed = analyze_module(parse_module(TALL_SKINNY_JACOBI_SOURCE))
+    flow = schedule_module(analyzed)
+    rng = np.random.default_rng(4)
+    args = {
+        "InitialA": rng.random((r + 2, c + 2)),
+        "r": r, "c": c, "maxK": maxk,
+    }
+    scalars = {"r": r, "c": c, "maxK": maxk}
+    return analyzed, flow, args, scalars
+
+
+def test_collapse_beats_iterate_on_tall_skinny(artifact):
+    """Gate (c): on the 4x4096 tall-skinny Jacobi grid at >= 4 workers the
+    collapsed fused-chunk path beats the PR 3 iterate+inner-chunk path on
+    both parallel backends — one dispatch wave per sweep over a balanced
+    flat space instead of one wave per row. ``use_collapse=False``
+    reproduces the PR 3 plan exactly, so the comparison is plan-for-plan.
+    """
+    analyzed, flow, args, scalars = _tall_skinny_setup()
+    expected = execute_module(
+        analyzed, args, flowchart=flow,
+        options=ExecutionOptions(backend="serial", use_kernels=False),
+    )["newA"]
+
+    payload = {
+        "grid": [4, 4096], "maxk": 6, "workers": COLLAPSE_WORKERS,
+        "gates": {},
+    }
+    for backend, required in COLLAPSE_GATE_SPEEDUP.items():
+        options = ExecutionOptions(backend=backend, workers=COLLAPSE_WORKERS)
+        collapse_plan = build_plan(analyzed, flow, options, scalars)
+        pr3_plan = build_plan(
+            analyzed, flow, replace(options, use_collapse=False), scalars
+        )
+        assert dict(collapse_plan.strategies())["I"] == "collapse", (
+            collapse_plan.pretty()
+        )
+        assert dict(pr3_plan.strategies())["I"] == "iterate", pr3_plan.pretty()
+
+        t_collapse, out_collapse = _time(
+            lambda options=options, plan=collapse_plan: execute_module(
+                analyzed, args, flowchart=flow, options=options, plan=plan
+            )
+        )
+        t_iterate, out_iterate = _time(
+            lambda options=options, plan=pr3_plan: execute_module(
+                analyzed, args, flowchart=flow,
+                options=replace(options, use_collapse=False), plan=plan,
+            )
+        )
+        assert np.array_equal(out_collapse["newA"], expected)
+        assert np.array_equal(out_iterate["newA"], expected)
+
+        speedup = t_iterate / t_collapse
+        assert speedup >= required, (
+            f"collapsed fused chunks only {speedup:.2f}x over "
+            f"iterate+chunk on the 4x4096 tall-skinny Jacobi "
+            f"({backend}, {COLLAPSE_WORKERS} workers; gate: {required}x)"
+        )
+        payload["gates"][f"collapse_{backend}"] = {
+            "iterate_seconds": t_iterate,
+            "collapse_seconds": t_collapse,
+            "speedup": speedup,
+            "required": required,
+            "passed": True,
+        }
+    artifact("BENCH_plan_collapse.json", json.dumps(payload, indent=2))
+
+
+def test_fused_flat_chunks_beat_per_equation_walk(artifact):
+    """Gate (d): the fused flat kernels >= 1.5x over the *same* flat
+    chunks executed through the per-equation walk on the process backend —
+    the chunked analogue of the serial nest-fusion gate."""
+    analyzed, flow, args, scalars = _tall_skinny_setup(maxk=3)
+    options = ExecutionOptions(backend="process", workers=COLLAPSE_WORKERS)
+
+    fused = forced_plan(
+        analyzed, flow, "process", options, scalars, default="collapse"
+    )
+    unfused = forced_plan(
+        analyzed, flow, "process", options, scalars, default="collapse"
+    )
+    for lp in unfused.loops.values():
+        lp.fuse = False
+
+    t_fused, out_fused = _time(
+        lambda: execute_module(
+            analyzed, args, flowchart=flow, options=options, plan=fused
+        )
+    )
+    t_walk, out_walk = _time(
+        lambda: execute_module(
+            analyzed, args, flowchart=flow, options=options, plan=unfused
+        )
+    )
+    assert np.array_equal(out_fused["newA"], out_walk["newA"])
+    speedup = t_walk / t_fused
+    assert speedup >= COLLAPSE_FUSE_GATE_SPEEDUP, (
+        f"fused flat chunk kernels only {speedup:.2f}x over the "
+        f"per-equation flat walk (gate: {COLLAPSE_FUSE_GATE_SPEEDUP}x)"
+    )
+    artifact(
+        "BENCH_plan_collapse_fuse.json",
+        json.dumps(
+            {
+                "grid": [4, 4096],
+                "maxk": 3,
+                "workers": COLLAPSE_WORKERS,
+                "backend": "process",
+                "per_equation_seconds": t_walk,
+                "fused_seconds": t_fused,
+                "speedup": speedup,
+                "required": COLLAPSE_FUSE_GATE_SPEEDUP,
                 "passed": True,
             },
             indent=2,

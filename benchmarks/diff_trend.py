@@ -45,11 +45,33 @@ def _numeric_leaves(obj, path=(), gated=False):
             yield path, float(obj), path[-1] in SPEEDUP_KEYS
 
 
-def collect(directory: pathlib.Path) -> dict[tuple, tuple[float, bool]]:
+class GateSchemaError(Exception):
+    """A benchmark artifact does not carry the gated numbers the trend
+    diff runs on — bench-schema drift that must fail readably, not as a
+    KeyError deep in the pairing loop."""
+
+
+def collect(
+    directory: pathlib.Path, require_gates: bool = False
+) -> dict[tuple, tuple[float, bool]]:
     out: dict[tuple, tuple[float, bool]] = {}
     for f in sorted(directory.glob("BENCH_*.json")):
-        payload = json.loads(f.read_text())
-        for path, value, is_speedup in _numeric_leaves(payload, (f.name,)):
+        try:
+            payload = json.loads(f.read_text())
+        except json.JSONDecodeError as exc:
+            raise GateSchemaError(
+                f"{f}: not valid JSON ({exc}) — regenerate the artifact "
+                f"or drop it from the baseline"
+            ) from None
+        leaves = list(_numeric_leaves(payload, (f.name,)))
+        if require_gates and not leaves:
+            raise GateSchemaError(
+                f"{f}: no gated numeric values (nothing under a 'gates' "
+                f"object and no top-level speedup/required field) — the "
+                f"bench schema changed; update the baseline artifact or "
+                f"teach diff_trend about the new gate layout"
+            )
+        for path, value, is_speedup in leaves:
             out[path] = (value, is_speedup)
     return out
 
@@ -71,8 +93,14 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    base = collect(args.baseline)
-    curr = collect(args.current)
+    try:
+        # Baseline artifacts are committed by hand, so schema drift there
+        # is a repo bug: every baseline file must carry gated values.
+        base = collect(args.baseline, require_gates=True)
+        curr = collect(args.current)
+    except GateSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if not base:
         print(f"no baseline artifacts in {args.baseline}", file=sys.stderr)
         return 1

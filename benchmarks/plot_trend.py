@@ -1,0 +1,223 @@
+"""Render the benchmark perf trend as a small-multiples SVG chart.
+
+Input: two or more artifact directories, each holding one run's
+``BENCH_*.json`` files — typically the committed ``benchmarks/baseline/``
+plus one or more ``bench-trend`` artifacts downloaded from CI history (in
+chronological order). Every *gated speedup* (the same values
+``diff_trend.py`` diffs) becomes one panel: a single line over the runs,
+its gate threshold as a muted dashed rule, and the latest value labeled.
+Dependency-free by design — the CI image has no plotting stack, so the SVG
+is written by hand.
+
+Usage::
+
+    python benchmarks/plot_trend.py benchmarks/baseline benchmarks/out
+    python benchmarks/plot_trend.py --out trend.svg run1/ run2/ run3/
+
+A text table of every plotted series is printed alongside (the
+accessibility fallback for the chart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+
+from diff_trend import GateSchemaError, collect  # noqa: E402
+
+# Palette: single-series small multiples on a light surface (values from
+# the validated reference palette; identity is carried by panel titles,
+# not hue, so no categorical pairs need validating).
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e8e8e6"
+SERIES = "#2a78d6"
+THRESHOLD = "#a8a7a2"
+
+PANEL_W, PANEL_H = 280, 130
+PAD_L, PAD_R, PAD_T, PAD_B = 14, 64, 34, 22
+COLS = 3
+GAP = 18
+HEADER = 56
+
+
+def _series(dirs: list[pathlib.Path]) -> tuple[list[str], dict[tuple, list], dict[tuple, float]]:
+    """(run labels, speedup series by key, threshold by key)."""
+    runs = []
+    speedups: dict[tuple, list] = {}
+    thresholds: dict[tuple, float] = {}
+    collected = []
+    for d in dirs:
+        collected.append(collect(d))
+        runs.append(d.name or str(d))
+    keys = sorted({k for c in collected for k in c})
+    for key in keys:
+        values = [c.get(key) for c in collected]
+        if not any(v is not None and v[1] for v in values):
+            continue  # not a speedup-like gated number
+        speedups[key] = [None if v is None else v[0] for v in values]
+        req_key = key[:-1] + ("required",)
+        for c in collected:
+            if req_key in c:
+                thresholds[key] = c[req_key][0]
+    return runs, speedups, thresholds
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _panel(out: list[str], x0: float, y0: float, title: str,
+           runs: list[str], values: list, threshold: float | None) -> None:
+    plot_w = PANEL_W - PAD_L - PAD_R
+    plot_h = PANEL_H - PAD_T - PAD_B
+    points = [(i, v) for i, v in enumerate(values) if v is not None]
+    vmax = max([v for _, v in points] + ([threshold] if threshold else []))
+    vmin = min([v for _, v in points] + ([threshold] if threshold else []))
+    span = (vmax - vmin) or 1.0
+    vmax += 0.15 * span
+    vmin -= 0.15 * span
+
+    def sx(i: float) -> float:
+        return x0 + PAD_L + (
+            plot_w / 2 if len(runs) == 1 else i * plot_w / (len(runs) - 1)
+        )
+
+    def sy(v: float) -> float:
+        return y0 + PAD_T + plot_h * (1 - (v - vmin) / (vmax - vmin))
+
+    out.append(
+        f'<rect x="{x0}" y="{y0}" width="{PANEL_W}" height="{PANEL_H}" '
+        f'fill="{SURFACE}" stroke="{GRID}" rx="4"/>'
+    )
+    # ~10px system font runs ≈ 5px/char; keep the title inside the panel
+    max_chars = (PANEL_W - 2 * PAD_L) // 5
+    if len(title) > max_chars:
+        title = "…" + title[-(max_chars - 1):]
+    out.append(
+        f'<text x="{x0 + PAD_L}" y="{y0 + 16}" fill="{TEXT_SECONDARY}" '
+        f'font-size="10" font-family="system-ui, sans-serif">{_esc(title)}</text>'
+    )
+    # recessive horizontal gridlines at the value extremes
+    for gv in (vmin + 0.15 * span, vmax - 0.15 * span):
+        gy = sy(gv)
+        out.append(
+            f'<line x1="{x0 + PAD_L}" y1="{gy:.1f}" '
+            f'x2="{x0 + PANEL_W - PAD_R}" y2="{gy:.1f}" '
+            f'stroke="{GRID}" stroke-width="1"/>'
+        )
+    if threshold is not None:
+        ty = sy(threshold)
+        out.append(
+            f'<line x1="{x0 + PAD_L}" y1="{ty:.1f}" '
+            f'x2="{x0 + PANEL_W - PAD_R}" y2="{ty:.1f}" '
+            f'stroke="{THRESHOLD}" stroke-width="1" stroke-dasharray="4 3"/>'
+        )
+        out.append(
+            f'<text x="{x0 + PANEL_W - PAD_R + 4}" y="{ty + 3:.1f}" '
+            f'fill="{TEXT_SECONDARY}" font-size="9" '
+            f'font-family="system-ui, sans-serif">gate {threshold:g}x</text>'
+        )
+    if len(points) > 1:
+        path = " ".join(
+            f"{'M' if j == 0 else 'L'}{sx(i):.1f},{sy(v):.1f}"
+            for j, (i, v) in enumerate(points)
+        )
+        out.append(
+            f'<path d="{path}" fill="none" stroke="{SERIES}" '
+            f'stroke-width="2" stroke-linejoin="round"/>'
+        )
+    for i, v in points:
+        out.append(
+            f'<circle cx="{sx(i):.1f}" cy="{sy(v):.1f}" r="3.5" '
+            f'fill="{SERIES}" stroke="{SURFACE}" stroke-width="2">'
+            f"<title>{_esc(runs[i])}: {v:.3g}x</title></circle>"
+        )
+    last_i, last_v = points[-1]
+    out.append(
+        f'<text x="{sx(last_i) + 7:.1f}" y="{sy(last_v) + 4:.1f}" '
+        f'fill="{TEXT_PRIMARY}" font-size="11" font-weight="600" '
+        f'font-family="system-ui, sans-serif">{last_v:.2f}x</text>'
+    )
+    for i, label in enumerate(runs):
+        anchor = "start" if i == 0 else ("end" if i == len(runs) - 1 else "middle")
+        out.append(
+            f'<text x="{sx(i):.1f}" y="{y0 + PANEL_H - 8}" fill="{TEXT_SECONDARY}" '
+            f'font-size="9" text-anchor="{anchor}" '
+            f'font-family="system-ui, sans-serif">{_esc(label)}</text>'
+        )
+
+
+def render(dirs: list[pathlib.Path]) -> tuple[str, str]:
+    """(svg text, plain-text table) for the gated speedups in ``dirs``."""
+    runs, speedups, thresholds = _series(dirs)
+    if not speedups:
+        raise GateSchemaError(
+            f"no gated speedup values found in: {', '.join(map(str, dirs))}"
+        )
+    rows = len(speedups) // COLS + (1 if len(speedups) % COLS else 0)
+    width = COLS * PANEL_W + (COLS + 1) * GAP
+    height = HEADER + rows * (PANEL_H + GAP)
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img" aria-label="Benchmark speedup trend across runs">',
+        f'<rect width="{width}" height="{height}" fill="{SURFACE}"/>',
+        f'<text x="{GAP}" y="26" fill="{TEXT_PRIMARY}" font-size="15" '
+        f'font-weight="600" font-family="system-ui, sans-serif">'
+        f"Gated benchmark speedups across runs</text>",
+        f'<text x="{GAP}" y="42" fill="{TEXT_SECONDARY}" font-size="11" '
+        f'font-family="system-ui, sans-serif">'
+        f"dashed rule = the gate each speedup must clear "
+        f"({' → '.join(_esc(r) for r in runs)})</text>",
+    ]
+    table = [f"{'gated speedup':<64} " + " ".join(f"{r:>12}" for r in runs)]
+    for n, (key, values) in enumerate(sorted(speedups.items())):
+        x0 = GAP + (n % COLS) * (PANEL_W + GAP)
+        y0 = HEADER + (n // COLS) * (PANEL_H + GAP)
+        title = "/".join(key).replace("BENCH_", "").replace(".json", "")
+        _panel(out, x0, y0, title, runs, values, thresholds.get(key))
+        table.append(
+            f"{title:<64} "
+            + " ".join(
+                f"{'-':>12}" if v is None else f"{v:>11.3g}x" for v in values
+            )
+        )
+    out.append("</svg>")
+    return "\n".join(out) + "\n", "\n".join(table) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "dirs", nargs="*", type=pathlib.Path,
+        default=[HERE / "baseline", HERE / "out"],
+        help="artifact directories, one per run, oldest first "
+        "(default: baseline out)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=HERE / "out" / "trend.svg",
+        help="SVG output path",
+    )
+    args = parser.parse_args(argv)
+    try:
+        svg, table = render(list(args.dirs))
+    except GateSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(svg)
+    print(table, end="")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,9 @@
 
 Compiles the paper's Figure-1 Jacobi Relaxation, prints the cost-driven
 execution plan ``backend="auto"`` produces next to the pinned serial and
-threaded plans, shows the inner-chunking decision on a tall-skinny grid,
-and finishes with a predicted-vs-planned-vs-measured comparison across
-every backend.
+threaded plans, shows the collapse decision on a tall-skinny grid (and
+the PR 3 inner-chunking plan behind ``use_collapse=False``), and finishes
+with a predicted-vs-planned-vs-measured comparison across every backend.
 
 Run: ``PYTHONPATH=src python examples/plan_demo.py``
 """
@@ -45,7 +45,7 @@ def main() -> None:
         print(plan.pretty(cycles=True))
 
     print()
-    print("=== Tall-skinny grid (4 x 4096, 8 workers): inner chunking ===")
+    print("=== Tall-skinny grid (4 x 4096, 8 workers): loop collapse ===")
     scale = analyze_module(parse_module(TALL_SKINNY))
     sflow = schedule_module(scale)
     plan = build_plan(
@@ -54,8 +54,18 @@ def main() -> None:
         {"r": 4, "c": 4096},
     )
     print(plan.pretty())
+    print("(the perfect DOALL nest flattens into one 16384-element space; "
+          "each of the 8 flat chunks runs one fused flat kernel)")
+    print()
+    plan = build_plan(
+        scale, sflow,
+        ExecutionOptions(backend="threaded", workers=8, use_collapse=False),
+        {"r": 4, "c": 4096},
+    )
+    print("with use_collapse=False (the PR 3 plan):")
+    print(plan.pretty())
     print("(the outer DOALL iterates so the 8 workers chunk the 4096-wide "
-          "inner DOALL)")
+          "inner DOALL — one dispatch wave per row instead of one total)")
 
     print()
     print("=== Predicted vs planned vs measured ===")

@@ -119,6 +119,7 @@ def _cmd_plan(args) -> int:
         workers=args.workers,
         use_windows=args.windows,
         use_kernels=not args.no_kernels,
+        use_collapse=not args.no_collapse,
     )
     scalars = _parse_assignments(args.set or [])
     plan = build_plan(analyzed, flow, options, scalars)
@@ -166,6 +167,7 @@ def _cmd_run(args) -> int:
         backend=args.backend,
         workers=args.workers,
         use_kernels=not args.no_kernels,
+        use_collapse=not args.no_collapse,
     )
     results = execute_module(analyzed, run_args, options=options)
     with np.printoptions(precision=6, suppress=True):
@@ -222,6 +224,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="plan for window-allocated virtual dimensions")
     p.add_argument("--no-kernels", action="store_true",
                    help="plan for evaluator-only execution")
+    p.add_argument("--no-collapse", action="store_true",
+                   help="disable flattening of perfect DOALL nests")
     p.add_argument("--cycles", action="store_true",
                    help="include calibrated cycle predictions")
     p.set_defaults(func=_cmd_plan)
@@ -248,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-kernels", action="store_true",
                    help="disable compiled equation kernels and run "
                         "everything on the reference tree-walking evaluator")
+    p.add_argument("--no-collapse", action="store_true",
+                   help="disable flattening of perfect DOALL nests into "
+                        "one chunked iteration space")
     p.set_defaults(func=_cmd_run)
     return parser
 

@@ -25,6 +25,7 @@ from repro.errors import CodegenError
 from repro.graph.build import build_dependency_graph
 from repro.graph.depgraph import DependencyGraph
 from repro.hyperplane.pipeline import HyperplaneResult, hyperplane_transform
+from repro.plan.calibration import PlanCalibration
 from repro.plan.ir import ExecutionPlan
 from repro.plan.planner import build_plan
 from repro.ps.ast import Module
@@ -66,6 +67,12 @@ class CompileResult:
     #: execution plans cached per (options, scalar bindings) — the planner
     #: runs once per distinct configuration, not once per run()
     _plan_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    #: measured-wall-clock feedback for the planner (see
+    #: :mod:`repro.plan.calibration`); :meth:`calibrate` fills it and the
+    #: plan cache keys on its version, so new measurements replan
+    _calibration: PlanCalibration = field(
+        default_factory=PlanCalibration, repr=False, compare=False
+    )
 
     @property
     def kernel_cache(self) -> KernelCache:
@@ -110,13 +117,48 @@ class CompileResult:
         key = (
             execution.backend, execution.workers, execution.vectorize,
             execution.use_windows, execution.use_kernels,
-            execution.debug_windows, tuple(sorted(scalars.items())),
+            execution.debug_windows, execution.use_collapse,
+            tuple(sorted(scalars.items())),
         )
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = build_plan(self.analyzed, self.flowchart, execution, scalars)
-            self._plan_cache[key] = plan
+        # Calibration only influences the auto decision, so pinned-backend
+        # entries stay valid across calibrations; an auto entry is replaced
+        # (not stranded) when new measurements arrive.
+        version = (
+            self._calibration.version if execution.backend == "auto" else None
+        )
+        cached = self._plan_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        plan = build_plan(
+            self.analyzed, self.flowchart, execution, scalars,
+            calibration=self._calibration,
+        )
+        self._plan_cache[key] = (version, plan)
         return plan
+
+    def calibrate(
+        self,
+        args: dict[str, Any],
+        execution: ExecutionOptions | None = None,
+        workers: int | None = None,
+        repeats: int = 3,
+    ):
+        """Measure every candidate backend on ``args`` and feed the wall
+        clock back into this compilation's plan calibration — the next
+        ``backend="auto"`` :meth:`plan` for these sizes ranks candidates by
+        the stopwatch instead of predicted cycles alone. Returns the
+        :class:`~repro.machine.report.PlanComparison`."""
+        from repro.machine.report import compare_plans
+
+        return compare_plans(
+            self.analyzed,
+            self.flowchart,
+            args,
+            workers=workers,
+            execution=execution,
+            repeats=repeats,
+            calibration=self._calibration,
+        )
 
     def run(
         self,

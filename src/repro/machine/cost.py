@@ -34,7 +34,7 @@ from repro.ps.ast import (
 )
 
 #: execution modes the model distinguishes (see :func:`element_cost`)
-EXECUTION_MODES = ("abstract", "evaluator", "kernel", "nest", "vector")
+EXECUTION_MODES = ("abstract", "evaluator", "kernel", "nest", "collapse", "vector")
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,10 @@ class MachineModel:
     #: per-element tax inside a fused nest kernel (hoisting amortised over
     #: the whole nest; only the compiled loop body remains)
     nest_element_overhead: float = 12.0
+    #: per-row bookkeeping of a *flat* (collapse-chunked) nest kernel: one
+    #: divmod cascade, one arange, and the row-segment clipping — elements
+    #: inside a row run as NumPy spans and price like ``vector``
+    collapse_row_overhead: float = 60.0
     #: fraction of the scalar equation cost a NumPy vector op pays per
     #: element once the span is large enough to amortise dispatch
     vector_element_factor: float = 0.012
@@ -75,8 +79,10 @@ class MachineModel:
 
     def element_overhead(self, mode: str) -> float:
         """The per-element execution-mode tax added to the structural
-        equation cost (``"abstract"``: the paper-era machine, no tax)."""
-        if mode in ("abstract", "vector"):
+        equation cost (``"abstract"``: the paper-era machine, no tax;
+        ``"collapse"`` rows are NumPy spans, taxed per row not per
+        element)."""
+        if mode in ("abstract", "vector", "collapse"):
             return 0.0
         if mode == "evaluator":
             return self.eval_element_overhead
@@ -91,7 +97,7 @@ class MachineModel:
         ``"abstract"`` stays integral — the paper-era simulator artifacts
         print whole cycle counts."""
         base = equation_cost(eq, self)
-        if mode == "vector":
+        if mode in ("vector", "collapse"):
             return base * self.vector_element_factor
         overhead = self.element_overhead(mode)
         return base + overhead if overhead else base

@@ -29,7 +29,13 @@ from math import ceil
 from repro.machine.cost import MachineModel
 from repro.ps.semantics import AnalyzedModule
 from repro.runtime.values import eval_bound
-from repro.schedule.flowchart import Descriptor, Flowchart, LoopDescriptor, NodeDescriptor
+from repro.schedule.flowchart import (
+    Descriptor,
+    Flowchart,
+    LoopDescriptor,
+    NodeDescriptor,
+    collapse_chain,
+)
 
 
 @dataclass
@@ -112,20 +118,6 @@ def _extent(desc: LoopDescriptor, scalars: dict[str, int]) -> int:
     return max(0, hi - lo + 1)
 
 
-def _collapsible(desc: LoopDescriptor) -> tuple[list[LoopDescriptor], list[Descriptor]]:
-    """The perfectly nested DOALL chain rooted at ``desc`` and its body."""
-    chain = [desc]
-    body = desc.body
-    while (
-        len(body) == 1
-        and isinstance(body[0], LoopDescriptor)
-        and body[0].parallel
-    ):
-        chain.append(body[0])
-        body = body[0].body
-    return chain, body
-
-
 def _cost(
     desc: Descriptor,
     scalars: dict[str, int],
@@ -142,7 +134,7 @@ def _cost(
 
     if desc.parallel and parallel_available:
         if collapse:
-            chain, body = _collapsible(desc)
+            chain, body = collapse_chain(desc)
             n = 1
             for loop in chain:
                 n *= _extent(loop, scalars)

@@ -1,0 +1,116 @@
+"""Online plan recalibration: measured wall clock fed back into planning.
+
+The calibrated :class:`~repro.machine.cost.MachineModel` is tuned against
+one benchmark artifact on one machine — good enough to rank strategies most
+of the time, but the planner's ``auto`` can mispredict on hardware whose
+dispatch/NumPy cost ratios differ. :class:`PlanCalibration` closes the
+loop: :func:`repro.machine.report.compare_plans` records the measured
+seconds of every (module, sizes, backend) it times, and
+:func:`repro.plan.planner.build_plan` consults the store on the next
+``auto`` decision — a backend with a measurement is ranked by its stopwatch
+number; backends without one have their predicted cycles converted to
+seconds through the anchor ratio the measured rows imply. The second run of
+a mispredicted configuration therefore picks the measured-best backend.
+
+Records are keyed per (module name, integer sizes, worker count): a
+calibration taken on a 4x4096 grid at 2 workers says nothing about a
+64x64 one at 16. ``version`` increments on every record so plan caches
+(``CompileResult._plan_cache``) can key entries by it and replan when new
+evidence arrives.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+def sizes_key(scalar_env: dict[str, int] | None) -> tuple:
+    """The canonical per-sizes key: sorted integer bindings."""
+    return tuple(sorted((scalar_env or {}).items()))
+
+
+def workers_key(workers: int | None) -> int:
+    """The canonical worker count: resolved the way the planner and the
+    backends resolve it (None means the machine's core count)."""
+    return max(1, workers if workers is not None else os.cpu_count() or 1)
+
+
+@dataclass
+class CalibrationRecord:
+    """One measured execution of a (module, sizes, backend) configuration."""
+
+    seconds: float
+    predicted_cycles: float | None = None
+
+
+@dataclass
+class PlanCalibration:
+    """A store of measured wall clock per (module, sizes, workers, backend)."""
+
+    records: dict[tuple[str, tuple, int, str], CalibrationRecord] = field(
+        default_factory=dict
+    )
+    #: bumped on every record — plan caches key entries by it
+    version: int = 0
+
+    def record(
+        self,
+        module: str,
+        scalar_env: dict[str, int] | None,
+        backend: str,
+        seconds: float,
+        predicted_cycles: float | None = None,
+        workers: int | None = None,
+    ) -> None:
+        key = (module, sizes_key(scalar_env), workers_key(workers), backend)
+        self.records[key] = CalibrationRecord(seconds, predicted_cycles)
+        self.version += 1
+
+    def measured(
+        self,
+        module: str,
+        scalar_env: dict[str, int] | None,
+        backend: str,
+        workers: int | None = None,
+    ) -> CalibrationRecord | None:
+        return self.records.get(
+            (module, sizes_key(scalar_env), workers_key(workers), backend)
+        )
+
+    def adjusted_costs(
+        self,
+        module: str,
+        scalar_env: dict[str, int] | None,
+        candidates: list[tuple[str, float]],
+        workers: int | None = None,
+    ) -> list[float]:
+        """Effective comparable costs for ``candidates`` (backend,
+        predicted-cycles pairs), in seconds-equivalent units when any
+        measurement exists for this (module, sizes).
+
+        A measured backend costs its measured seconds. An unmeasured one
+        costs ``predicted_cycles * anchor``, where the anchor
+        (seconds per predicted cycle) is the median ratio over the measured
+        candidates — so mixed comparisons stay in one unit and the
+        calibration only ever *re-ranks*, never invents numbers. With no
+        measurements the predicted cycles come back unchanged."""
+        rows = [
+            (
+                backend, cycles,
+                self.measured(module, scalar_env, backend, workers),
+            )
+            for backend, cycles in candidates
+        ]
+        ratios = sorted(
+            rec.seconds / cycles
+            for _, cycles, rec in rows
+            if rec is not None and cycles
+        )
+        if not ratios:
+            return [cycles for _, cycles, _ in rows]
+        anchor = ratios[len(ratios) // 2]
+        return [
+            rec.seconds if rec is not None else cycles * anchor
+            for _, cycles, rec in rows
+        ]

@@ -29,6 +29,14 @@ Loop strategies
     This loop's iterations run one at a time *so that an inner loop's plan
     gets the workers* — the planner emits it for a DOALL whose trip count
     is below the worker count but whose inner DOALL chunks well.
+``collapse``
+    A perfectly nested DOALL chain is flattened into one linearized
+    iteration space, split into ``parts`` contiguous *flat* chunks; each
+    chunk runs through one fused, chunk-parameterized nest kernel that
+    delinearizes the flat offset back to the loop indices in its prologue
+    (per-equation scalar walk when the kernel is unavailable). Collapsing
+    load-balances nests whose outer trip count is small or uneven — the
+    whole flat space divides over the workers regardless of shape.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 
 #: valid LoopPlan.strategy values
-STRATEGIES = ("serial", "nest", "vector", "chunk", "iterate")
+STRATEGIES = ("serial", "nest", "vector", "chunk", "iterate", "collapse")
 
 #: valid EquationPlan.kernel values
 KERNEL_VARIANTS = ("scalar", "vector", "nest", "evaluator")
@@ -85,6 +93,13 @@ class LoopPlan:
     #: index of the loop that actually receives the workers (for pretty
     #: output on "iterate" loops this names the chunked inner loop)
     chunk_index: str | None = None
+    #: how many perfectly nested DOALLs are flattened (strategy "collapse"
+    #: on the chain root; inner chain loops carry strategy "collapse" with
+    #: depth None — their iteration space is owned by the root)
+    collapse_depth: int | None = None
+    #: the flattened trip count (product of the chain's trips; None when
+    #: any chain bound is not statically evaluable)
+    flat_trip: int | None = None
     #: predicted cycles for the chosen strategy (calibrated model)
     cycles: float | None = None
     #: one-line rationale for the choice
@@ -92,10 +107,15 @@ class LoopPlan:
 
     def annotation(self) -> str:
         bits = [self.strategy]
-        if self.strategy == "chunk" and self.parts:
+        if self.strategy in ("chunk", "collapse") and self.parts:
             bits[-1] += f" x{self.parts}"
         if self.strategy == "iterate" and self.chunk_index:
             bits.append(f"inner-chunk {self.chunk_index}")
+        if self.strategy == "collapse" and self.collapse_depth:
+            depth = f"depth {self.collapse_depth}"
+            if self.flat_trip is not None:
+                depth += f" flat {self.flat_trip}"
+            bits.append(depth)
         if self.trip is not None:
             bits.append(f"trip {self.trip}")
         if self.reason:

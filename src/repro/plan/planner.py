@@ -45,8 +45,10 @@ from repro.schedule.flowchart import (
     Flowchart,
     LoopDescriptor,
     NodeDescriptor,
+    collapse_chain,
     equation_vector_safe,
     loop_chunk_safe,
+    loop_collapse_safe,
 )
 
 #: backends that split DOALL subranges into worker chunks
@@ -75,6 +77,7 @@ def _default_options() -> Any:
         backend="auto",
         workers=None,
         use_kernels=True,
+        use_collapse=True,
     )
 
 
@@ -87,6 +90,7 @@ def build_plan(
     cpu_count: int | None = None,
     backend: str | None = None,
     candidates: tuple[str, ...] | None = None,
+    calibration: Any | None = None,
 ) -> ExecutionPlan:
     """Plan one module execution.
 
@@ -99,7 +103,12 @@ def build_plan(
     overrides ``options.backend`` (a backend walking a hand-built state
     pins the plan to itself); ``candidates`` narrows what ``auto`` may
     choose from (module calls restrict callees to the in-process backends
-    — nested pools inside worker chunks would oversubscribe or crash).
+    — nested pools inside worker chunks would oversubscribe or crash);
+    ``calibration`` is an optional
+    :class:`repro.plan.calibration.PlanCalibration` store of measured wall
+    clock per (module, sizes, backend) — when it has measurements for this
+    configuration, ``auto`` ranks candidates by measured seconds instead of
+    trusting predicted cycles alone (online recalibration).
     """
     options = options or _default_options()
     scalar_env = scalar_env or {}
@@ -107,6 +116,7 @@ def build_plan(
     workers = max(1, options.workers if options.workers is not None else os.cpu_count() or 1)
     effective = max(1, min(workers, cpu_count if cpu_count is not None else os.cpu_count() or 1))
     use_kernels = bool(options.use_kernels) and not options.debug_windows
+    use_collapse = bool(getattr(options, "use_collapse", True))
 
     requested = backend if backend is not None else getattr(options, "backend", "auto")
     if requested != "auto" and requested not in KNOWN_BACKENDS:
@@ -126,21 +136,29 @@ def build_plan(
             # lie, so auto never offers them (pinning still works and
             # degrades gracefully, as before).
             pool = [c for c in pool if c not in ("process", "process-fork")]
-        best: _Planner | None = None
+        planners: list[_Planner] = []
         for candidate in pool:
             p = _Planner(
                 analyzed, flowchart, candidate, workers, effective,
                 scalar_env, model, use_kernels, bool(options.use_windows),
+                use_collapse=use_collapse,
             )
             p.plan_module()
-            if best is None or p.total < best.total:
-                best = p
-        assert best is not None
+            planners.append(p)
+        totals = [p.total for p in planners]
+        if calibration is not None:
+            totals = calibration.adjusted_costs(
+                analyzed.name, scalar_env,
+                [(p.backend, p.total) for p in planners],
+                workers=workers,
+            )
+        best = min(zip(totals, planners), key=lambda pair: pair[0])[1]
         return best.finish(analyzed.name, requested="auto", pinned=False)
 
     planner = _Planner(
         analyzed, flowchart, requested, workers, effective,
         scalar_env, model, use_kernels, bool(options.use_windows),
+        use_collapse=use_collapse,
     )
     planner.plan_module()
     return planner.finish(analyzed.name, requested=requested, pinned=True)
@@ -172,6 +190,7 @@ def forced_plan(
         model or MachineModel(),
         bool(options.use_kernels) and not options.debug_windows,
         bool(options.use_windows),
+        use_collapse=bool(getattr(options, "use_collapse", True)),
         force_default=default,
         force_overrides=overrides or {},
     )
@@ -191,6 +210,8 @@ def valid_strategies(
         out.append("nest")
     if loop_chunk_safe(desc, analyzed, flowchart.windows, use_windows):
         out.append("chunk")
+    if loop_collapse_safe(desc, analyzed, flowchart.windows, use_windows):
+        out.append("collapse")
     return out
 
 
@@ -208,6 +229,7 @@ class _Planner:
         model: MachineModel,
         use_kernels: bool,
         use_windows: bool,
+        use_collapse: bool = True,
         force_default: str | None = None,
         force_overrides: dict[tuple[int, ...], str] | None = None,
     ):
@@ -220,6 +242,7 @@ class _Planner:
         self.model = model
         self.use_kernels = use_kernels
         self.use_windows = use_windows
+        self.use_collapse = use_collapse
         self.force_default = force_default
         self.force_overrides = force_overrides or {}
         self.entries: list[PlanEntry] = []
@@ -253,16 +276,32 @@ class _Planner:
             desc, self.analyzed, self.flowchart.windows, self.use_windows
         )
 
+    def _collapse_safe(self, desc: LoopDescriptor) -> bool:
+        return loop_collapse_safe(
+            desc, self.analyzed, self.flowchart.windows, self.use_windows
+        )
+
     def _fusable(self, desc: LoopDescriptor) -> bool:
         return self.use_kernels and nest_fusable(
             desc, self.analyzed, self.flowchart, self.use_windows
         )
 
+    def _flat_trips(self, desc: LoopDescriptor) -> tuple[int, int | None]:
+        """(estimated, exact-or-None) flattened trip count of the collapse
+        chain rooted at ``desc``."""
+        est, exact = 1, 1
+        for loop in collapse_chain(desc)[0]:
+            est *= max(1, self._trip_est(loop))
+            t = self.trip(loop)
+            exact = None if exact is None or t is None else exact * t
+        return est, exact
+
     def _eq_mode(self, eq, ctx: str) -> str:
         """Which execution path an equation takes under ``ctx``; one of the
-        cost model's modes ("evaluator" | "kernel" | "vector" | "nest")."""
-        if ctx == "nest":
-            return "nest"
+        cost model's modes ("evaluator" | "kernel" | "vector" | "nest" |
+        "collapse")."""
+        if ctx in ("nest", "collapse"):
+            return ctx
         if not (self.use_kernels and kernelizable(eq, self.analyzed)):
             return "evaluator"
         if ctx == "vector":
@@ -306,8 +345,8 @@ class _Planner:
             return self._eq_cost(desc.node.equation, ctx, span)
         assert isinstance(desc, LoopDescriptor)
         t = self._trip_est(desc)
-        if ctx == "nest":
-            return sum(self._cost(d, "nest", span * t) for d in desc.body)
+        if ctx in ("nest", "collapse"):
+            return sum(self._cost(d, ctx, span * t) for d in desc.body)
         if ctx == "vector":
             released, bound = self._vector_costs(desc, span)
             return released + bound
@@ -388,6 +427,42 @@ class _Planner:
             + sum(self._cost(d, "walk", 1) for d in desc.body)
         )
 
+    def _cost_collapse_root(self, desc: LoopDescriptor, parts: int) -> float:
+        """Cycles for the collapsed chain: the flat space splits into
+        ``parts`` chunks, each one fused flat-kernel invocation walking the
+        chunk row by row — NumPy spans (GIL-releasing, overlapping across
+        workers) plus per-row Python bookkeeping (GIL-bound, serialized on
+        the threaded backend). One dispatch wave total, against ``chunk``'s
+        idle workers when the outer trip is small and ``iterate``'s one
+        wave per outer iteration."""
+        chain, chain_body = collapse_chain(desc)
+        flat, _exact = self._flat_trips(desc)
+        inner_trip = max(1, self._trip_est(chain[-1]))
+        parts = max(1, min(parts, flat))
+        per_chunk_span = ceil(flat / parts)
+        rows = ceil(per_chunk_span / inner_trip)
+        pairs = [
+            self._vector_costs(d, min(per_chunk_span, inner_trip))
+            for d in chain_body
+        ]
+        released = rows * sum(r for r, _ in pairs)
+        bound = rows * (
+            self.model.collapse_row_overhead + sum(b for _, b in pairs)
+        )
+        waves = ceil(parts / self.parallelism)
+        if self.backend == "threaded":
+            bound_total = parts * bound
+        else:
+            bound_total = waves * bound
+        m = self.model
+        return (
+            m.doall_fork
+            + m.doall_barrier
+            + parts * self._dispatch_cost()
+            + waves * released
+            + bound_total
+        )
+
     # -- strategy choice ---------------------------------------------------
 
     def _inner_chunk_candidate(self, desc: LoopDescriptor) -> LoopDescriptor | None:
@@ -430,23 +505,31 @@ class _Planner:
             raise PlanError(
                 f"cannot force 'nest' on DOALL {desc.index}: not fusable"
             )
+        if forced == "collapse" and not self._collapse_safe(desc):
+            raise PlanError(
+                f"cannot force 'collapse' on DOALL {desc.index}: "
+                f"not a collapse-safe perfect DOALL chain"
+            )
         return forced
 
     def _choose_uncached(self, desc: LoopDescriptor):
         forced = self._forced_for(desc)
         if forced is not None:
-            parts = (
-                min(self.workers, self._trip_est(desc) or 1)
-                if forced == "chunk"
-                else None
-            )
-            cost = {
-                "serial": self._cost_serial_root,
-                "nest": self._cost_nest_root,
-                "vector": self._cost_vector_root,
-                "iterate": self._cost_iterate_root,
-            }.get(forced)
-            c = cost(desc) if cost else self._cost_chunk_root(desc, parts or 1)
+            if forced == "chunk":
+                parts = min(self.workers, self._trip_est(desc) or 1)
+                c = self._cost_chunk_root(desc, parts)
+            elif forced == "collapse":
+                parts = min(self.workers, self._flat_trips(desc)[0])
+                c = self._cost_collapse_root(desc, parts)
+            else:
+                parts = None
+                cost = {
+                    "serial": self._cost_serial_root,
+                    "nest": self._cost_nest_root,
+                    "vector": self._cost_vector_root,
+                    "iterate": self._cost_iterate_root,
+                }[forced]
+                c = cost(desc)
             return (forced, parts, c, "forced", None)
 
         if self.backend == "serial":
@@ -473,6 +556,16 @@ class _Planner:
                     "vector", None, self._cost_vector_root(desc),
                     "nothing to chunk", None,
                 )
+            # A collapse-safe, fusable chain may flatten: one linearized
+            # iteration space chunked over the team, each chunk one fused
+            # flat kernel. Priced against the classic alternatives below.
+            collapse = None
+            if self.use_collapse and self._collapse_safe(desc) and self._fusable(desc):
+                flat_est, _ = self._flat_trips(desc)
+                cparts = min(self.workers, flat_est)
+                collapse = (
+                    cparts, self._cost_collapse_root(desc, cparts)
+                )
             if t is not None and t < self.workers:
                 # Utilization rule, deliberately not a cost comparison: an
                 # outer chunk with trip < workers idles (workers - trip)
@@ -482,15 +575,27 @@ class _Planner:
                 # is pathologically expensive — would veto the inner
                 # chunking that real multicore hardware rewards. The
                 # INNER_CHUNK_FACTOR guard keeps the extra dispatches
-                # amortised over a genuinely wide inner loop.
+                # amortised over a genuinely wide inner loop. A collapsed
+                # flat space serves the same utilization end with one
+                # dispatch wave instead of one per outer iteration, so when
+                # both apply the cheaper one wins.
                 inner = self._inner_chunk_candidate(desc)
                 if inner is not None:
+                    c_iter = self._cost_iterate_root(desc)
+                    if collapse is not None and collapse[1] < c_iter:
+                        return (
+                            "collapse", collapse[0], collapse[1],
+                            f"trip {t} < {self.workers} workers", None,
+                        )
                     return (
-                        "iterate", None, self._cost_iterate_root(desc),
+                        "iterate", None, c_iter,
                         f"trip {t} < {self.workers} workers", inner.index,
                     )
             parts = min(self.workers, te)
-            return ("chunk", parts, self._cost_chunk_root(desc, parts), "", None)
+            c_chunk = self._cost_chunk_root(desc, parts)
+            if collapse is not None and collapse[1] < c_chunk:
+                return ("collapse", collapse[0], collapse[1], "", None)
+            return ("chunk", parts, c_chunk, "", None)
 
         raise PlanError(f"unknown execution backend {self.backend!r}")
 
@@ -510,7 +615,9 @@ class _Planner:
             return 0.0
         eq = desc.node.equation
         mode = self._eq_mode(eq, ctx)
-        kernel, reason = mode, ""
+        # Inside a collapsed chain the equation runs in the fused (flat)
+        # nest kernel — "collapse" is a costing mode, not a kernel variant.
+        kernel, reason = ("nest" if mode == "collapse" else mode), ""
         if mode == "evaluator":
             if not self.use_kernels:
                 reason = "kernels off"
@@ -532,14 +639,14 @@ class _Planner:
         t = self.trip(desc)
         te = self._trip_est(desc)
 
-        if ctx == "nest":
+        if ctx in ("nest", "collapse"):
             lp = LoopPlan(
-                path, desc.index, desc.keyword, "nest", trip=t, fuse=True,
-                reason="fused",
+                path, desc.index, desc.keyword, ctx, trip=t, fuse=True,
+                reason="fused" if ctx == "nest" else "collapsed",
             )
             self._register(lp, depth)
             cost = sum(
-                self._emit(d, path + (i,), depth + 1, "nest", span * te)
+                self._emit(d, path + (i,), depth + 1, ctx, span * te)
                 for i, d in enumerate(desc.body)
             )
             lp.cycles = cost
@@ -580,16 +687,24 @@ class _Planner:
             return lp.cycles
 
         strategy, parts, cost, reason, chunk_index = self._choose(desc)
+        collapse_depth = flat_exact = None
+        if strategy == "collapse":
+            collapse_depth = len(collapse_chain(desc)[0])
+            flat_exact = self._flat_trips(desc)[1]
         lp = LoopPlan(
             path, desc.index, desc.keyword, strategy,
-            parts=parts, trip=t, fuse=strategy == "nest",
+            parts=parts, trip=t,
+            fuse=strategy == "nest" or (
+                strategy == "collapse" and self._fusable(desc)
+            ),
             chunk_index=chunk_index if strategy == "iterate" else (
                 desc.index if strategy == "chunk" else None
             ),
+            collapse_depth=collapse_depth, flat_trip=flat_exact,
             cycles=cost, reason=reason,
         )
         self._register(lp, depth)
-        if strategy == "chunk":
+        if strategy in ("chunk", "collapse"):
             self._chunked_somewhere = True
         body_ctx = {
             "serial": "walk",
@@ -597,14 +712,22 @@ class _Planner:
             "nest": "nest",
             "vector": "vector",
             "chunk": "vector",
+            "collapse": "collapse",
         }[strategy]
-        body_span = {
-            "serial": 1.0,
-            "iterate": 1.0,
-            "nest": float(te),
-            "vector": float(te),
-            "chunk": float(ceil(te / parts)) if parts else float(te),
-        }[strategy]
+        if strategy == "collapse":
+            # Chain loops below multiply the span by their own trips (the
+            # shared nest emission), so the root contributes its trip
+            # divided by the chunk count — equations then see roughly the
+            # per-chunk element count.
+            body_span = te / max(1, parts or 1)
+        else:
+            body_span = {
+                "serial": 1.0,
+                "iterate": 1.0,
+                "nest": float(te),
+                "vector": float(te),
+                "chunk": float(ceil(te / parts)) if parts else float(te),
+            }[strategy]
         for i, d in enumerate(desc.body):
             self._emit(d, path + (i,), depth + 1, body_ctx, body_span)
         return cost

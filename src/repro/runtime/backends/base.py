@@ -53,6 +53,7 @@ from repro.schedule.flowchart import (
     Flowchart,
     LoopDescriptor,
     NodeDescriptor,
+    collapse_chain,
     equation_vector_safe,
     loop_chunk_safe,
     split_range,
@@ -162,6 +163,11 @@ class ExecutionBackend:
     def run(self, state: ExecutionState) -> None:
         """Execute the whole flowchart against ``state``."""
         state.storage_factory = self.make_storage
+        if state.kernels is not None:
+            # Kernels with module calls dispatch through the cache's call
+            # box; point it at this execution's handler before anything runs
+            # (forked pool workers inherit the binding with the cache).
+            state.kernels.bind_call_fn(state.evaluator.call_fn)
         if state.plan is None:
             # A hand-built state: plan for *this* backend (the executor
             # normally supplies the plan and instantiates plan.backend).
@@ -260,6 +266,8 @@ class ExecutionBackend:
             self.exec_vector_span(state, desc, lo, hi, env, vector_names)
         elif strategy == "chunk":
             self.exec_chunked_loop(state, desc, lo, hi, env, vector_names, plan)
+        elif strategy == "collapse":
+            self.exec_collapsed_loop(state, desc, lo, hi, env, plan)
         else:
             raise ExecutionError(f"unknown plan strategy {strategy!r}")
 
@@ -343,6 +351,149 @@ class ExecutionBackend:
         with their pools."""
         for clo, chi in spans:
             self.exec_vector_span(state, desc, clo, chi, env, vector_names)
+
+    # -- collapsed nests ---------------------------------------------------
+
+    def _flat_geometry(
+        self, state: ExecutionState, desc: LoopDescriptor, lo: int, hi: int
+    ) -> tuple[list[LoopDescriptor], list[Descriptor], list[int], list[int]]:
+        """(chain, body-below-chain, per-loop lows, per-loop extents) of the
+        collapsed iteration space rooted at ``desc``; ``[lo, hi]`` is the
+        root subrange already evaluated by the caller."""
+        chain, chain_body = collapse_chain(desc)
+        scalar_env = state.scalar_env()
+        los = [lo]
+        extents = [max(0, hi - lo + 1)]
+        for loop in chain[1:]:
+            llo = eval_bound(loop.subrange.lo, scalar_env)
+            lhi = eval_bound(loop.subrange.hi, scalar_env)
+            los.append(llo)
+            extents.append(max(0, lhi - llo + 1))
+        return chain, chain_body, los, extents
+
+    def exec_collapsed_loop(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+        plan: Any,
+    ) -> None:
+        """Run a collapse-planned DOALL chain: flatten the perfect nest
+        into one ``[0, prod(extents) - 1]`` iteration space, split it into
+        the planned chunk count, and hand the *flat* subranges to
+        :meth:`dispatch_flat_chunks`. Each chunk executes through the
+        chunk-parameterized fused nest kernel (per-equation scalar walk
+        when no kernel is available or the plan disabled fusion)."""
+        _chain, _body, _los, extents = self._flat_geometry(state, desc, lo, hi)
+        flat = 1
+        for n in extents:
+            flat *= n
+        if flat <= 0:
+            return
+        for eq in desc.nested_equations():
+            self.ensure_targets(state, eq)
+        parts = plan.parts if plan is not None and plan.parts else self.workers
+        fuse = plan.fuse if plan is not None else True
+        spans = split_range(0, flat - 1, parts)
+        if len(spans) < 2:
+            self.exec_flat_span(state, desc, 0, flat - 1, env, fuse)
+            return
+        self.dispatch_flat_chunks(state, desc, spans, env, fuse)
+
+    def exec_flat_span(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        flo: int,
+        fhi: int,
+        env: dict[str, Any],
+        fuse: bool = True,
+    ) -> None:
+        """Execute one contiguous flat subrange of a collapsed chain —
+        through the fused flat-variant nest kernel when available, else by
+        the delinearized per-equation walk. The chunked backends reuse
+        this per worker chunk."""
+        kernel = None
+        if fuse and state.kernels is not None:
+            kernel = state.kernels.nest_kernel_for(
+                desc, state.options.use_windows, variant="flat"
+            )
+        if kernel is not None:
+            try:
+                counts = kernel(state.data, env, flo, fhi)
+            except KeyError as exc:
+                raise ExecutionError(f"unbound name {exc.args[0]!r}") from None
+            state.merge_counts(counts)
+            return
+        self.exec_flat_walk(state, desc, flo, fhi, env)
+
+    def exec_flat_walk(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        flo: int,
+        fhi: int,
+        env: dict[str, Any],
+    ) -> None:
+        """The per-equation reference path over a flat subrange: recover
+        the chain indices from each flat offset (row-major, innermost
+        fastest — ascending flat order is exactly the serial nest order)
+        and walk the body descriptors element by element. The body walk is
+        *strictly serial* and never consults loop plans: this path may
+        already be running inside a pool worker, and a body DOALL planned
+        "collapse"/"chunk" re-entering chunk dispatch would block on the
+        very pool executing it."""
+        scalar_env = state.scalar_env()
+        lo = eval_bound(desc.subrange.lo, scalar_env)
+        hi = eval_bound(desc.subrange.hi, scalar_env)
+        chain, chain_body, los, extents = self._flat_geometry(
+            state, desc, lo, hi
+        )
+        for flat in range(flo, fhi + 1):
+            env2 = dict(env)
+            r = flat
+            for k in range(len(chain) - 1, 0, -1):
+                env2[chain[k].index] = r % extents[k] + los[k]
+                r //= extents[k]
+            env2[chain[0].index] = r + los[0]
+            for d in chain_body:
+                self._exec_descriptor_strictly_serial(state, d, env2)
+
+    def _exec_descriptor_strictly_serial(
+        self, state: ExecutionState, desc: Descriptor, env: dict[str, Any]
+    ) -> None:
+        """Execute a descriptor in subrange order, treating every loop —
+        parallel or not — as a sequential scalar loop (the reference
+        semantics, ignoring plans)."""
+        if isinstance(desc, NodeDescriptor):
+            if desc.node.is_equation:
+                self.exec_equation(state, desc.node.equation, env, [])
+            return
+        assert isinstance(desc, LoopDescriptor)
+        scalar_env = state.scalar_env()
+        lo = eval_bound(desc.subrange.lo, scalar_env)
+        hi = eval_bound(desc.subrange.hi, scalar_env)
+        for i in range(lo, hi + 1):
+            env2 = dict(env)
+            env2[desc.index] = i
+            for d in desc.body:
+                self._exec_descriptor_strictly_serial(state, d, env2)
+
+    def dispatch_flat_chunks(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        spans: list[tuple[int, int]],
+        env: dict[str, Any],
+        fuse: bool,
+    ) -> None:
+        """Execute the flat chunk spans. Inline in the base (correct
+        without a pool); the parallel backends override this alongside
+        :meth:`dispatch_chunks`."""
+        for flo, fhi in spans:
+            self.exec_flat_span(state, desc, flo, fhi, env, fuse)
 
     # -- equations ---------------------------------------------------------
 

@@ -118,13 +118,42 @@ class ForkProcessBackend(ExecutionBackend):
             for clo, chi in spans:
                 self.exec_vector_span(state, desc, clo, chi, env, vector_names)
             return
+        self._fork_wavefront(
+            state, desc,
+            [("span", clo, chi, env, vector_names, True) for clo, chi in spans],
+        )
+
+    def dispatch_flat_chunks(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        spans: list[tuple[int, int]],
+        env: dict[str, Any],
+        fuse: bool,
+    ) -> None:
+        if self._ctx is None:
+            super().dispatch_flat_chunks(state, desc, spans, env, fuse)
+            return
+        self._fork_wavefront(
+            state, desc,
+            [("flat", flo, fhi, env, [], fuse) for flo, fhi in spans],
+        )
+
+    def _fork_wavefront(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        tasks: list[tuple],
+    ) -> None:
+        """Fork one worker per task (``(kind, lo, hi, env, vector_names,
+        fuse)``) and retire the wavefront when every one has exited."""
         queue = self._ctx.SimpleQueue()
         procs = []
-        for clo, chi in spans:
+        for task in tasks:
             sub = state.fork()
             p = self._ctx.Process(
                 target=self._run_chunk,
-                args=(sub, desc, clo, chi, env, vector_names, queue),
+                args=(sub, desc, task, queue),
                 daemon=True,
             )
             p.start()
@@ -165,14 +194,15 @@ class ForkProcessBackend(ExecutionBackend):
         self,
         state: ExecutionState,
         desc: LoopDescriptor,
-        lo: int,
-        hi: int,
-        env: dict[str, Any],
-        vector_names: list[str],
+        task: tuple,
         queue,
     ) -> None:
+        kind, lo, hi, env, vector_names, fuse = task
         try:
-            self.exec_vector_span(state, desc, lo, hi, env, vector_names)
+            if kind == "flat":
+                self.exec_flat_span(state, desc, lo, hi, env, fuse)
+            else:
+                self.exec_vector_span(state, desc, lo, hi, env, vector_names)
             queue.put(("ok", state.eval_counts))
         except BaseException as exc:  # broad by design — reported to the parent
             queue.put(("error", f"{type(exc).__name__}: {exc}"))
@@ -204,7 +234,7 @@ def _pool_worker(backend: ProcessBackend, state: ExecutionState, task_q, result_
         task = task_q.get()
         if task is None:
             break
-        task_id, path, lo, hi, env, scalars, specs = task
+        task_id, kind, path, lo, hi, env, scalars, specs, fuse = task
         try:
             state.data.update(scalars)
             for name, (seg, shape, dtype, los, his, windows) in specs.items():
@@ -223,7 +253,13 @@ def _pool_worker(backend: ProcessBackend, state: ExecutionState, task_q, result_
                 known[name] = seg
             desc = state.flowchart.descriptor_at(path)
             sub = state.fork()
-            vec.exec_vector_span(sub, desc, lo, hi, env, [])
+            if kind == "flat":
+                # A collapse chunk: the whole flat subrange runs inside one
+                # fused nest kernel from the pre-fork-warmed cache — pure
+                # compiled work, no GIL shared with sibling workers.
+                vec.exec_flat_span(sub, desc, lo, hi, env, fuse)
+            else:
+                vec.exec_vector_span(sub, desc, lo, hi, env, [])
             result_q.put((task_id, "ok", sub.eval_counts))
         except BaseException as exc:  # broad by design — reported to the parent
             result_q.put((task_id, "error", f"{type(exc).__name__}: {exc}"))
@@ -306,6 +342,30 @@ class ProcessBackend(ForkProcessBackend):
             # re-inherit the fault-injection tag arrays every wavefront).
             super().dispatch_chunks(state, desc, spans, env, vector_names)
             return
+        self._pool_wavefront(state, desc, spans, env, kind="span", fuse=True)
+
+    def dispatch_flat_chunks(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        spans: list[tuple[int, int]],
+        env: dict[str, Any],
+        fuse: bool,
+    ) -> None:
+        if self._ctx is None or state.options.debug_windows:
+            super().dispatch_flat_chunks(state, desc, spans, env, fuse)
+            return
+        self._pool_wavefront(state, desc, spans, env, kind="flat", fuse=fuse)
+
+    def _pool_wavefront(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        spans: list[tuple[int, int]],
+        env: dict[str, Any],
+        kind: str,
+        fuse: bool,
+    ) -> None:
         self._ensure_pool(state)
         path = self._path_for(state, desc)
         scalars = {
@@ -319,7 +379,9 @@ class ProcessBackend(ForkProcessBackend):
             task_id = self._task_seq
             self._task_seq += 1
             batch.add(task_id)
-            self._task_q.put((task_id, path, clo, chi, env, scalars, specs))
+            self._task_q.put(
+                (task_id, kind, path, clo, chi, env, scalars, specs, fuse)
+            )
         # The barrier: every chunk of the wavefront completes (or fails)
         # before the next descriptor runs.
         failures: list[str] = []

@@ -25,6 +25,29 @@ class ThreadedBackend(ExecutionBackend):
         super().__init__(workers)
         self._pool: ThreadPoolExecutor | None = None
 
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-doall"
+            )
+        return self._pool
+
+    def _pool_wavefront(self, state: ExecutionState, spans, run_span) -> None:
+        """One wavefront on the pool: a private substate per chunk,
+        ``run_span(substate, lo, hi)`` submitted per span, then the
+        barrier — every chunk completes (or raises) before the next
+        descriptor runs — and the eval-count merge."""
+        pool = self._ensure_pool()
+        substates = [state.fork() for _ in spans]
+        futures = [
+            pool.submit(run_span, sub, lo, hi)
+            for sub, (lo, hi) in zip(substates, spans)
+        ]
+        for f in futures:
+            f.result()
+        for sub in substates:
+            state.merge_counts(sub.eval_counts)
+
     def dispatch_chunks(
         self,
         state: ExecutionState,
@@ -33,23 +56,31 @@ class ThreadedBackend(ExecutionBackend):
         env: dict[str, Any],
         vector_names: list[str],
     ) -> None:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-doall"
-            )
-        substates = [state.fork() for _ in spans]
-        futures = [
-            self._pool.submit(
-                self.exec_vector_span, sub, desc, clo, chi, env, vector_names
-            )
-            for sub, (clo, chi) in zip(substates, spans)
-        ]
-        # The barrier: every chunk of the wavefront completes (or raises)
-        # before the next descriptor runs.
-        for f in futures:
-            f.result()
-        for sub in substates:
-            state.merge_counts(sub.eval_counts)
+        self._pool_wavefront(
+            state, spans,
+            lambda sub, lo, hi: self.exec_vector_span(
+                sub, desc, lo, hi, env, vector_names
+            ),
+        )
+
+    def dispatch_flat_chunks(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        spans: list[tuple[int, int]],
+        env: dict[str, Any],
+        fuse: bool,
+    ) -> None:
+        """Flat collapse chunks on the thread pool: the fused flat kernels
+        interleave NumPy spans (GIL released) with per-row bookkeeping
+        (GIL held), which the planner's collapse cost model prices for
+        this backend."""
+        self._pool_wavefront(
+            state, spans,
+            lambda sub, lo, hi: self.exec_flat_span(
+                sub, desc, lo, hi, env, fuse
+            ),
+        )
 
     def close(self) -> None:
         if self._pool is not None:

@@ -72,6 +72,10 @@ class ExecutionOptions:
     #: Window-debug runs always use the evaluator (kernels skip the
     #: fault-on-overwrite tags).
     use_kernels: bool = True
+    #: let the planner collapse perfect DOALL nests into one flattened,
+    #: chunked iteration space executed by fused flat kernels (off, nests
+    #: plan with the per-loop strategies only — the escape hatch)
+    use_collapse: bool = True
 
 
 def execute_module(
@@ -229,6 +233,7 @@ def _callee_plan(
     key = (
         name, options.backend, options.workers, options.vectorize,
         options.use_windows, options.use_kernels, options.debug_windows,
+        options.use_collapse,
     )
     plan = memo.get(key)
     if plan is None:

@@ -4,9 +4,17 @@ One :class:`KernelCache` lives for as long as its ``(analyzed, flowchart)``
 pair — :class:`repro.core.pipeline.CompileResult` keeps one across ``run()``
 calls, and ``execute_module`` creates a transient one otherwise. Kernels are
 compiled on first use and keyed by equation label, variant, and the window
-mode (window allocation changes the subscript mapping the kernel bakes in).
-A ``None`` entry records a non-kernelizable equation so the backends ask
-exactly once and fall back to the evaluator thereafter.
+mode (window allocation changes the subscript mapping the kernel bakes in);
+nest kernels are keyed by descriptor path plus the nest variant (``"full"``
+runs a root subrange, ``"flat"`` a collapse-chunked flat range). A ``None``
+entry records a non-kernelizable equation so the backends ask exactly once
+and fall back to the evaluator thereafter.
+
+The cache also owns the *call box*: a one-slot list every compiled kernel
+reads module-call handlers through. :meth:`bind_call_fn` points it at the
+executing state's ``call_fn`` once per run — that is what lets kernels
+containing index-independent module calls stay compiled (and forked pool
+workers inherit the binding with the cache).
 """
 
 from __future__ import annotations
@@ -15,13 +23,18 @@ from collections.abc import Callable
 
 from repro.ps.semantics import AnalyzedEquation, AnalyzedModule
 from repro.runtime.kernels.emit import (
+    NEST_VARIANTS,
     KernelError,
     compile_kernel,
     compile_nest_kernel,
     kernelizable,
     nest_fusable,
 )
-from repro.schedule.flowchart import Flowchart, LoopDescriptor
+from repro.schedule.flowchart import (
+    Flowchart,
+    LoopDescriptor,
+    loop_collapse_safe,
+)
 
 
 class KernelCache:
@@ -29,8 +42,16 @@ class KernelCache:
         self.analyzed = analyzed
         self.flowchart = flowchart
         self._compiled: dict[tuple[str, bool, bool], Callable | None] = {}
-        #: fused nest kernels keyed by (descriptor path, window mode)
-        self._nests: dict[tuple[tuple[int, ...], bool], Callable | None] = {}
+        #: fused nest kernels keyed by (descriptor path, window mode, variant)
+        self._nests: dict[tuple[tuple[int, ...], bool, str], Callable | None] = {}
+        #: one-slot module-call dispatch box shared by every compiled kernel
+        self._call_box: list = [None]
+
+    def bind_call_fn(self, call_fn) -> None:
+        """Point every compiled kernel's module-call dispatch at this
+        execution's ``call_fn``. Rebound at each run start; kernels read
+        the box at call time, so already-compiled kernels follow."""
+        self._call_box[0] = call_fn
 
     def kernel_for(
         self, eq: AnalyzedEquation, vector: bool, use_windows: bool
@@ -46,7 +67,8 @@ class KernelCache:
         if kernelizable(eq, self.analyzed):
             try:
                 fn = compile_kernel(
-                    eq, self.analyzed, self.flowchart, vector, use_windows
+                    eq, self.analyzed, self.flowchart, vector, use_windows,
+                    call_box=self._call_box,
                 )
             except KernelError:
                 fn = None
@@ -54,15 +76,18 @@ class KernelCache:
         return fn
 
     def nest_kernel_for(
-        self, desc: LoopDescriptor, use_windows: bool
+        self, desc: LoopDescriptor, use_windows: bool, variant: str = "full"
     ) -> Callable | None:
         """The fused kernel for a whole DOALL nest, or None when the nest
         cannot be fused (the caller then walks it descriptor by descriptor).
-        Keyed by the descriptor's path in this cache's flowchart."""
+        Keyed by the descriptor's path in this cache's flowchart plus the
+        nest variant (``"flat"`` for collapse-chunked execution)."""
+        if variant not in NEST_VARIANTS:
+            raise KernelError(f"unknown nest-kernel variant {variant!r}")
         path = self.flowchart.path_of(desc)
         if path is None:
             return None
-        key = (path, bool(use_windows))
+        key = (path, bool(use_windows), variant)
         try:
             return self._nests[key]
         except KeyError:
@@ -71,7 +96,8 @@ class KernelCache:
         if nest_fusable(desc, self.analyzed, self.flowchart, use_windows):
             try:
                 fn = compile_nest_kernel(
-                    desc, self.analyzed, self.flowchart, use_windows
+                    desc, self.analyzed, self.flowchart, use_windows,
+                    variant=variant, call_box=self._call_box,
                 )
             except KernelError:
                 fn = None
@@ -80,11 +106,13 @@ class KernelCache:
 
     def warm(self, use_windows: bool) -> None:
         """Compile every equation's kernels (and every *reachable* nest
-        kernel) up front — the process backend calls this before forking so
-        workers inherit the full cache and never compile anything
-        themselves. Only outermost parallel loops met on the scalar walk
-        can execute as fused nests (inner loops of a span or nest never
-        dispatch their own kernel), so only those are compiled."""
+        kernel, in both variants where applicable) up front — the process
+        backend calls this before forking so workers inherit the full cache
+        and never compile anything themselves. Only outermost parallel
+        loops met on the scalar walk can execute as fused nests (inner
+        loops of a span or nest never dispatch their own kernel), so only
+        those are compiled; the flat variant additionally requires a
+        collapse-safe chain."""
         for eq in self.analyzed.equations:
             for vector in (False, True):
                 self.kernel_for(eq, vector, use_windows)
@@ -100,6 +128,10 @@ class KernelCache:
 
         for desc in outermost_parallel(self.flowchart.descriptors):
             self.nest_kernel_for(desc, use_windows)
+            if loop_collapse_safe(
+                desc, self.analyzed, self.flowchart.windows, use_windows
+            ):
+                self.nest_kernel_for(desc, use_windows, variant="flat")
 
     def stats(self) -> dict[str, int]:
         compiled = sum(1 for v in self._compiled.values() if v is not None)

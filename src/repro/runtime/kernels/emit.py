@@ -40,13 +40,19 @@ from repro.ps.ast import (
     IntLit,
     Name,
     UnOp,
+    names_in,
     walk_expr,
 )
 from repro.ps.semantics import AnalyzedEquation, AnalyzedModule, is_builtin
 from repro.ps.symbols import SymbolKind
 from repro.ps.types import ArrayType
 from repro.runtime.kernels import runtime as _rt
-from repro.schedule.flowchart import Flowchart, LoopDescriptor, NodeDescriptor
+from repro.schedule.flowchart import (
+    Flowchart,
+    LoopDescriptor,
+    NodeDescriptor,
+    collapse_chain,
+)
 
 
 class KernelError(ReproError):
@@ -73,10 +79,15 @@ def _atomic_target_names(analyzed: AnalyzedModule) -> set[str]:
 def kernelizable(eq: AnalyzedEquation, analyzed: AnalyzedModule) -> bool:
     """Static check: can this equation be compiled at all?
 
-    Rejected: atomic equations (multi-target wholesale rebinds), module
-    calls (they recurse into the interpreter), record fields, partial-rank
+    Rejected: atomic equations (multi-target wholesale rebinds),
+    *index-dependent* module calls (each element would recurse into the
+    interpreter with different arguments), record fields, partial-rank
     array indexing and bare array names (whole-array values), and unknown
-    names. Everything rejected here falls back to the evaluator.
+    names. Index-*independent* module calls compile: the kernel invokes
+    the execution's ``call_fn`` through the cache's call box (see
+    :meth:`repro.runtime.kernels.cache.KernelCache.bind_call_fn`), exactly
+    as the evaluator would. Everything rejected here falls back to the
+    evaluator.
     """
     if eq.atomic or len(eq.targets) != 1:
         return False
@@ -88,7 +99,13 @@ def kernelizable(eq: AnalyzedEquation, analyzed: AnalyzedModule) -> bool:
             return False
         if isinstance(expr, Call):
             if not is_builtin(expr.func):
-                return False
+                # An index-independent module call evaluates to one value
+                # per kernel invocation — bindable through the call box. An
+                # index-dependent one stays on the evaluator.
+                index_names = set(eq.index_names)
+                for a in expr.args:
+                    if names_in(a) & index_names:
+                        return False
             return all(scan(a) for a in expr.args)
         if isinstance(expr, Index):
             if not isinstance(expr.base, Name):
@@ -150,6 +167,10 @@ class _KernelLowerer(ExprLowerer):
         self.arrays: dict[str, dict[int, int]] = {}
         #: builtin functions referenced (bound into the kernel namespace)
         self.builtins: set[str] = set()
+        #: True when the kernel invokes a module call through the call box
+        self.module_calls: bool = False
+        #: fresh-temp counter for inline range checks
+        self._tmp = 0
 
     def windows_of(self, name: str) -> dict[int, int]:
         return static_windows(name, self.analyzed, self.flowchart, self.use_windows)
@@ -180,7 +201,13 @@ class _KernelLowerer(ExprLowerer):
 
     def lower_call(self, expr: Call) -> str:
         if not is_builtin(expr.func):
-            raise self.error(f"module call {expr.func!r}")
+            index_names = set(self.eq.index_names)
+            for a in expr.args:
+                if names_in(a) & index_names:
+                    raise self.error(f"index-dependent module call {expr.func!r}")
+            self.module_calls = True
+            args = ", ".join(self.lower(a) for a in expr.args)
+            return f"_mc({expr.func!r}, [{args}])"
         self.builtins.add(expr.func)
         args = ", ".join(self.lower(a) for a in expr.args)
         return f"_bf_{expr.func}({args})"
@@ -206,12 +233,23 @@ class _ScalarLowerer(_KernelLowerer):
 
     def subscript_code(self, name: str, d: int, s: Expr) -> str:
         """One storage-relative subscript, range-checked like the
-        evaluator's ``RuntimeArray`` access, window modulo applied."""
+        evaluator's ``RuntimeArray`` access, window modulo applied.
+
+        The in-range fast path is an inline chained comparison — the
+        ``_ck`` helper is reached only to raise the identical out-of-range
+        error, so the common case costs no Python call. Per-element calls
+        are the dominant tax of the scalar kernels (fused nest and flat
+        kernels loop over millions of elements), which makes this inline
+        worth its ugliness."""
         pname = py_name(name)
         wins = self.arrays[name]
+        tmp = f"_t{self._tmp}"
+        self._tmp += 1
         code = (
-            f"_ck({self.lower(s)}, _o_{pname}_{d}, _h_{pname}_{d}, "
-            f"{d}, {name!r})"
+            f"({tmp} - _o_{pname}_{d}"
+            f" if _o_{pname}_{d} <= ({tmp} := ({self.lower(s)})) <= _h_{pname}_{d}"
+            f" else _ck({tmp}, _o_{pname}_{d}, _h_{pname}_{d}, "
+            f"{d}, {name!r}))"
         )
         if d in wins:
             code = f"({code}) % _w_{pname}_{d}"
@@ -389,11 +427,14 @@ def compile_kernel(
     flowchart: Flowchart,
     vector: bool,
     use_windows: bool,
+    call_box: list | None = None,
 ) -> Callable:
     """Emit, ``compile()``/``exec`` and return the kernel callable.
 
     The callable has signature ``kernel(data, env) -> int`` (the element
     count for the evaluation statistics) and writes its target in place.
+    ``call_box`` is the one-slot module-call box the kernel's ``_mc``
+    reads at call time (see :func:`repro.runtime.kernels.runtime.module_call`).
     """
     source, builtins = emit_kernel_source(
         eq, analyzed, flowchart, vector, use_windows
@@ -406,6 +447,7 @@ def compile_kernel(
         "_ck": _rt.check_index,
         "_div": _rt.kdiv,
         "_fdiv": _rt.kfloordiv,
+        "_mc": _rt.make_module_call(call_box),
         "_mod": _rt.kmod,
         "_not": _rt.knot,
         "_store": _rt.store_scalar,
@@ -496,18 +538,44 @@ class _BoundLowerer:
         raise KernelError(f"invalid bound expression {type(expr).__name__}")
 
 
+#: nest-kernel variants: ``"full"`` executes the root subrange ``[lo, hi]``
+#: (chunkable on the root index only); ``"flat"`` executes the inclusive
+#: *flat* range ``[flo, fhi]`` of the collapsed perfect DOALL chain,
+#: delinearizing each flat offset back to the chain indices in-loop
+NEST_VARIANTS = ("full", "flat")
+
+
 def emit_nest_kernel_source(
     desc: LoopDescriptor,
     analyzed: AnalyzedModule,
     flowchart: Flowchart,
     use_windows: bool,
+    variant: str = "full",
 ) -> tuple[str, set[str]]:
     """Emit one kernel for the whole nest; ``(source, builtins_used)``.
 
-    The kernel has signature ``kernel(data, env, lo, hi) -> dict`` where
-    ``[lo, hi]`` is the root subrange to execute (chunkable by the caller)
-    and the result maps equation labels to element counts.
+    ``variant="full"`` (the PR 3 shape): signature
+    ``kernel(data, env, lo, hi) -> dict`` where ``[lo, hi]`` is the root
+    subrange to execute (chunkable by the caller on the root index).
+
+    ``variant="flat"`` (the collapse shape): signature
+    ``kernel(data, env, flo, fhi) -> dict`` where ``[flo, fhi]`` is an
+    inclusive range of *flat* offsets into the collapsed chain's
+    row-major iteration space (``0 .. prod(extents) - 1``). The prologue
+    evaluates every chain bound from the data environment; the body walks
+    the chunk one *row* at a time (a row is one combination of the outer
+    chain indices with a contiguous segment of the innermost subrange,
+    clipped to the chunk at its ends), recovering the outer indices with a
+    divmod cascade per row and running the innermost dimension as NumPy
+    vector spans — the same lowering as the per-equation vector kernels,
+    fused into one prologue and one compiled row loop. A chunk may start
+    and end mid-row, which is what load-balances tall-skinny nests over
+    workers.
+
+    Either way the result maps equation labels to element counts.
     """
+    if variant not in NEST_VARIANTS:
+        raise KernelError(f"unknown nest-kernel variant {variant!r}")
     if not nest_fusable(desc, analyzed, flowchart, use_windows):
         raise KernelError(f"DOALL {desc.index} nest is not fusable")
 
@@ -520,6 +588,7 @@ def emit_nest_kernel_source(
     bounds = _BoundLowerer(scalar_names)
     counters: list[str] = []  # equation labels, emission order
     body_lines: list[str] = []
+    prologue: list[str] = []
 
     def emit_equation(eq: AnalyzedEquation, indent: int) -> None:
         low = _ScalarLowerer(eq, analyzed, flowchart, use_windows)
@@ -541,9 +610,40 @@ def emit_nest_kernel_source(
         body_lines.append(f"{pad}_s_{py_name(target.name)}[{', '.join(parts)}] = __v")
         body_lines.append(f"{pad}_c{label_ix} += 1")
 
-    def emit_descriptor(d, indent: int, root: bool = False) -> None:
+    def emit_vector_equation(eq: AnalyzedEquation, indent: int) -> None:
+        """One equation as a NumPy span over the vectorised innermost
+        chain index — the same lowering as the per-equation vector
+        kernels, inlined into the fused row loop."""
+        low = _VectorLowerer(eq, analyzed, flowchart, use_windows)
+        value_code = low.lower(eq.rhs)
+        target = eq.targets[0]
+        wins = low.register_array(target.name)
+        pname = py_name(target.name)
+        specs = low._affine_specs(target.subscripts, wins)
+        if specs is not None:
+            store = f"_asc(_a_{pname}, ({', '.join(specs)},), __v)"
+        else:
+            codes = ", ".join(low.lower(s) for s in target.subscripts)
+            store = f"_a_{pname}.set([{codes}], __v)"
+        arrays.update(low.arrays)
+        scalar_names.update(low.scalar_names)
+        env_names.update(low.env_names)
+        builtins.update(low.builtins)
+        label_ix = len(counters)
+        counters.append(eq.label)
+        pad = "    " * indent
+        body_lines.append(f"{pad}__v = {value_code}")
+        body_lines.append(f"{pad}{store}")
+        body_lines.append(f"{pad}_c{label_ix} += int(np.size(__v))")
+
+    def emit_descriptor(
+        d, indent: int, root: bool = False, vector: bool = False
+    ) -> None:
         if isinstance(d, NodeDescriptor):
-            emit_equation(d.node.equation, indent)
+            if vector:
+                emit_vector_equation(d.node.equation, indent)
+            else:
+                emit_equation(d.node.equation, indent)
             return
         assert isinstance(d, LoopDescriptor)
         pad = "    " * indent
@@ -555,9 +655,55 @@ def emit_nest_kernel_source(
             hi = bounds.lower(d.subrange.hi)
             body_lines.append(f"{pad}for {var} in range({lo}, {hi} + 1):")
         for child in d.body:
-            emit_descriptor(child, indent + 1)
+            emit_descriptor(child, indent + 1, vector=vector)
 
-    emit_descriptor(desc, 2, root=True)
+    if variant == "flat":
+        chain, chain_body = collapse_chain(desc)
+        if len(chain) < 2:
+            # One loop alone is plain chunking — the full variant already
+            # covers it, and the row/divmod shape below needs an inner dim.
+            raise KernelError(
+                f"DOALL {desc.index} is not a perfect nest; nothing to collapse"
+            )
+        chain_indices = {loop.index for loop in chain}
+        for loop in chain:
+            for bound in (loop.subrange.lo, loop.subrange.hi):
+                if names_in(bound) & chain_indices:
+                    raise KernelError(
+                        f"non-rectangular nest: bound of {loop.index} "
+                        f"references a collapsed index"
+                    )
+        # Prologue: every chain extent from the data environment (bounds
+        # only ever reference integer parameters).
+        for k, loop in enumerate(chain):
+            lo = bounds.lower(loop.subrange.lo)
+            hi = bounds.lower(loop.subrange.hi)
+            prologue.append(f"    _lo{k} = {lo}")
+            if k > 0:
+                prologue.append(f"    _n{k} = ({hi}) - _lo{k} + 1")
+        last = len(chain) - 1
+        inner_var = f"_v_{py_name(chain[last].index)}"
+        body_lines.append(f"        _row0, _off0 = divmod(_nlo, _n{last})")
+        body_lines.append(f"        _row1, _off1 = divmod(_nhi, _n{last})")
+        body_lines.append("        for _row in range(_row0, _row1 + 1):")
+        body_lines.append(
+            f"            _jlo = _lo{last} + (_off0 if _row == _row0 else 0)"
+        )
+        body_lines.append(
+            f"            _jhi = _lo{last} + "
+            f"(_off1 if _row == _row1 else _n{last} - 1)"
+        )
+        body_lines.append("            _r = _row")
+        for k in range(last - 1, 0, -1):
+            var = f"_v_{py_name(chain[k].index)}"
+            body_lines.append(f"            {var} = _r % _n{k} + _lo{k}")
+            body_lines.append(f"            _r //= _n{k}")
+        body_lines.append(f"            _v_{py_name(chain[0].index)} = _r + _lo0")
+        body_lines.append(f"            {inner_var} = np.arange(_jlo, _jhi + 1)")
+        for child in chain_body:
+            emit_descriptor(child, 3, vector=True)
+    else:
+        emit_descriptor(desc, 2, root=True)
 
     for name, wins in arrays.items():
         if wins and name in atomic_names:
@@ -568,8 +714,12 @@ def emit_nest_kernel_source(
     lines = ["def _kernel(data, env, _nlo, _nhi):"]
     for name in sorted(arrays):
         pname = py_name(name)
-        sym_t = analyzed.symbol(name).type
         lines.append(f"    _a_{pname} = data[{name!r}]")
+        if variant == "flat":
+            # The vector row lowering addresses arrays through the
+            # RuntimeArray helpers; no storage-relative hoists needed.
+            continue
+        sym_t = analyzed.symbol(name).type
         lines.append(f"    _s_{pname} = _a_{pname}.storage")
         for d in range(sym_t.rank):
             lines.append(f"    _o_{pname}_{d} = _a_{pname}.los[{d}]")
@@ -580,6 +730,7 @@ def emit_nest_kernel_source(
         lines.append(f"    _v_{py_name(name)} = env[{name!r}]")
     for name in sorted(scalar_names):
         lines.append(f"    _v_{py_name(name)} = data[{name!r}]")
+    lines.extend(prologue)
     for i in range(len(counters)):
         lines.append(f"    _c{i} = 0")
     lines.append("    with np.errstate(invalid='ignore', divide='ignore'):")
@@ -596,27 +747,34 @@ def compile_nest_kernel(
     analyzed: AnalyzedModule,
     flowchart: Flowchart,
     use_windows: bool,
+    variant: str = "full",
+    call_box: list | None = None,
 ) -> Callable:
     """Emit and compile the fused nest kernel for ``desc``.
 
     The callable has signature ``kernel(data, env, lo, hi) -> dict[str, int]``
-    (per-equation element counts) and writes its targets in place.
+    (per-equation element counts; ``[lo, hi]`` is a root subrange for
+    ``variant="full"``, a flat collapsed range for ``variant="flat"``) and
+    writes its targets in place.
     """
     source, builtins = emit_nest_kernel_source(
-        desc, analyzed, flowchart, use_windows
+        desc, analyzed, flowchart, use_windows, variant
     )
     namespace: dict = {
         "np": np,
         "ExecutionError": ExecutionError,
+        "_ag": _rt.affine_gather,
+        "_asc": _rt.affine_scatter,
         "_ck": _rt.check_index,
         "_div": _rt.kdiv,
         "_fdiv": _rt.kfloordiv,
+        "_mc": _rt.make_module_call(call_box),
         "_mod": _rt.kmod,
         "_not": _rt.knot,
     }
     for name in builtins:
         namespace[f"_bf_{name}"] = _rt.BUILTIN_FUNCS[name]
-    filename = f"<kernel:{analyzed.name}.nest-{desc.index}>"
+    filename = f"<kernel:{analyzed.name}.nest-{desc.index}:{variant}>"
     exec(compile(source, filename, "exec"), namespace)
     fn = namespace["_kernel"]
     fn.__kernel_source__ = source

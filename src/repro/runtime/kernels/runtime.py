@@ -33,6 +33,7 @@ __all__ = [
     "kfloordiv",
     "kmod",
     "knot",
+    "make_module_call",
     "store_scalar",
 ]
 
@@ -68,6 +69,28 @@ def kmod(left, right):
 
 def knot(v):
     return np.logical_not(v) if _is_vec(v) else not v
+
+
+def make_module_call(call_box):
+    """The ``_mc`` helper bound into kernel namespaces: dispatch a module
+    call through the cache's one-slot *call box*. The box is rebound per
+    execution (see ``KernelCache.bind_call_fn``) so one compiled kernel
+    serves every run — and forked pool workers inherit the binding. Args
+    arrive already evaluated; ``RuntimeArray`` conversion mirrors the
+    evaluator's ``_eval_Call`` (kernelizable call args are scalar
+    expressions, so the convert step is a no-op kept for parity)."""
+    box = call_box if call_box is not None else [None]
+
+    def _mc(name, args):
+        fn = box[0]
+        if fn is None:
+            raise ExecutionError(f"no module-call handler for {name!r}")
+        converted = [
+            a.to_numpy() if isinstance(a, RuntimeArray) else a for a in args
+        ]
+        return fn(name, converted)
+
+    return _mc
 
 
 def store_scalar(data, name, value):

@@ -1,0 +1,138 @@
+"""Online recalibration: measured wall clock corrects the planner.
+
+The calibrated cost model ranks backends from one benchmark artifact; when
+real hardware disagrees, ``compare_plans`` records the stopwatch into a
+:class:`~repro.plan.calibration.PlanCalibration` store and the next
+``auto`` plan for the same (module, sizes) ranks candidates by measurement
+— a mispredicted plan is corrected on the second run.
+"""
+
+import numpy as np
+
+from repro.core.pipeline import compile_source
+from repro.machine.report import compare_plans
+from repro.plan.calibration import PlanCalibration
+from repro.plan.planner import build_plan
+from repro.runtime.executor import ExecutionOptions
+
+SCALE_SOURCE = """\
+Scale: module (A: array[1 .. r, 1 .. c] of real; r: int; c: int):
+       [B: array[1 .. r, 1 .. c] of real];
+type
+    I = 1 .. r; J = 1 .. c;
+define
+    B[I, J] = A[I, J] * 2.0 + 1.0;
+end Scale;
+"""
+
+
+class TestCalibrationStore:
+    def test_unmeasured_costs_pass_through(self):
+        cal = PlanCalibration()
+        costs = cal.adjusted_costs("M", {"n": 4}, [("serial", 10.0), ("vectorized", 5.0)])
+        assert costs == [10.0, 5.0]
+
+    def test_measured_backend_ranked_by_stopwatch(self):
+        cal = PlanCalibration()
+        # The model thinks vectorized is 2x cheaper; the stopwatch says
+        # serial actually wins on this machine.
+        cal.record("M", {"n": 4}, "serial", seconds=0.001, predicted_cycles=10.0, workers=2)
+        cal.record("M", {"n": 4}, "vectorized", seconds=0.5, predicted_cycles=5.0, workers=2)
+        costs = cal.adjusted_costs(
+            "M", {"n": 4}, [("serial", 10.0), ("vectorized", 5.0)], workers=2
+        )
+        assert costs[0] < costs[1]
+
+    def test_unmeasured_candidate_scaled_through_anchor(self):
+        cal = PlanCalibration()
+        cal.record("M", {"n": 4}, "serial", seconds=1.0, predicted_cycles=100.0, workers=2)
+        costs = cal.adjusted_costs(
+            "M", {"n": 4}, [("serial", 100.0), ("threaded", 50.0)], workers=2
+        )
+        # anchor = 1s / 100 cycles; threaded -> 50 * 0.01 = 0.5s-equivalent
+        assert costs == [1.0, 0.5]
+
+    def test_records_are_per_sizes(self):
+        cal = PlanCalibration()
+        cal.record("M", {"n": 4}, "serial", seconds=9.0, predicted_cycles=1.0, workers=2)
+        assert cal.measured("M", {"n": 8}, "serial", workers=2) is None
+        assert cal.measured("M", {"n": 4}, "serial", workers=2).seconds == 9.0
+
+    def test_records_are_per_worker_count(self):
+        """A 1-worker measurement must not re-rank a 16-worker plan."""
+        cal = PlanCalibration()
+        cal.record("M", {"n": 4}, "process", seconds=9.0, workers=1)
+        assert cal.measured("M", {"n": 4}, "process", workers=16) is None
+        costs = cal.adjusted_costs(
+            "M", {"n": 4}, [("serial", 10.0), ("process", 5.0)], workers=16
+        )
+        assert costs == [10.0, 5.0]  # untouched: no evidence at 16 workers
+
+    def test_version_bumps_on_record(self):
+        cal = PlanCalibration()
+        v0 = cal.version
+        cal.record("M", {}, "serial", 1.0)
+        assert cal.version == v0 + 1
+
+
+class TestMispredictionCorrected:
+    def _workload(self):
+        result = compile_source(SCALE_SOURCE)
+        rng = np.random.default_rng(5)
+        args = {"A": rng.random((6, 40)), "r": 6, "c": 40}
+        return result, args
+
+    def test_build_plan_follows_fake_measurements(self):
+        """Force a 'misprediction' with doctored measurements: whatever
+        auto would pick, record it as slow and a different candidate as
+        fast — the next plan must switch."""
+        result, args = self._workload()
+        scalars = {"r": 6, "c": 40}
+        options = ExecutionOptions(backend="auto", workers=2)
+        first = build_plan(result.analyzed, result.flowchart, options, scalars)
+        other = "serial" if first.backend != "serial" else "vectorized"
+        cal = PlanCalibration()
+        cal.record(
+            result.analyzed.name, scalars, first.backend,
+            seconds=5.0, predicted_cycles=first.cycles, workers=2,
+        )
+        cal.record(
+            result.analyzed.name, scalars, other,
+            seconds=0.0001, predicted_cycles=first.cycles, workers=2,
+        )
+        second = build_plan(
+            result.analyzed, result.flowchart, options, scalars,
+            calibration=cal,
+        )
+        assert second.backend == other
+
+    def test_compare_plans_records_and_compile_result_replans(self):
+        """End to end: compare_plans feeds the CompileResult's store, the
+        plan cache keys on the store version, and the next auto plan picks
+        the measured-best backend for these sizes."""
+        result, args = self._workload()
+        options = ExecutionOptions(backend="auto", workers=2)
+        stale = result.plan(args, execution=options)
+        cmp = result.calibrate(
+            args, execution=options, workers=2, repeats=1
+        )
+        assert result._calibration.version >= len(cmp.rows)
+        recalibrated = result.plan(args, execution=options)
+        assert recalibrated is not stale  # version key invalidated the cache
+        assert recalibrated.backend == cmp.best_backend
+
+    def test_compare_plans_standalone_store(self):
+        result, args = self._workload()
+        cal = PlanCalibration()
+        cmp = compare_plans(
+            result.analyzed, result.flowchart, args,
+            backends=["serial", "vectorized"], workers=2, repeats=1,
+            calibration=cal,
+        )
+        assert {b for (_m, _s, _w, b) in cal.records} >= {"serial", "vectorized"}
+        for row in cmp.rows:
+            rec = cal.measured(
+                result.analyzed.name, {"r": 6, "c": 40}, row["backend"],
+                workers=2,
+            )
+            assert rec is not None and rec.seconds == row["seconds"]

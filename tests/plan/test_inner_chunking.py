@@ -41,11 +41,33 @@ def _outer_inner(plan):
 
 class TestTallSkinnyGrid:
     @pytest.mark.parametrize("backend", ["threaded", "process"])
-    def test_planner_chunks_the_inner_loop(self, backend):
+    def test_planner_collapses_the_nest(self, backend):
+        """A 4-row grid cannot keep 8 workers busy chunking on rows; with
+        a collapse-safe fusable chain the planner now flattens the whole
+        nest into one chunked iteration space (PR 4) instead of iterating
+        the outer DOALL (PR 3)."""
         analyzed, flow, args = _setup(4, 4096)
         plan = build_plan(
             analyzed, flow,
             ExecutionOptions(backend=backend, workers=8),
+            {"r": 4, "c": 4096},
+        )
+        outer, inner = _outer_inner(plan)
+        assert outer.strategy == "collapse"
+        assert outer.parts == 8
+        assert outer.collapse_depth == 2
+        assert outer.flat_trip == 4 * 4096
+        assert "trip 4 < 8 workers" in outer.reason
+        assert inner.strategy == "collapse"
+
+    @pytest.mark.parametrize("backend", ["threaded", "process"])
+    def test_no_collapse_restores_iterate(self, backend):
+        """--no-collapse is the escape hatch back to the PR 3 plan: the
+        outer DOALL iterates and the inner DOALL takes the team."""
+        analyzed, flow, args = _setup(4, 4096)
+        plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend=backend, workers=8, use_collapse=False),
             {"r": 4, "c": 4096},
         )
         outer, inner = _outer_inner(plan)

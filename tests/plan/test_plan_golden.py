@@ -7,7 +7,7 @@ import textwrap
 
 import pytest
 
-from repro.plan.planner import build_plan
+from repro.plan.planner import build_plan, forced_plan, valid_strategies
 from repro.runtime.executor import ExecutionOptions
 
 from tests.plan.conftest import WORKLOADS
@@ -66,6 +66,68 @@ GOLDEN = {
             DO J -> serial; trip 6
                 eq.3 [kernel=scalar]
         DOALL _i0 -> vector; trip 7
+            eq.4 [kernel=vector]""",
+}
+
+
+#: the same five workloads under the collapse-forcing policy: every
+#: collapse-safe DOALL chain is forced to "collapse" (dp and paths_int have
+#: no perfect DOALL nest, so their plans fall back to the planner's choice
+#: — the texts pin that the policy composes with ordinary planning)
+GOLDEN_COLLAPSE = {
+    "jacobi": """\
+        plan Relaxation: backend=process workers=4 kernels=on windows=off [pinned]
+        DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
+            DOALL J -> collapse; trip 10; collapsed
+                eq.1 [kernel=nest]
+        DO K -> serial; trip 3
+            DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
+                DOALL J -> collapse; trip 10; collapsed
+                    eq.3 [kernel=nest]
+        DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
+            DOALL J -> collapse; trip 10; collapsed
+                eq.2 [kernel=nest]""",
+    "gauss_seidel": """\
+        plan Relaxation: backend=process workers=4 kernels=on windows=off [pinned]
+        DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
+            DOALL J -> collapse; trip 10; collapsed
+                eq.1 [kernel=nest]
+        DO K -> serial; trip 3
+            DO I -> serial; trip 10
+                DO J -> serial; trip 10
+                    eq.3 [kernel=scalar]
+        DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
+            DOALL J -> collapse; trip 10; collapsed
+                eq.2 [kernel=nest]""",
+    "hyperplane_gs": """\
+        plan RelaxationHyper: backend=process workers=4 kernels=on windows=off [pinned]
+        DO Kp -> serial; trip 25
+            DOALL Ip -> collapse x4; depth 2 flat 40; trip 4; forced
+                DOALL Jp -> collapse; trip 10; collapsed
+                    eq.1 [kernel=nest]
+        DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
+            DOALL J -> collapse; trip 10; collapsed
+                eq.2 [kernel=nest]""",
+    "dp": """\
+        plan Align: backend=process workers=4 kernels=on windows=off [pinned]
+        DOALL _i1 -> chunk x4; trip 7
+            eq.1 [kernel=vector]
+        DOALL I -> chunk x4; trip 6
+            eq.2 [kernel=vector]
+        DO I -> serial; trip 6
+            DO J -> serial; trip 6
+                eq.3 [kernel=scalar]
+        eq.4 [kernel=scalar]""",
+    "paths_int": """\
+        plan Paths: backend=process workers=4 kernels=on windows=off [pinned]
+        DOALL _i1 -> chunk x4; trip 7
+            eq.1 [kernel=vector]
+        DOALL I -> chunk x4; trip 6
+            eq.2 [kernel=vector]
+        DO I -> serial; trip 6
+            DO J -> serial; trip 6
+                eq.3 [kernel=scalar]
+        DOALL _i0 -> chunk x4; trip 7
             eq.4 [kernel=vector]""",
 }
 
@@ -149,3 +211,26 @@ class TestGoldenPlans:
         )
         assert all(e.kernel == "evaluator" for e in plan.equations.values())
         assert all(lp.strategy != "nest" for lp in plan.loops.values())
+
+
+class TestGoldenCollapsePlans:
+    def test_every_workload_has_a_golden(self):
+        assert set(GOLDEN_COLLAPSE) == {w[0] for w in WORKLOADS}
+
+    @pytest.mark.parametrize(
+        "workload", WORKLOADS, ids=[w[0] for w in WORKLOADS]
+    )
+    def test_collapse_forced_plan_text(self, workload):
+        name, analyzed, flow, args, _ = workload
+        overrides = {
+            flow.path_of(desc): "collapse"
+            for desc in flow.loops()
+            if desc.parallel
+            and "collapse" in valid_strategies(analyzed, flow, desc)
+        }
+        plan = forced_plan(
+            analyzed, flow, "process",
+            ExecutionOptions(backend="process", workers=4),
+            _scalars(args), overrides=overrides,
+        )
+        assert plan.pretty() == textwrap.dedent(GOLDEN_COLLAPSE[name])

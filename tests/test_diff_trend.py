@@ -1,0 +1,98 @@
+"""diff_trend fails readably when the bench schema drifts.
+
+A baseline artifact without gated values (or with broken JSON) used to
+slip through silently or surface as a bare KeyError; now it is a clear,
+actionable error naming the file.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import diff_trend  # noqa: E402
+
+
+def _write(path: pathlib.Path, payload) -> None:
+    path.write_text(json.dumps(payload))
+
+
+class TestGateSchemaErrors:
+    def test_baseline_without_gates_fails_with_message(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "out"
+        baseline.mkdir()
+        current.mkdir()
+        _write(baseline / "BENCH_x.json", {"rows": [{"seconds": 1.0}]})
+        _write(current / "BENCH_x.json", {"gates": {"g": {"speedup": 2.0}}})
+        rc = diff_trend.main(
+            ["--baseline", str(baseline), "--current", str(current)]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "BENCH_x.json" in err
+        assert "no gated numeric values" in err
+        assert "KeyError" not in err
+
+    def test_invalid_json_fails_with_message(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "out"
+        baseline.mkdir()
+        current.mkdir()
+        (baseline / "BENCH_bad.json").write_text("{not json")
+        _write(current / "BENCH_bad.json", {"gates": {"g": {"speedup": 2.0}}})
+        rc = diff_trend.main(
+            ["--baseline", str(baseline), "--current", str(current)]
+        )
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "BENCH_bad.json" in err
+        assert "not valid JSON" in err
+
+    def test_collect_require_gates_raises(self, tmp_path):
+        _write(tmp_path / "BENCH_y.json", {"notes": "hello"})
+        with pytest.raises(diff_trend.GateSchemaError, match="BENCH_y.json"):
+            diff_trend.collect(tmp_path, require_gates=True)
+
+    def test_current_without_gates_is_tolerated(self, tmp_path):
+        """Current-run artifacts may legitimately carry non-gated payloads;
+        only the committed baseline is held to the schema."""
+        _write(tmp_path / "BENCH_y.json", {"notes": "hello"})
+        assert diff_trend.collect(tmp_path) == {}
+
+
+class TestHappyPath:
+    def test_matching_gates_report(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "out"
+        baseline.mkdir()
+        current.mkdir()
+        payload = {"gates": {"g": {"speedup": 2.0, "passed": True}}}
+        _write(baseline / "BENCH_x.json", payload)
+        _write(current / "BENCH_x.json", {"gates": {"g": {"speedup": 2.2, "passed": True}}})
+        rc = diff_trend.main(
+            ["--baseline", str(baseline), "--current", str(current)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "BENCH_x.json/gates/g/speedup" in out
+
+    def test_regression_gate_fires(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "out"
+        baseline.mkdir()
+        current.mkdir()
+        _write(baseline / "BENCH_x.json", {"gates": {"g": {"speedup": 4.0}}})
+        _write(current / "BENCH_x.json", {"gates": {"g": {"speedup": 1.0}}})
+        rc = diff_trend.main(
+            [
+                "--baseline", str(baseline), "--current", str(current),
+                "--max-regress", "0.5",
+            ]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out

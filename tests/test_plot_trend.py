@@ -1,0 +1,67 @@
+"""plot_trend renders gated speedups into a well-formed SVG + table."""
+
+import json
+import pathlib
+import sys
+import xml.dom.minidom
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import plot_trend  # noqa: E402
+from diff_trend import GateSchemaError  # noqa: E402
+
+
+def _run_dir(tmp_path, name, speedup):
+    d = tmp_path / name
+    d.mkdir()
+    (d / "BENCH_x.json").write_text(
+        json.dumps(
+            {"gates": {"g": {"speedup": speedup, "required": 1.5, "passed": True}}}
+        )
+    )
+    return d
+
+
+class TestRender:
+    def test_svg_and_table(self, tmp_path):
+        dirs = [
+            _run_dir(tmp_path, "baseline", 2.0),
+            _run_dir(tmp_path, "run-1", 2.4),
+        ]
+        svg, table = plot_trend.render(dirs)
+        xml.dom.minidom.parseString(svg)  # well-formed
+        assert "Gated benchmark speedups" in svg
+        assert "gate 1.5x" in svg  # threshold rule labeled
+        assert "2.40x" in svg  # latest value direct-labeled
+        assert "baseline" in table and "run-1" in table
+
+    def test_missing_runs_tolerated(self, tmp_path):
+        """A key absent from one run plots the points it has."""
+        d1 = _run_dir(tmp_path, "a", 2.0)
+        d2 = tmp_path / "b"
+        d2.mkdir()
+        (d2 / "BENCH_x.json").write_text(json.dumps({"gates": {}}))
+        svg, table = plot_trend.render([d1, d2])
+        xml.dom.minidom.parseString(svg)
+        assert "-" in table
+
+    def test_no_speedups_is_a_clear_error(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        (d / "BENCH_x.json").write_text(json.dumps({"gates": {}}))
+        with pytest.raises(GateSchemaError, match="no gated speedup"):
+            plot_trend.render([d])
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        dirs = [
+            _run_dir(tmp_path, "baseline", 2.0),
+            _run_dir(tmp_path, "run-1", 1.9),
+        ]
+        out = tmp_path / "trend.svg"
+        rc = plot_trend.main([str(dirs[0]), str(dirs[1]), "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "gated speedup" in capsys.readouterr().out
