@@ -1,0 +1,156 @@
+"""B-native — the cffi-compiled C kernel tier vs the NumPy nest kernels.
+
+The native tier (``repro.runtime.kernels.native``) lowers fusable DOALL
+nests all the way to C, compiled once and dlopened through cffi — the
+paper's premise taken to its logical end: nonprocedural dataflow loops
+compiling into tight loop-level-parallel machine code. This bench measures
+the tier against the PR 3 fused NumPy nest kernels on the paper workloads
+and writes ``BENCH_native.json``.
+
+Acceptance gates (CI-enforced):
+
+* the native tier is >= 1.5x faster than the NumPy nest kernel on serial
+  Jacobi at the largest benchmarked grid (measured ~50-80x on the
+  baseline box — the gate is deliberately conservative for slow CI
+  runners);
+* every timed pair agrees **bit-exactly** with the evaluator.
+
+On a machine without a C compiler (or cffi) the whole module skips with a
+notice — the tier itself degrades to NumPy kernels there, which
+``tests/runtime/test_native_kernels.py`` covers.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.paper import gauss_seidel_analyzed, jacobi_analyzed
+from repro.hyperplane.pipeline import hyperplane_transform
+from repro.plan.planner import forced_plan
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.kernels import KernelCache, native_supported
+from repro.schedule.scheduler import schedule_module
+
+pytestmark = pytest.mark.skipif(
+    not native_supported(),
+    reason="native tier unavailable: no C compiler / cffi on this machine "
+    "(the runtime degrades to the NumPy kernel tier)",
+)
+
+#: serial grids; the gate applies at the largest
+GRIDS = [32, 64, 96]
+MAXK = 8
+
+#: wall-clock advantage the gate demands
+NATIVE_GATE_SPEEDUP = 1.5
+
+
+def _time(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _jacobi(m, maxk=MAXK):
+    analyzed = jacobi_analyzed()
+    rng = np.random.default_rng(0)
+    args = {"InitialA": rng.random((m + 2, m + 2)), "M": m, "maxK": maxk}
+    return analyzed, schedule_module(analyzed), args
+
+
+def _hyperplane_gs(m, maxk=6):
+    analyzed = hyperplane_transform(gauss_seidel_analyzed()).transformed
+    rng = np.random.default_rng(1)
+    args = {"InitialA": rng.random((m + 2, m + 2)), "M": m, "maxK": maxk}
+    return analyzed, schedule_module(analyzed), args
+
+
+def _run_nest(analyzed, flow, args, tier, cache):
+    """One serial execution with every DOALL nest forced onto the fused
+    nest kernels of the given tier, through a persistent cache so compile
+    time stays out of the timed region after warm-up."""
+    options = ExecutionOptions(
+        backend="serial", workers=1, kernel_tier=tier
+    )
+    scalars = {k: v for k, v in args.items() if isinstance(v, int)}
+    plan = forced_plan(analyzed, flow, "serial", options, scalars, default="nest")
+    return execute_module(
+        analyzed, args, flowchart=flow, options=options,
+        kernel_cache=cache, plan=plan,
+    )
+
+
+def _native_matrix(workload, make, grids, repeats):
+    rows = []
+    for m in grids:
+        analyzed, flow, args = make(m)
+        ref = execute_module(
+            analyzed, args, flowchart=flow,
+            options=ExecutionOptions(backend="serial", use_kernels=False),
+        )
+        caches = {t: KernelCache(analyzed, flow) for t in ("numpy", "native")}
+        outs = {}
+        times = {}
+        for tier in ("numpy", "native"):
+            _run_nest(analyzed, flow, args, tier, caches[tier])  # warm-up
+            times[tier], outs[tier] = _time(
+                lambda t=tier: _run_nest(analyzed, flow, args, t, caches[t]),
+                repeats=repeats,
+            )
+        assert caches["native"].stats()["native"] > 0, (
+            f"{workload} M={m}: native tier silently unused"
+        )
+        for tier in ("numpy", "native"):
+            assert np.array_equal(outs[tier]["newA"], ref["newA"]), (
+                f"{workload}/{tier} diverged from the evaluator at M={m}"
+            )
+        rows.append({
+            "workload": workload,
+            "backend": "serial",
+            "grid": m,
+            "maxk": args["maxK"],
+            "nest_seconds": times["numpy"],
+            "native_seconds": times["native"],
+            "speedup": times["numpy"] / times["native"],
+        })
+    return rows
+
+
+def test_native_speedup_matrix(artifact):
+    """Native vs NumPy nest kernels on the paper workloads + the CI gate."""
+    payload = {"rows": [], "gates": {}}
+    payload["rows"] += _native_matrix("jacobi", _jacobi, GRIDS, repeats=3)
+    payload["rows"] += _native_matrix(
+        "hyperplane_gauss_seidel", _hyperplane_gs, [24, 48], repeats=3
+    )
+
+    largest = GRIDS[-1]
+    row = next(
+        r for r in payload["rows"]
+        if r["workload"] == "jacobi" and r["grid"] == largest
+    )
+    assert row["speedup"] >= NATIVE_GATE_SPEEDUP, (
+        f"native tier only {row['speedup']:.2f}x faster than the NumPy "
+        f"nest kernel on serial jacobi at M={largest} "
+        f"(gate: {NATIVE_GATE_SPEEDUP}x)"
+    )
+    payload["gates"][f"jacobi_native_vs_nest_M{largest}"] = {
+        "speedup": row["speedup"],
+        "required": NATIVE_GATE_SPEEDUP,
+        "passed": True,
+    }
+    artifact("BENCH_native.json", json.dumps(payload, indent=2))
+
+
+def test_native_wallclock_serial(benchmark):
+    """pytest-benchmark series: the native tier on the largest Jacobi grid."""
+    analyzed, flow, args = _jacobi(GRIDS[-1])
+    cache = KernelCache(analyzed, flow)
+    _run_nest(analyzed, flow, args, "native", cache)  # compile outside timing
+    out = benchmark(lambda: _run_nest(analyzed, flow, args, "native", cache))
+    assert out["newA"].shape == (GRIDS[-1] + 2, GRIDS[-1] + 2)

@@ -120,10 +120,21 @@ def _cmd_plan(args) -> int:
         use_windows=args.windows,
         use_kernels=not args.no_kernels,
         use_collapse=not args.no_collapse,
+        kernel_tier=args.kernel_tier,
     )
     scalars = _parse_assignments(args.set or [])
     plan = build_plan(analyzed, flow, options, scalars)
-    print(plan.pretty(cycles=args.cycles))
+    text = plan.pretty(cycles=args.cycles)
+    print(text)
+    if args.save:
+        from repro.runtime.kernels import native
+
+        sources = native.emittable_nest_sources(
+            analyzed, flow, use_windows=args.windows
+        )
+        out = native.persist_plan(analyzed.name, text, sources)
+        print(f"saved plan + {len(sources)} generated C kernel(s) to {out}",
+              file=sys.stderr)
     return 0
 
 
@@ -168,6 +179,7 @@ def _cmd_run(args) -> int:
         workers=args.workers,
         use_kernels=not args.no_kernels,
         use_collapse=not args.no_collapse,
+        kernel_tier=args.kernel_tier,
     )
     results = execute_module(analyzed, run_args, options=options)
     with np.printoptions(precision=6, suppress=True):
@@ -226,8 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="plan for evaluator-only execution")
     p.add_argument("--no-collapse", action="store_true",
                    help="disable flattening of perfect DOALL nests")
+    p.add_argument("--kernel-tier", default="native",
+                   choices=["native", "numpy", "evaluator"],
+                   help="highest kernel tier the plan budgets for "
+                        "(default: native, degrading to numpy at run time "
+                        "when no C compiler exists)")
     p.add_argument("--cycles", action="store_true",
                    help="include calibrated cycle predictions")
+    p.add_argument("--save", action="store_true",
+                   help="persist the plan next to the generated C kernels "
+                        "in the on-disk native cache (offline builds)")
     p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser("run", help="execute a module")
@@ -255,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-collapse", action="store_true",
                    help="disable flattening of perfect DOALL nests into "
                         "one chunked iteration space")
+    p.add_argument("--kernel-tier", default="native",
+                   choices=["native", "numpy", "evaluator"],
+                   help="highest kernel tier DOALL nests may use: native "
+                        "(cffi-compiled C, the default), numpy "
+                        "(exec-compiled NumPy kernels), or evaluator "
+                        "(reference tree walk only)")
     p.set_defaults(func=_cmd_run)
     return parser
 

@@ -14,6 +14,7 @@ than maxK instances".
 
 from __future__ import annotations
 
+from repro.codegen.clower import C_PRELUDE
 from repro.codegen.naming import c_name
 from repro.errors import CodegenError
 from repro.ps.ast import (
@@ -47,8 +48,10 @@ _BUILTIN_C = {
     "exp": "exp",
     "ln": "log",
     "log": "log",
-    "min": "fmin",
-    "max": "fmax",
+    # NaN-propagating helpers from the shared C prelude: np.minimum /
+    # np.maximum propagate NaN, C's fmin/fmax suppress it.
+    "min": "ps_min",
+    "max": "ps_max",
     "floor": "floor",
     "ceil": "ceil",
     "trunc": "trunc",
@@ -96,7 +99,8 @@ class CGenerator:
         mod = self.analyzed.module
         self._emit(f"/* Generated from PS module {mod.name} (Gokhale-1987 scheduler). */")
         self._emit("#include <stdlib.h>")
-        self._emit("#include <math.h>")
+        for line in C_PRELUDE.splitlines():
+            self._emit(line)
         self._emit()
         self._signature()
         self._emit("{")
@@ -288,10 +292,13 @@ class CGenerator:
         op = expr.op
         if op == "/":
             return f"((double)({left}) / (double)({right}))"
+        # PS div/mod are *floored* (the reference evaluator follows Python);
+        # C's native / and % truncate toward zero, which disagrees on
+        # negative operands — the dormant generator emitted them anyway.
         if op == "div":
-            return f"({left} / {right})"
+            return f"ps_fdiv({left}, {right})"
         if op == "mod":
-            return f"({left} % {right})"
+            return f"ps_mod({left}, {right})"
         c_op = {
             "+": "+",
             "-": "-",

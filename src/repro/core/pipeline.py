@@ -118,6 +118,7 @@ class CompileResult:
             execution.backend, execution.workers, execution.vectorize,
             execution.use_windows, execution.use_kernels,
             execution.debug_windows, execution.use_collapse,
+            getattr(execution, "kernel_tier", "native"),
             tuple(sorted(scalars.items())),
         )
         # Calibration only influences the auto decision, so pinned-backend

@@ -33,8 +33,12 @@ from repro.ps.ast import (
     UnOp,
 )
 
-#: execution modes the model distinguishes (see :func:`element_cost`)
-EXECUTION_MODES = ("abstract", "evaluator", "kernel", "nest", "collapse", "vector")
+#: execution modes the model distinguishes (see :func:`element_cost`);
+#: "gather" is the vector path off the affine fast path (fancy indexing)
+EXECUTION_MODES = (
+    "abstract", "evaluator", "kernel", "nest", "collapse", "vector",
+    "gather", "native",
+)
 
 
 @dataclass(frozen=True)
@@ -62,9 +66,24 @@ class MachineModel:
     #: divmod cascade, one arange, and the row-segment clipping — elements
     #: inside a row run as NumPy spans and price like ``vector``
     collapse_row_overhead: float = 60.0
+    #: fraction of the structural equation cost one element costs inside a
+    #: cffi-compiled native nest kernel (calibrated from BENCH_native.json;
+    #: real machine code, so well below the NumPy vector factor)
+    native_element_factor: float = 0.017
+    #: per-invocation cost of one native kernel call (the cffi wrapper
+    #: marshals array pointers, geometry, and scalars)
+    native_call_overhead: float = 400.0
     #: fraction of the scalar equation cost a NumPy vector op pays per
     #: element once the span is large enough to amortise dispatch
     vector_element_factor: float = 0.012
+    #: the same fraction for a vector equation whose array references miss
+    #: the slice-based affine fast path: clipped *fancy indexing* gathers
+    #: build broadcast index arrays and touch every element through a
+    #: take-style C loop — an order of magnitude over the slice path (the
+    #: hyperplane-transformed workloads live here, and pricing them like
+    #: cheap spans made the planner blind to the native serial tier
+    #: beating them)
+    vector_gather_factor: float = 0.12
     #: per-equation launch cost of one NumPy vector span
     vector_setup: float = 250.0
     #: submitting + collecting one chunk on the thread pool
@@ -82,7 +101,7 @@ class MachineModel:
         equation cost (``"abstract"``: the paper-era machine, no tax;
         ``"collapse"`` rows are NumPy spans, taxed per row not per
         element)."""
-        if mode in ("abstract", "vector", "collapse"):
+        if mode in ("abstract", "vector", "collapse", "gather", "native"):
             return 0.0
         if mode == "evaluator":
             return self.eval_element_overhead
@@ -99,6 +118,10 @@ class MachineModel:
         base = equation_cost(eq, self)
         if mode in ("vector", "collapse"):
             return base * self.vector_element_factor
+        if mode == "gather":
+            return base * self.vector_gather_factor
+        if mode == "native":
+            return base * self.native_element_factor
         overhead = self.element_overhead(mode)
         return base + overhead if overhead else base
 
@@ -144,6 +167,40 @@ class MachineModel:
             base,
             eval_element_overhead=max(0.0, eval_s / cycle - eqc),
             vector_element_factor=max(1e-6, (vector_s / cycle) / eqc),
+        )
+
+    @classmethod
+    def from_native_bench(
+        cls, bench: dict, base: MachineModel | None = None
+    ) -> MachineModel:
+        """Recalibrate ``native_element_factor`` from a
+        ``BENCH_native.json`` payload (see ``benchmarks/bench_native.py``).
+
+        The serial Jacobi row pairs the fused NumPy nest kernel and the
+        native kernel on the same grid; the native per-element factor is
+        derived from that measured ratio against the nest overhead the
+        model already carries — a pure ratio, so it transfers between
+        machines the same way the other mode constants do."""
+        from repro.core.paper import jacobi_analyzed
+
+        base = base or cls()
+        rows = [
+            r
+            for r in bench.get("rows", [])
+            if r["workload"] == "jacobi" and r["backend"] == "serial"
+            and r.get("nest_seconds") and r.get("native_seconds")
+        ]
+        if not rows:
+            raise ValueError("no jacobi/serial rows in native bench payload")
+        row = max(rows, key=lambda r: r["grid"])
+        analyzed = jacobi_analyzed()
+        eq3 = next(eq for eq in analyzed.equations if eq.label == "eq.3")
+        eqc = equation_cost(eq3, base)
+        nest_per_element = eqc + base.nest_element_overhead
+        ratio = row["native_seconds"] / row["nest_seconds"]
+        return replace(
+            base,
+            native_element_factor=max(1e-6, ratio * nest_per_element / eqc),
         )
 
 

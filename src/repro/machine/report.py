@@ -285,9 +285,16 @@ def compare_plans(
     import numpy as np
 
     from repro.plan.planner import AUTO_CANDIDATES, build_plan
+    from repro.runtime.backends.process import _fork_available
     from repro.runtime.executor import ExecutionOptions, execute_module
 
     backends = list(backends or AUTO_CANDIDATES)
+    if not _fork_available():
+        # Spawn-only platform: pinning a process backend raises by design,
+        # so the comparison measures the backends that can actually run.
+        backends = [
+            b for b in backends if b not in ("process", "process-fork")
+        ]
     base = execution or ExecutionOptions()
     if workers is None:
         workers = base.workers

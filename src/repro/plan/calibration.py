@@ -30,10 +30,18 @@ def sizes_key(scalar_env: dict[str, int] | None) -> tuple:
     return tuple(sorted((scalar_env or {}).items()))
 
 
-def workers_key(workers: int | None) -> int:
+def workers_key(workers: int | None, cpu_count: int | None = None) -> int:
     """The canonical worker count: resolved the way the planner and the
-    backends resolve it (None means the machine's core count)."""
-    return max(1, workers if workers is not None else os.cpu_count() or 1)
+    backends resolve it (None means the machine's core count).
+
+    ``cpu_count`` supplies a *pinned* core count. Callers that key records
+    must pass one resolved exactly once (see
+    :attr:`PlanCalibration.cpu_count`): resolving ``os.cpu_count()`` at
+    every call meant a record written under one affinity setting was
+    silently unreachable under another."""
+    if workers is not None:
+        return max(1, workers)
+    return max(1, cpu_count if cpu_count is not None else os.cpu_count() or 1)
 
 
 @dataclass
@@ -53,6 +61,25 @@ class PlanCalibration:
     )
     #: bumped on every record — plan caches key entries by it
     version: int = 0
+    #: the machine's core count, snapshotted once when the store is built:
+    #: every record and lookup resolves a ``workers=None`` through this one
+    #: number, so records stay reachable even when CPU affinity changes
+    #: between the write and the read
+    cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+
+    def _key(
+        self,
+        module: str,
+        scalar_env: dict[str, int] | None,
+        backend: str,
+        workers: int | None,
+    ) -> tuple[str, tuple, int, str]:
+        return (
+            module,
+            sizes_key(scalar_env),
+            workers_key(workers, self.cpu_count),
+            backend,
+        )
 
     def record(
         self,
@@ -63,7 +90,7 @@ class PlanCalibration:
         predicted_cycles: float | None = None,
         workers: int | None = None,
     ) -> None:
-        key = (module, sizes_key(scalar_env), workers_key(workers), backend)
+        key = self._key(module, scalar_env, backend, workers)
         self.records[key] = CalibrationRecord(seconds, predicted_cycles)
         self.version += 1
 
@@ -74,9 +101,7 @@ class PlanCalibration:
         backend: str,
         workers: int | None = None,
     ) -> CalibrationRecord | None:
-        return self.records.get(
-            (module, sizes_key(scalar_env), workers_key(workers), backend)
-        )
+        return self.records.get(self._key(module, scalar_env, backend, workers))
 
     def adjusted_costs(
         self,

@@ -48,8 +48,10 @@ from repro.errors import ReproError
 #: valid LoopPlan.strategy values
 STRATEGIES = ("serial", "nest", "vector", "chunk", "iterate", "collapse")
 
-#: valid EquationPlan.kernel values
-KERNEL_VARIANTS = ("scalar", "vector", "nest", "evaluator")
+#: valid EquationPlan.kernel values — "native" marks an equation whose
+#: enclosing nest lowers to the cffi-compiled C tier (degrading to the
+#: NumPy "nest" kernel at runtime when no C compiler exists)
+KERNEL_VARIANTS = ("scalar", "vector", "nest", "native", "evaluator")
 
 
 class PlanError(ReproError):
@@ -148,6 +150,8 @@ class ExecutionPlan:
     use_kernels: bool
     #: True when an explicit --backend pinned the plan
     pinned: bool
+    #: highest kernel tier the plan budgets for ("native" | "numpy")
+    kernel_tier: str = "native"
     entries: list[PlanEntry] = field(default_factory=list)
     #: loop plans keyed by descriptor path
     loops: dict[tuple[int, ...], LoopPlan] = field(default_factory=dict)
@@ -212,10 +216,11 @@ class ExecutionPlan:
         cycle predictions (omitted by default: golden tests pin the text
         and the calibration constants may be retuned)."""
         mode = "pinned" if self.pinned else "auto"
+        kernels = self.kernel_tier if self.use_kernels else "off"
         head = (
             f"plan {self.module}: backend={self.backend} "
             f"workers={self.workers} "
-            f"kernels={'on' if self.use_kernels else 'off'} "
+            f"kernels={kernels} "
             f"windows={'on' if self.use_windows else 'off'} [{mode}]"
         )
         lines = [head]

@@ -23,7 +23,6 @@ bit-exact against the serial reference evaluator.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from math import ceil
 from types import SimpleNamespace
@@ -39,7 +38,12 @@ from repro.plan.ir import (
     PlanEntry,
     PlanError,
 )
-from repro.runtime.kernels.emit import kernelizable, nest_fusable
+from repro.runtime.kernels.emit import (
+    equation_affine_fast_path,
+    kernelizable,
+    nest_fusable,
+)
+from repro.runtime.kernels.native import native_emittable
 from repro.runtime.values import eval_bound
 from repro.schedule.flowchart import (
     Flowchart,
@@ -78,6 +82,7 @@ def _default_options() -> Any:
         workers=None,
         use_kernels=True,
         use_collapse=True,
+        kernel_tier="native",
     )
 
 
@@ -113,10 +118,17 @@ def build_plan(
     options = options or _default_options()
     scalar_env = scalar_env or {}
     model = model or MachineModel()
-    workers = max(1, options.workers if options.workers is not None else os.cpu_count() or 1)
-    effective = max(1, min(workers, cpu_count if cpu_count is not None else os.cpu_count() or 1))
+    # Resolve the machine's core count exactly once: a worker count and an
+    # effective-parallelism bound read under two different affinity
+    # settings would silently disagree.
+    ncpu = os.cpu_count() or 1
+    workers = max(1, options.workers if options.workers is not None else ncpu)
+    effective = max(1, min(workers, cpu_count if cpu_count is not None else ncpu))
     use_kernels = bool(options.use_kernels) and not options.debug_windows
     use_collapse = bool(getattr(options, "use_collapse", True))
+    tier = getattr(options, "kernel_tier", "native")
+    if tier == "evaluator":
+        use_kernels = False
 
     requested = backend if backend is not None else getattr(options, "backend", "auto")
     if requested != "auto" and requested not in KNOWN_BACKENDS:
@@ -124,24 +136,33 @@ def build_plan(
             f"unknown execution backend {requested!r}; "
             f"available: {', '.join(KNOWN_BACKENDS)}"
         )
+    if requested in ("process", "process-fork"):
+        # Pinning a process backend on a spawn-only platform (macOS's
+        # default, Windows) must fail up front with the platform named —
+        # not degrade silently, not AttributeError later in the pool.
+        # require_fork is a no-op when fork exists and consults the same
+        # probe the backends do, so one monkeypatch covers both layers.
+        from repro.runtime.backends.process import require_fork
+
+        require_fork(requested)
     if requested == "auto" and not options.vectorize:
         # The legacy --scalar path: auto used to follow the vectorize flag.
         requested = "serial"
 
     if requested == "auto":
+        from repro.runtime.backends.process import _fork_available
+
         pool = list(candidates or AUTO_CANDIDATES)
-        if "fork" not in multiprocessing.get_all_start_methods():
-            # Without fork the process backends degrade to inline chunk
-            # execution — the model's concurrency assumption would be a
-            # lie, so auto never offers them (pinning still works and
-            # degrades gracefully, as before).
+        if not _fork_available():
+            # Without fork the process backends cannot run at all (their
+            # constructors raise), so auto never offers them.
             pool = [c for c in pool if c not in ("process", "process-fork")]
         planners: list[_Planner] = []
         for candidate in pool:
             p = _Planner(
                 analyzed, flowchart, candidate, workers, effective,
                 scalar_env, model, use_kernels, bool(options.use_windows),
-                use_collapse=use_collapse,
+                use_collapse=use_collapse, tier=tier,
             )
             p.plan_module()
             planners.append(p)
@@ -158,7 +179,7 @@ def build_plan(
     planner = _Planner(
         analyzed, flowchart, requested, workers, effective,
         scalar_env, model, use_kernels, bool(options.use_windows),
-        use_collapse=use_collapse,
+        use_collapse=use_collapse, tier=tier,
     )
     planner.plan_module()
     return planner.finish(analyzed.name, requested=requested, pinned=True)
@@ -180,6 +201,10 @@ def forced_plan(
     unfusable one raises :class:`PlanError` rather than risking semantics.
     """
     options = options or _default_options()
+    tier = getattr(options, "kernel_tier", "native")
+    use_kernels = bool(options.use_kernels) and not options.debug_windows
+    if tier == "evaluator":
+        use_kernels = False
     planner = _Planner(
         analyzed,
         flowchart,
@@ -188,9 +213,10 @@ def forced_plan(
         1,
         scalar_env or {},
         model or MachineModel(),
-        bool(options.use_kernels) and not options.debug_windows,
+        use_kernels,
         bool(options.use_windows),
         use_collapse=bool(getattr(options, "use_collapse", True)),
+        tier=tier,
         force_default=default,
         force_overrides=overrides or {},
     )
@@ -230,6 +256,7 @@ class _Planner:
         use_kernels: bool,
         use_windows: bool,
         use_collapse: bool = True,
+        tier: str = "native",
         force_default: str | None = None,
         force_overrides: dict[tuple[int, ...], str] | None = None,
     ):
@@ -243,6 +270,7 @@ class _Planner:
         self.use_kernels = use_kernels
         self.use_windows = use_windows
         self.use_collapse = use_collapse
+        self.tier = tier
         self.force_default = force_default
         self.force_overrides = force_overrides or {}
         self.entries: list[PlanEntry] = []
@@ -252,6 +280,10 @@ class _Planner:
         self._chunked_somewhere = False
         self._trips: dict[int, int | None] = {}
         self._choices: dict[int, tuple[str, int | None, float, str, str | None]] = {}
+        #: (id(desc), variant) -> machine-independent native emittability
+        self._native: dict[tuple[int, str], bool] = {}
+        #: True while emitting the body of a natively executing nest
+        self._native_root = False
 
     # -- shared verdicts ---------------------------------------------------
 
@@ -286,6 +318,23 @@ class _Planner:
             desc, self.analyzed, self.flowchart, self.use_windows
         )
 
+    def _native_ok(self, desc: LoopDescriptor, variant: str) -> bool:
+        """Whether this nest *plans* as native: the tier allows it and the
+        nest lowers to bit-exact C. Deliberately machine-independent (no
+        compiler probe) so plans — and the golden texts pinning them — are
+        identical everywhere; a compiler-less machine degrades to the NumPy
+        kernels at run time."""
+        if self.tier != "native" or not self.use_kernels:
+            return False
+        key = (id(desc), variant)
+        ok = self._native.get(key)
+        if ok is None:
+            ok = native_emittable(
+                desc, self.analyzed, self.flowchart, self.use_windows, variant
+            )
+            self._native[key] = ok
+        return ok
+
     def _flat_trips(self, desc: LoopDescriptor) -> tuple[int, int | None]:
         """(estimated, exact-or-None) flattened trip count of the collapse
         chain rooted at ``desc``."""
@@ -299,8 +348,8 @@ class _Planner:
     def _eq_mode(self, eq, ctx: str) -> str:
         """Which execution path an equation takes under ``ctx``; one of the
         cost model's modes ("evaluator" | "kernel" | "vector" | "nest" |
-        "collapse")."""
-        if ctx in ("nest", "collapse"):
+        "collapse" | "native")."""
+        if ctx in ("nest", "collapse", "native"):
             return ctx
         if not (self.use_kernels and kernelizable(eq, self.analyzed)):
             return "evaluator"
@@ -309,6 +358,18 @@ class _Planner:
         return "kernel"
 
     # -- costing -----------------------------------------------------------
+
+    def _vector_mode(self, eq) -> str:
+        """"vector" for spans riding the slice-based affine fast path,
+        "gather" for spans that fall back to clipped fancy indexing —
+        an order-of-magnitude per-element difference the backend ranking
+        must see (hyperplane-transformed subscripts and windowed
+        dimensions live off the path)."""
+        if equation_affine_fast_path(
+            eq, self.analyzed, self.flowchart, self.use_windows
+        ):
+            return "vector"
+        return "gather"
 
     def _eq_vector_costs(self, eq, span: float) -> tuple[float, float]:
         """(GIL-releasing, GIL-bound) cycles for one span of ``eq`` on the
@@ -319,12 +380,14 @@ class _Planner:
         mode = self._eq_mode(eq, "vector")
         m = self.model
         if mode == "vector":
-            return (m.vector_setup + span * m.element_cost(eq, "vector"), 0.0)
+            per_el = m.element_cost(eq, self._vector_mode(eq))
+            return (m.vector_setup + span * per_el, 0.0)
         if mode == "evaluator" and equation_vector_safe(eq):
             # vector-safe but non-kernelizable: the vector *evaluator* runs
             # it — one tree walk per span, NumPy per element
             return (
-                4 * m.vector_setup + 2 * span * m.element_cost(eq, "vector"),
+                4 * m.vector_setup
+                + 2 * span * m.element_cost(eq, self._vector_mode(eq)),
                 0.0,
             )
         # per-element scalar fallback inside the span
@@ -334,7 +397,12 @@ class _Planner:
         if ctx == "vector":
             released, bound = self._eq_vector_costs(eq, span)
             return released + bound
-        return span * self.model.element_cost(eq, self._eq_mode(eq, ctx))
+        mode = self._eq_mode(eq, ctx)
+        if mode == "collapse" and self._vector_mode(eq) == "gather":
+            # flat-kernel rows run the same vector lowering per row — off
+            # the fast path they pay the gather tax too
+            mode = "gather"
+        return span * self.model.element_cost(eq, mode)
 
     def _cost(self, desc, ctx: str, span: float) -> float:
         """Cycles to execute ``desc`` once in context ``ctx`` with ``span``
@@ -345,7 +413,7 @@ class _Planner:
             return self._eq_cost(desc.node.equation, ctx, span)
         assert isinstance(desc, LoopDescriptor)
         t = self._trip_est(desc)
-        if ctx in ("nest", "collapse"):
+        if ctx in ("nest", "collapse", "native"):
             return sum(self._cost(d, ctx, span * t) for d in desc.body)
         if ctx == "vector":
             released, bound = self._vector_costs(desc, span)
@@ -367,6 +435,10 @@ class _Planner:
 
     def _cost_nest_root(self, desc: LoopDescriptor) -> float:
         t = self._trip_est(desc)
+        if self._native_ok(desc, "full"):
+            return self.model.native_call_overhead + sum(
+                self._cost(d, "native", t) for d in desc.body
+            )
         return self.model.vector_setup + sum(
             self._cost(d, "nest", t) for d in desc.body
         )
@@ -440,6 +512,23 @@ class _Planner:
         inner_trip = max(1, self._trip_est(chain[-1]))
         parts = max(1, min(parts, flat))
         per_chunk_span = ceil(flat / parts)
+        if self._native_ok(desc, "flat"):
+            # One native C call per chunk: the whole chunk is compiled
+            # machine code behind a released GIL (cffi drops it for the
+            # call), so chunks overlap fully on every parallel backend and
+            # the per-row Python bookkeeping of the NumPy flat kernel
+            # disappears.
+            released = self.model.native_call_overhead + sum(
+                self._cost(d, "native", per_chunk_span) for d in chain_body
+            )
+            waves = ceil(parts / self.parallelism)
+            m = self.model
+            return (
+                m.doall_fork
+                + m.doall_barrier
+                + parts * self._dispatch_cost()
+                + waves * released
+            )
         rows = ceil(per_chunk_span / inner_trip)
         pairs = [
             self._vector_costs(d, min(per_chunk_span, inner_trip))
@@ -615,6 +704,10 @@ class _Planner:
             return 0.0
         eq = desc.node.equation
         mode = self._eq_mode(eq, ctx)
+        if mode in ("nest", "collapse") and self._native_root:
+            # The enclosing nest lowers to the native C tier — the
+            # equation's per-element cost and kernel label follow.
+            mode = "native"
         # Inside a collapsed chain the equation runs in the fused (flat)
         # nest kernel — "collapse" is a costing mode, not a kernel variant.
         kernel, reason = ("nest" if mode == "collapse" else mode), ""
@@ -630,7 +723,7 @@ class _Planner:
         ep = EquationPlan(eq.label, path, kernel=kernel, reason=reason)
         self.equations[eq.label] = ep
         self.entries.append(PlanEntry(depth, equation=ep))
-        return self._eq_cost(eq, ctx, span)
+        return self._eq_cost(eq, "native" if mode == "native" else ctx, span)
 
     def _emit(self, desc, path, depth, ctx, span) -> float:
         if isinstance(desc, NodeDescriptor):
@@ -728,8 +821,16 @@ class _Planner:
                 "vector": float(te),
                 "chunk": float(ceil(te / parts)) if parts else float(te),
             }[strategy]
-        for i, d in enumerate(desc.body):
-            self._emit(d, path + (i,), depth + 1, body_ctx, body_span)
+        prev_native = self._native_root
+        if strategy == "nest":
+            self._native_root = self._native_ok(desc, "full")
+        elif strategy == "collapse":
+            self._native_root = self._native_ok(desc, "flat")
+        try:
+            for i, d in enumerate(desc.body):
+                self._emit(d, path + (i,), depth + 1, body_ctx, body_span)
+        finally:
+            self._native_root = prev_native
         return cost
 
     def _register(self, lp: LoopPlan, depth: int) -> None:
@@ -745,6 +846,7 @@ class _Planner:
             use_windows=self.use_windows,
             use_kernels=self.use_kernels,
             pinned=pinned,
+            kernel_tier=self.tier if self.tier in ("native", "numpy") else "numpy",
             entries=self.entries,
             loops=self.loops,
             equations=self.equations,

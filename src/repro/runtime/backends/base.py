@@ -134,6 +134,11 @@ class ExecutionState:
             return None
         return self.kernels.kernel_for(eq, vector, self.options.use_windows)
 
+    def kernel_tier(self) -> str:
+        """The nest-kernel tier this execution looks up first
+        (``"native"`` unless the options narrowed it)."""
+        return getattr(self.options, "kernel_tier", "native")
+
 
 def equation_is_vector_safe(eq: AnalyzedEquation) -> bool:
     """Cached vector-safety verdict (see ``repro.schedule.flowchart``)."""
@@ -297,11 +302,14 @@ class ExecutionBackend:
         hi: int,
         env: dict[str, Any],
     ) -> bool:
-        """Run the whole nest through its fused compiled kernel; False when
-        no kernel is available (the caller falls back to the scalar walk)."""
+        """Run the whole nest through its fused compiled kernel — the
+        native (C) tier first, then the NumPy tier; False when no kernel is
+        available (the caller falls back to the scalar walk)."""
         if state.kernels is None:
             return False
-        kernel = state.kernels.nest_kernel_for(desc, state.options.use_windows)
+        kernel = state.kernels.nest_kernel_for(
+            desc, state.options.use_windows, tier=state.kernel_tier()
+        )
         if kernel is None:
             return False
         for eq in desc.nested_equations():
@@ -418,7 +426,8 @@ class ExecutionBackend:
         kernel = None
         if fuse and state.kernels is not None:
             kernel = state.kernels.nest_kernel_for(
-                desc, state.options.use_windows, variant="flat"
+                desc, state.options.use_windows, variant="flat",
+                tier=state.kernel_tier(),
             )
         if kernel is not None:
             try:

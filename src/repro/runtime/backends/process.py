@@ -15,9 +15,14 @@ Two strategies share the shared-memory storage machinery:
   runs, whose fault-on-overwrite tag arrays must be re-inherited fresh.
 
 Fork is required (the child must inherit the interpreter state without
-pickling); on platforms without it both backends degrade gracefully to
-running the chunks in-process, preserving semantics without parallelism.
-Result arrays are copied out before the shared segments are unlinked.
+pickling). On spawn-only platforms (macOS's default, Windows) constructing
+either backend raises a clear :class:`ExecutionError` naming the platform
+limitation — silently degrading to in-process execution made an explicit
+``--backend process`` a lie, and the old half-degraded state crashed later
+in ``_ensure_pool`` with an ``AttributeError`` on the missing fork context.
+The planner's ``backend="auto"`` never offers the process backends when
+fork is unavailable. Result arrays are copied out before the shared
+segments are unlinked.
 """
 
 from __future__ import annotations
@@ -38,6 +43,24 @@ from repro.schedule.flowchart import LoopDescriptor
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def require_fork(backend_name: str) -> None:
+    """Raise the canonical spawn-only-platform error for ``backend_name``.
+
+    Shared by the backend constructors and the planner-facing helpers so an
+    explicit ``--backend process`` fails the same readable way everywhere
+    (instead of the historical silent degradation or an ``AttributeError``
+    on the missing fork context)."""
+    if not _fork_available():
+        import sys
+
+        raise ExecutionError(
+            f"the {backend_name!r} backend requires the 'fork' start method, "
+            f"which this platform ({sys.platform}) does not provide — "
+            f"macOS and Windows default to 'spawn'; use --backend threaded, "
+            f"or backend='auto' to let the planner pick a supported backend"
+        )
 
 
 def _attach_shm(name: str) -> shared_memory.SharedMemory:
@@ -61,19 +84,17 @@ class ForkProcessBackend(ExecutionBackend):
 
     def __init__(self, workers: int | None = None):
         super().__init__(workers)
+        require_fork(self.name)
+        self._warmed = False
         self._segments: list[shared_memory.SharedMemory] = []
         #: id(storage) -> (storage, segment name); the strong reference
         #: keeps the id stable for the backend's lifetime
         self._seg_by_storage: dict[int, tuple[np.ndarray, str]] = {}
-        self._ctx = (
-            multiprocessing.get_context("fork") if _fork_available() else None
-        )
+        self._ctx = multiprocessing.get_context("fork")
 
     # -- storage -----------------------------------------------------------
 
     def make_storage(self, shape: tuple[int, ...], dtype) -> np.ndarray:
-        if self._ctx is None:
-            return np.zeros(shape, dtype=dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
         shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
         self._segments.append(shm)
@@ -114,10 +135,6 @@ class ForkProcessBackend(ExecutionBackend):
         env: dict[str, Any],
         vector_names: list[str],
     ) -> None:
-        if self._ctx is None:
-            for clo, chi in spans:
-                self.exec_vector_span(state, desc, clo, chi, env, vector_names)
-            return
         self._fork_wavefront(
             state, desc,
             [("span", clo, chi, env, vector_names, True) for clo, chi in spans],
@@ -131,9 +148,6 @@ class ForkProcessBackend(ExecutionBackend):
         env: dict[str, Any],
         fuse: bool,
     ) -> None:
-        if self._ctx is None:
-            super().dispatch_flat_chunks(state, desc, spans, env, fuse)
-            return
         self._fork_wavefront(
             state, desc,
             [("flat", flo, fhi, env, [], fuse) for flo, fhi in spans],
@@ -147,6 +161,16 @@ class ForkProcessBackend(ExecutionBackend):
     ) -> None:
         """Fork one worker per task (``(kind, lo, hi, env, vector_names,
         fuse)``) and retire the wavefront when every one has exited."""
+        # Warm the kernel cache once in the parent: forked children inherit
+        # every compiled kernel (and dlopened native library) instead of
+        # each child re-compiling per wavefront — and, on the first native
+        # wavefront, N children racing N identical cc subprocesses.
+        if state.kernels is not None and not self._warmed:
+            state.kernels.warm(
+                state.options.use_windows,
+                tier=getattr(state.options, "kernel_tier", "native"),
+            )
+            self._warmed = True
         queue = self._ctx.SimpleQueue()
         procs = []
         for task in tasks:
@@ -284,9 +308,14 @@ class ProcessBackend(ForkProcessBackend):
         if self._procs:
             return
         # Compile every kernel in the parent before forking: workers receive
-        # the full cache once, at startup, and never compile anything.
+        # the full cache once, at startup, and never compile anything —
+        # native shared objects are dlopened here, so forked workers inherit
+        # the loaded libraries without touching the compiler.
         if state.kernels is not None:
-            state.kernels.warm(state.options.use_windows)
+            state.kernels.warm(
+                state.options.use_windows,
+                tier=getattr(state.options, "kernel_tier", "native"),
+            )
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
         for _ in range(self.workers):
@@ -337,9 +366,9 @@ class ProcessBackend(ForkProcessBackend):
         env: dict[str, Any],
         vector_names: list[str],
     ) -> None:
-        if self._ctx is None or state.options.debug_windows:
-            # No fork on this platform, or a window-debug run (workers must
-            # re-inherit the fault-injection tag arrays every wavefront).
+        if state.options.debug_windows:
+            # A window-debug run: workers must re-inherit the
+            # fault-injection tag arrays every wavefront.
             super().dispatch_chunks(state, desc, spans, env, vector_names)
             return
         self._pool_wavefront(state, desc, spans, env, kind="span", fuse=True)
@@ -352,7 +381,7 @@ class ProcessBackend(ForkProcessBackend):
         env: dict[str, Any],
         fuse: bool,
     ) -> None:
-        if self._ctx is None or state.options.debug_windows:
+        if state.options.debug_windows:
             super().dispatch_flat_chunks(state, desc, spans, env, fuse)
             return
         self._pool_wavefront(state, desc, spans, env, kind="flat", fuse=fuse)

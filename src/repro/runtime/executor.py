@@ -72,6 +72,11 @@ class ExecutionOptions:
     #: Window-debug runs always use the evaluator (kernels skip the
     #: fault-on-overwrite tags).
     use_kernels: bool = True
+    #: highest kernel tier DOALL nests may use: "native" (cffi-compiled C,
+    #: degrading to the NumPy kernels when no C compiler exists), "numpy"
+    #: (exec-compiled NumPy kernels only), or "evaluator" (no kernels at
+    #: all — same as ``use_kernels=False``)
+    kernel_tier: str = "native"
     #: let the planner collapse perfect DOALL nests into one flattened,
     #: chunked iteration space executed by fused flat kernels (off, nests
     #: plan with the per-loop strategies only — the escape hatch)
@@ -138,7 +143,11 @@ def execute_module(
             data[key] = value
 
     kernels: KernelCache | None = None
-    if options.use_kernels and not options.debug_windows:
+    if (
+        options.use_kernels
+        and not options.debug_windows
+        and getattr(options, "kernel_tier", "native") != "evaluator"
+    ):
         kernels = kernel_cache or KernelCache(analyzed, flowchart)
 
     if plan is None:
@@ -233,7 +242,7 @@ def _callee_plan(
     key = (
         name, options.backend, options.workers, options.vectorize,
         options.use_windows, options.use_kernels, options.debug_windows,
-        options.use_collapse,
+        options.use_collapse, getattr(options, "kernel_tier", "native"),
     )
     plan = memo.get(key)
     if plan is None:

@@ -1,18 +1,22 @@
-"""Compiled wavefront kernels: cached exec-compiled per-equation functions.
+"""Compiled wavefront kernels: cached compiled functions in three tiers.
 
 The runtime's fast path. Instead of re-walking an equation's expression tree
 per wavefront (and per element on the scalar path), each equation is lowered
 once into a specialized Python function — a scalar variant with the lazy
 reference semantics and a vectorized variant emitting NumPy ops with
 ``np.where`` clipping — compiled with ``compile()``/``exec`` and cached per
-compilation. All execution backends dispatch DOALL work through the cache;
-equations the emitter cannot specialize stay on the reference evaluator.
+compilation. Fusable DOALL *nests* additionally lower to C, compiled once
+with the system compiler and loaded via cffi (the *native* tier, see
+:mod:`repro.runtime.kernels.native`). All execution backends dispatch DOALL
+work through the cache with lookup order native -> NumPy -> evaluator;
+equations the emitters cannot specialize stay on the reference evaluator.
 
-Disable with ``ExecutionOptions(use_kernels=False)`` or the CLI's
-``--no-kernels`` to run everything on the tree-walking evaluator.
+Select a tier with ``ExecutionOptions(kernel_tier=...)`` / the CLI's
+``--kernel-tier {native,numpy,evaluator}``; ``--no-kernels`` remains the
+evaluator-only escape hatch.
 """
 
-from repro.runtime.kernels.cache import KernelCache
+from repro.runtime.kernels.cache import KERNEL_TIERS, KernelCache
 from repro.runtime.kernels.emit import (
     KernelError,
     compile_kernel,
@@ -22,14 +26,25 @@ from repro.runtime.kernels.emit import (
     kernelizable,
     nest_fusable,
 )
+from repro.runtime.kernels.native import (
+    compile_native_nest,
+    emit_native_nest_source,
+    native_emittable,
+    native_supported,
+)
 
 __all__ = [
+    "KERNEL_TIERS",
     "KernelCache",
     "KernelError",
     "compile_kernel",
+    "compile_native_nest",
     "compile_nest_kernel",
     "emit_kernel_source",
+    "emit_native_nest_source",
     "emit_nest_kernel_source",
     "kernelizable",
+    "native_emittable",
+    "native_supported",
     "nest_fusable",
 ]

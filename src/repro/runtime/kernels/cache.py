@@ -10,6 +10,16 @@ runs a root subrange, ``"flat"`` a collapse-chunked flat range). A ``None``
 entry records a non-kernelizable equation so the backends ask exactly once
 and fall back to the evaluator thereafter.
 
+Nest kernels come in **tiers**: :meth:`nest_kernel_for` serves the
+cffi-compiled *native* kernel when the requested tier is ``"native"`` and
+the nest lowers to bit-exact C on a machine with a C compiler (see
+:mod:`repro.runtime.kernels.native`), the exec-compiled NumPy kernel
+otherwise, and ``None`` (the evaluator walk) when neither applies — the
+lookup order native -> NumPy -> evaluator. Native kernels are memoized
+under the same path+window-mode+variant key, so the process backend's
+pre-fork :meth:`warm` loads every shared object once and forked workers
+inherit the dlopened libraries.
+
 The cache also owns the *call box*: a one-slot list every compiled kernel
 reads module-call handlers through. :meth:`bind_call_fn` points it at the
 executing state's ``call_fn`` once per run — that is what lets kernels
@@ -22,6 +32,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.ps.semantics import AnalyzedEquation, AnalyzedModule
+from repro.runtime.kernels import native as native_mod
 from repro.runtime.kernels.emit import (
     NEST_VARIANTS,
     KernelError,
@@ -34,7 +45,11 @@ from repro.schedule.flowchart import (
     Flowchart,
     LoopDescriptor,
     loop_collapse_safe,
+    outermost_parallel_loops,
 )
+
+#: kernel tiers ``ExecutionOptions.kernel_tier`` may select
+KERNEL_TIERS = ("native", "numpy", "evaluator")
 
 
 class KernelCache:
@@ -44,6 +59,8 @@ class KernelCache:
         self._compiled: dict[tuple[str, bool, bool], Callable | None] = {}
         #: fused nest kernels keyed by (descriptor path, window mode, variant)
         self._nests: dict[tuple[tuple[int, ...], bool, str], Callable | None] = {}
+        #: cffi-compiled native nest kernels, same key shape
+        self._native: dict[tuple[tuple[int, ...], bool, str], Callable | None] = {}
         #: one-slot module-call dispatch box shared by every compiled kernel
         self._call_box: list = [None]
 
@@ -76,17 +93,30 @@ class KernelCache:
         return fn
 
     def nest_kernel_for(
-        self, desc: LoopDescriptor, use_windows: bool, variant: str = "full"
+        self,
+        desc: LoopDescriptor,
+        use_windows: bool,
+        variant: str = "full",
+        tier: str = "native",
     ) -> Callable | None:
         """The fused kernel for a whole DOALL nest, or None when the nest
         cannot be fused (the caller then walks it descriptor by descriptor).
         Keyed by the descriptor's path in this cache's flowchart plus the
-        nest variant (``"flat"`` for collapse-chunked execution)."""
+        nest variant (``"flat"`` for collapse-chunked execution).
+
+        ``tier="native"`` (the default lookup order) serves the
+        cffi-compiled C kernel when one compiles on this machine, degrading
+        to the NumPy kernel otherwise; ``tier="numpy"`` skips the native
+        tier outright."""
         if variant not in NEST_VARIANTS:
             raise KernelError(f"unknown nest-kernel variant {variant!r}")
         path = self.flowchart.path_of(desc)
         if path is None:
             return None
+        if tier == "native":
+            fn = self.native_nest_kernel_for(desc, use_windows, variant, path)
+            if fn is not None:
+                return fn
         key = (path, bool(use_windows), variant)
         try:
             return self._nests[key]
@@ -104,40 +134,69 @@ class KernelCache:
         self._nests[key] = fn
         return fn
 
-    def warm(self, use_windows: bool) -> None:
+    def native_nest_kernel_for(
+        self,
+        desc: LoopDescriptor,
+        use_windows: bool,
+        variant: str = "full",
+        path: tuple[int, ...] | None = None,
+    ) -> Callable | None:
+        """The native (C) kernel for a nest, or None when the nest is not
+        natively emittable or this machine has no C compiler — the caller
+        then falls through to the NumPy tier. A ``None`` entry is memoized
+        so the compile (or its failure) happens exactly once."""
+        if path is None:
+            path = self.flowchart.path_of(desc)
+            if path is None:
+                return None
+        key = (path, bool(use_windows), variant)
+        try:
+            return self._native[key]
+        except KeyError:
+            pass
+        fn: Callable | None = None
+        if native_mod.native_supported():
+            try:
+                fn = native_mod.compile_native_nest(
+                    desc, self.analyzed, self.flowchart, use_windows,
+                    variant=variant,
+                )
+            except KernelError:
+                fn = None
+            except Exception:
+                # A toolchain failure (compiler crash, dlopen error) must
+                # degrade to the NumPy tier, never take the run down.
+                fn = None
+        self._native[key] = fn
+        return fn
+
+    def warm(self, use_windows: bool, tier: str = "native") -> None:
         """Compile every equation's kernels (and every *reachable* nest
         kernel, in both variants where applicable) up front — the process
         backend calls this before forking so workers inherit the full cache
-        and never compile anything themselves. Only outermost parallel
-        loops met on the scalar walk can execute as fused nests (inner
-        loops of a span or nest never dispatch their own kernel), so only
-        those are compiled; the flat variant additionally requires a
-        collapse-safe chain."""
+        (including dlopened native libraries) and never compile anything
+        themselves. Only outermost parallel loops met on the scalar walk
+        can execute as fused nests (inner loops of a span or nest never
+        dispatch their own kernel), so only those are compiled; the flat
+        variant additionally requires a collapse-safe chain."""
         for eq in self.analyzed.equations:
             for vector in (False, True):
                 self.kernel_for(eq, vector, use_windows)
 
-        def outermost_parallel(descs):
-            for d in descs:
-                if not isinstance(d, LoopDescriptor):
-                    continue
-                if d.parallel:
-                    yield d
-                else:
-                    yield from outermost_parallel(d.body)
-
-        for desc in outermost_parallel(self.flowchart.descriptors):
-            self.nest_kernel_for(desc, use_windows)
+        for desc in outermost_parallel_loops(self.flowchart.descriptors):
+            self.nest_kernel_for(desc, use_windows, tier=tier)
             if loop_collapse_safe(
                 desc, self.analyzed, self.flowchart.windows, use_windows
             ):
-                self.nest_kernel_for(desc, use_windows, variant="flat")
+                self.nest_kernel_for(desc, use_windows, variant="flat", tier=tier)
 
     def stats(self) -> dict[str, int]:
         compiled = sum(1 for v in self._compiled.values() if v is not None)
         nests = sum(1 for v in self._nests.values() if v is not None)
+        natives = sum(1 for v in self._native.values() if v is not None)
         return {
-            "entries": len(self._compiled) + len(self._nests),
-            "compiled": compiled + nests,
+            "entries": len(self._compiled) + len(self._nests) + len(self._native),
+            "compiled": compiled + nests + natives,
             "nests": nests,
+            "native": natives,
         }

@@ -133,6 +133,95 @@ def kernelizable(eq: AnalyzedEquation, analyzed: AnalyzedModule) -> bool:
     return all(scan(e) for e in exprs)
 
 
+def equation_affine_fast_path(
+    eq: AnalyzedEquation,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart | None = None,
+    use_windows: bool = False,
+) -> bool:
+    """True when every array reference of the equation rides the
+    slice-based affine fast path in vector mode (each subscript either
+    index-free or ``index ± const`` with a distinct index per dimension,
+    and no index-carrying subscript on a *windowed* dimension — the exact
+    rule of ``_VectorLowerer._affine_specs``). References off this path
+    fall back to clipped fancy indexing, an order of magnitude slower per
+    element — the cost model prices them as ``"gather"``. ``flowchart``
+    supplies the window analysis; without it windows are assumed off."""
+    dims = set(eq.index_names)
+
+    def affine_ok(name: str, subscripts: list[Expr]) -> bool:
+        wins = (
+            static_windows(name, analyzed, flowchart, use_windows)
+            if flowchart is not None
+            else {}
+        )
+        used: set[str] = set()
+        for d, s in enumerate(subscripts):
+            c = classify_affine_subscript(s, dims)
+            if c is None:
+                return False
+            kind, var, _off = c
+            if kind == "const":
+                continue
+            if var in used or d in wins:
+                return False
+            used.add(var)
+        return True
+
+    for target in eq.targets:
+        sym = analyzed.table.symbol(target.name)
+        if sym is not None and isinstance(sym.type, ArrayType):
+            if not affine_ok(target.name, target.subscripts):
+                return False
+    for node in walk_expr(eq.rhs):
+        if isinstance(node, Index) and isinstance(node.base, Name):
+            sym = analyzed.table.symbol(node.base.ident)
+            if sym is not None and isinstance(sym.type, ArrayType):
+                if not affine_ok(node.base.ident, node.subscripts):
+                    return False
+    return True
+
+
+def classify_affine_subscript(
+    sub: Expr, dims: set[str]
+) -> tuple[str, str | None, tuple[str, Expr] | None] | None:
+    """The affine-in-one-index shape of a subscript — THE rule both the
+    vector lowerer's fast path and the cost model's gather pricing follow
+    (one definition, so they cannot drift).
+
+    Returns ``("const", None, None)`` for an index-free subscript,
+    ``("affine", var, None)`` for a bare index, ``("affine", var, (sign,
+    offset_expr))`` for ``var ± const`` / ``const + var``, and ``None``
+    when the subscript is not affine in exactly one index (the generic
+    clipped-fancy-indexing gather then runs)."""
+
+    def mentions_dims(e: Expr) -> bool:
+        return any(
+            isinstance(n, Name) and n.ident in dims for n in walk_expr(e)
+        )
+
+    if not mentions_dims(sub):
+        return ("const", None, None)
+    if isinstance(sub, Name) and sub.ident in dims:
+        return ("affine", sub.ident, None)
+    if isinstance(sub, BinOp) and sub.op in ("+", "-"):
+        left, right = sub.left, sub.right
+        if (
+            isinstance(left, Name)
+            and left.ident in dims
+            and not mentions_dims(right)
+        ):
+            return ("affine", left.ident, (sub.op, right))
+        if (
+            sub.op == "+"
+            and isinstance(right, Name)
+            and right.ident in dims
+            and not mentions_dims(left)
+        ):
+            return ("affine", right.ident, ("+", left))
+    return None
+
+
 def _children(expr: Expr) -> list[Expr]:
     if isinstance(expr, BinOp):
         return [expr.left, expr.right]
@@ -303,32 +392,17 @@ class _VectorLowerer(_KernelLowerer):
         return specs
 
     def _classify(self, sub: Expr) -> tuple[str, str | None, str] | None:
-        def mentions_dims(e: Expr) -> bool:
-            return any(
-                isinstance(n, Name) and n.ident in self.dims for n in walk_expr(e)
-            )
-
-        if not mentions_dims(sub):
+        c = classify_affine_subscript(sub, self.dims)
+        if c is None:
+            return None
+        kind, var, off = c
+        if kind == "const":
             return ("const", None, "0")
-        if isinstance(sub, Name) and sub.ident in self.dims:
-            return ("affine", sub.ident, "0")
-        if isinstance(sub, BinOp) and sub.op in ("+", "-"):
-            left, right = sub.left, sub.right
-            if (
-                isinstance(left, Name)
-                and left.ident in self.dims
-                and not mentions_dims(right)
-            ):
-                off = self.lower(right)
-                return ("affine", left.ident, off if sub.op == "+" else f"-({off})")
-            if (
-                sub.op == "+"
-                and isinstance(right, Name)
-                and right.ident in self.dims
-                and not mentions_dims(left)
-            ):
-                return ("affine", right.ident, self.lower(left))
-        return None
+        if off is None:
+            return ("affine", var, "0")
+        sign, expr = off
+        code = self.lower(expr)
+        return ("affine", var, code if sign == "+" else f"-({code})")
 
     def lower_logical(self, op: str, left: str, right: str) -> str:
         fn = "np.logical_and" if op == "and" else "np.logical_or"

@@ -1,0 +1,698 @@
+"""Native kernel tier: DOALL nests compiled to C, loaded via cffi.
+
+The NumPy kernel tier (:mod:`repro.runtime.kernels.emit`) removed the
+per-element tree walk but still pays interpreter overhead per scalar
+fallback and per dispatch. This module lowers the same fusable DOALL nests
+all the way to C — the classic restructuring-compiler endgame (PFC-style
+automatic translation; see PAPERS.md) — compiles each nest **once** with
+the system C compiler, and loads the shared object through ``cffi``'s ABI
+mode. The result is registered in :class:`~repro.runtime.kernels.cache.
+KernelCache` as a third tier with the same callable signature as the fused
+NumPy nest kernels (``kernel(data, env, lo, hi) -> dict[label, count]``),
+so every backend dispatches through it unchanged. Lookup order is
+**native -> NumPy kernel -> evaluator**.
+
+Bit-exactness contract: the emitted C performs the identical IEEE-754
+operation sequence the scalar reference evaluator performs (lazy ``if``,
+short-circuit logicals, range-checked window-mapped indexing, floored
+``div``/``mod``, NaN-propagating min/max), compiled with FP contraction
+off. Equations that would not be bit-exact in C (module calls,
+transcendental builtins) make the nest non-emittable and it stays on the
+NumPy tier.
+
+Compiled artifacts persist in an on-disk cache keyed by the SHA-256 of the
+generated source (``$REPRO_NATIVE_CACHE`` or ``~/.cache/repro/native``):
+a second process — or a later session — dlopens the existing ``.so``
+without invoking the compiler. The generated ``.c`` is kept next to it,
+and :func:`persist_plan` stores execution plans beside the generated C for
+offline builds. Everything degrades gracefully: no C compiler or no cffi
+means :func:`native_supported` is False and the cache quietly serves the
+NumPy tier.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.codegen.clower import (
+    C_FLAGS,
+    C_PRELUDE,
+    C_STORAGE_TYPES,
+    CExprLowerer,
+    kind_of_type,
+)
+from repro.codegen.naming import c_name
+from repro.errors import ExecutionError
+from repro.ps.ast import BinOp, Expr, IntLit, Name, UnOp, names_in
+from repro.ps.semantics import AnalyzedEquation, AnalyzedModule
+from repro.ps.types import ArrayType
+from repro.runtime.kernels.emit import (
+    NEST_VARIANTS,
+    KernelError,
+    nest_fusable,
+    static_windows,
+)
+from repro.schedule.flowchart import (
+    Flowchart,
+    LoopDescriptor,
+    NodeDescriptor,
+    collapse_chain,
+    outermost_parallel_loops,
+)
+
+# ---------------------------------------------------------------------------
+# Toolchain discovery and the on-disk artifact cache
+# ---------------------------------------------------------------------------
+
+_compiler_cache: str | None | bool = False  # False: not probed yet
+
+
+def find_compiler() -> str | None:
+    """Path of the system C compiler, or None. Probed once per process
+    (monkeypatch this to simulate a compiler-less platform)."""
+    global _compiler_cache
+    if _compiler_cache is False:
+        _compiler_cache = next(
+            (
+                path
+                for cc in ("cc", "gcc", "clang")
+                if (path := shutil.which(cc)) is not None
+            ),
+            None,
+        )
+    return _compiler_cache
+
+
+def _ffi_module():
+    try:
+        import cffi
+    except ImportError:
+        return None
+    return cffi
+
+
+def native_supported() -> bool:
+    """True when the native tier can compile on this machine (cffi
+    importable and a C compiler on PATH). Emittability of a given nest is
+    a separate, machine-independent question — see :func:`native_emittable`.
+    """
+    return _ffi_module() is not None and find_compiler() is not None
+
+
+def cache_dir() -> Path:
+    """The on-disk artifact cache: ``$REPRO_NATIVE_CACHE`` or
+    ``~/.cache/repro/native``. Created on demand."""
+    root = os.environ.get("REPRO_NATIVE_CACHE")
+    path = (
+        Path(root)
+        if root
+        else Path(os.path.expanduser("~")) / ".cache" / "repro" / "native"
+    )
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def persist_plan(
+    module_name: str, plan_text: str, c_sources: dict[str, str]
+) -> Path:
+    """Store an execution plan next to the generated C for offline builds
+    (the ROADMAP follow-up): ``plans/<module>-<hash>/plan.txt``, one
+    ``.c`` per natively emittable nest, and a ``build.sh`` recording the
+    *mandatory* bit-exactness flags (an offline ``cc -O2`` without
+    ``-ffp-contract=off``/``-fwrapv`` would contract FMAs and reintroduce
+    signed-overflow UB). The hash keys the plan text, so re-saving an
+    unchanged plan is idempotent."""
+    digest = hashlib.sha256(plan_text.encode()).hexdigest()[:16]
+    out = cache_dir() / "plans" / f"{module_name}-{digest}"
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "plan.txt").write_text(plan_text)
+    for name, source in c_sources.items():
+        (out / f"{name}.c").write_text(source)
+    flags = " ".join(C_FLAGS)
+    lines = ["#!/bin/sh", "# bit-exactness requires exactly these flags", "set -e"]
+    lines.extend(
+        f'cc {flags} -shared -o "{name}.so" "{name}.c" -lm'
+        for name in sorted(c_sources)
+    )
+    (out / "build.sh").write_text("\n".join(lines) + "\n")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Emission: one C function per fusable DOALL nest
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NativeKernelSpec:
+    """Everything needed to compile and call one native nest kernel."""
+
+    source: str  # full C translation unit (prelude + function)
+    fn_name: str
+    cdef: str  # cffi declaration of the function
+    #: ordered (array name, element kind) pairs — pointer args
+    arrays: list[tuple[str, str]]
+    #: per-array rank, same order (geometry layout)
+    ranks: list[int]
+    #: ordered (scalar name, kind) pairs hoisted from the data environment
+    scalars: list[tuple[str, str]]
+    #: ordered env names (enclosing loop indices outside the nest)
+    env_names: list[str]
+    #: equation labels in emission order (counts layout)
+    counters: list[str]
+
+
+class _NativeLowerer(CExprLowerer):
+    """The nest-kernel C dialect: loop indices and hoisted scalars are
+    function parameters/locals, array references are range-checked,
+    window-mapped, row-major flattened reads of the raw storage pointers."""
+
+    error_type = KernelError
+
+    def __init__(
+        self,
+        analyzed: AnalyzedModule,
+        flowchart: Flowchart,
+        use_windows: bool,
+        nest_indices: set[str],
+    ):
+        super().__init__(analyzed, index_names=set())
+        self.flowchart = flowchart
+        self.use_windows = use_windows
+        self.nest_indices = set(nest_indices)
+        #: dims of the equation currently being lowered (enclosing loop
+        #: indices outside the nest resolve through ``env``, like the
+        #: Python nest kernels)
+        self.current_dims: set[str] = set()
+        #: array name -> (ordinal, rank, element kind, windowed dims)
+        self.arrays: dict[str, tuple[int, int, str, dict[int, int]]] = {}
+        self.scalar_names: set[str] = set()
+        self.env_names: set[str] = set()
+
+    def register_array(self, name: str) -> tuple[int, int, str, dict[int, int]]:
+        entry = self.arrays.get(name)
+        if entry is None:
+            sym = self.analyzed.symbol(name)
+            if not isinstance(sym.type, ArrayType):
+                raise self.error(f"not an array: {name!r}")
+            wins = static_windows(
+                name, self.analyzed, self.flowchart, self.use_windows
+            )
+            entry = (len(self.arrays), sym.type.rank, kind_of_type(sym.type), wins)
+            self.arrays[name] = entry
+        return entry
+
+    # -- name resolution ---------------------------------------------------
+
+    def lower_name(self, ident: str) -> str:
+        if ident in self.index_names or ident in self.current_dims:
+            if ident not in self.index_names and ident not in self.nest_indices:
+                # an enclosing loop index outside the nest: hoisted from env
+                self.env_names.add(ident)
+            return f"v_{c_name(ident)}"
+        sym = self.analyzed.table.symbol(ident)
+        if sym is not None:
+            if isinstance(sym.type, ArrayType):
+                raise self.error(f"whole-array value {ident!r}")
+            self.scalar_names.add(ident)
+            return f"v_{c_name(ident)}"
+        if ident in self.analyzed.table.enum_members:
+            _, ordinal = self.analyzed.table.enum_members[ident]
+            return str(ordinal)
+        raise self.error(f"unbound name {ident!r}")
+
+    def kind(self, expr: Expr) -> str:
+        if isinstance(expr, Name) and (
+            expr.ident in self.index_names or expr.ident in self.current_dims
+        ):
+            return "int"
+        return super().kind(expr)
+
+    # -- array references --------------------------------------------------
+
+    def subscript_code(self, name: str, d: int, sub: Expr) -> str:
+        """One storage-relative subscript: range-checked exactly like the
+        evaluator (error info reported through ``err``), window modulo
+        applied. Emits statements; returns the C index variable."""
+        ordinal, _rank, _kind, wins = self.arrays[name]
+        raw = self.fresh("_i")
+        self.stmt(f"i64 {raw} = (i64)({self.lower(sub)});")
+        an = c_name(name)
+        self.stmt(
+            f"if ({raw} < {an}_lo{d} || {raw} > {an}_hi{d}) "
+            f"{{ err[0] = {raw}; err[1] = {d}; err[2] = {ordinal}; "
+            f"return 1; }}"
+        )
+        mapped = f"({raw} - {an}_lo{d})"
+        if d in wins:
+            mapped = f"({mapped} % {an}_n{d})"
+        return mapped
+
+    def lower_array_ref(self, name: str, subscripts: list[Expr]) -> str:
+        _ordinal, rank, _kind, _wins = self.register_array(name)
+        if len(subscripts) != rank:
+            raise self.error(f"partial-rank reference to {name!r}")
+        an = c_name(name)
+        parts = [
+            self.subscript_code(name, d, s) for d, s in enumerate(subscripts)
+        ]
+        flat = parts[0]
+        for d in range(1, rank):
+            flat = f"({flat} * {an}_n{d} + {parts[d]})"
+        return f"s_{an}[{flat}]"
+
+    def lower_binop(self, expr) -> str:
+        """Integer ``div``/``mod`` must guard the divisor before touching
+        C's ``/``/``%``: a zero divisor (or INT64_MIN / -1) is *undefined
+        behaviour* that SIGFPEs the whole interpreter, where the evaluator
+        raises. The guard reports through the error channel and the
+        wrapper re-raises the evaluator's exact exception."""
+        if expr.op in ("div", "mod"):
+            self._int_only(expr.op, expr.left, expr.right)
+            tl = self.fresh("_d")
+            tr = self.fresh("_d")
+            self.stmt(f"i64 {tl} = (i64)({self.lower(expr.left)});")
+            self.stmt(f"i64 {tr} = (i64)({self.lower(expr.right)});")
+            self.stmt(
+                f"if ({tr} == 0) {{ err[0] = 0; err[1] = -1; err[2] = -1; "
+                f"return 2; }}"
+            )
+            self.stmt(
+                f"if ({tr} == -1 && {tl} == INT64_MIN) "
+                f"{{ err[0] = {tl}; err[1] = -1; err[2] = -1; return 3; }}"
+            )
+            helper = "ps_fdiv" if expr.op == "div" else "ps_mod"
+            return f"{helper}({tl}, {tr})"
+        return super().lower_binop(expr)
+
+
+def _bound_c(expr: Expr, low: _NativeLowerer) -> str:
+    """Subrange bound -> C (integer parameters only, like the Python nest
+    kernels' ``_BoundLowerer``). Bounds with ``div``/``mod`` are rejected:
+    they evaluate in prologue initialisers where the zero-divisor guard
+    cannot be emitted, so such nests stay on the NumPy tier."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, Name):
+        low.scalar_names.add(expr.ident)
+        sym = low.analyzed.table.symbol(expr.ident)
+        if sym is None or kind_of_type(sym.type) != "int":
+            raise KernelError(f"non-integer bound name {expr.ident!r}")
+        return f"v_{c_name(expr.ident)}"
+    if isinstance(expr, UnOp):
+        if expr.op not in ("-", "+"):
+            raise KernelError(f"invalid bound operator {expr.op!r}")
+        return f"({expr.op}{_bound_c(expr.operand, low)})"
+    if isinstance(expr, BinOp):
+        ops = {"+": "+", "-": "-", "*": "*"}
+        if expr.op not in ops:
+            raise KernelError(f"unguardable bound operator {expr.op!r}")
+        return f"({_bound_c(expr.left, low)} {ops[expr.op]} {_bound_c(expr.right, low)})"
+    raise KernelError(f"invalid bound expression {type(expr).__name__}")
+
+
+def emit_native_nest_source(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+    variant: str = "full",
+) -> NativeKernelSpec:
+    """Lower a fusable DOALL nest to one C function.
+
+    ``variant="full"``: execute the root subrange ``[nlo, nhi]`` with the
+    inner loops at their declared bounds — the native analogue of the fused
+    Python nest kernel. ``variant="flat"``: execute the inclusive flat
+    range ``[nlo, nhi]`` of the collapsed perfect DOALL chain, recovering
+    the chain indices with a divmod cascade per element (row-major,
+    innermost fastest — the exact iteration order of the reference
+    ``exec_flat_walk``).
+
+    Raises :class:`KernelError` when the nest is not natively emittable
+    (module calls, transcendental builtins, non-rectangular chains, scalar
+    targets — anything whose C translation would not be bit-exact).
+    """
+    if variant not in NEST_VARIANTS:
+        raise KernelError(f"unknown nest-kernel variant {variant!r}")
+    if not nest_fusable(desc, analyzed, flowchart, use_windows):
+        raise KernelError(f"DOALL {desc.index} nest is not fusable")
+
+    nest_indices = desc.nest_indices()
+    low = _NativeLowerer(analyzed, flowchart, use_windows, nest_indices)
+    counters: list[str] = []
+    prologue: list[str] = []
+
+    def emit_equation(eq: AnalyzedEquation) -> None:
+        if eq.atomic or len(eq.targets) != 1:
+            raise KernelError(f"{eq.label}: not a single-target equation")
+        low.current_dims = set(eq.index_names)
+        target = eq.targets[0]
+        _ordinal, rank, kind, _wins = low.register_array(target.name)
+        if len(target.subscripts) != rank:
+            raise KernelError(f"{eq.label}: partial-rank target")
+        value = low.lower(eq.rhs)
+        ctype = C_STORAGE_TYPES[kind]
+        an = c_name(target.name)
+        parts = [
+            low.subscript_code(target.name, d, s)
+            for d, s in enumerate(target.subscripts)
+        ]
+        flat = parts[0]
+        for d in range(1, rank):
+            flat = f"({flat} * {an}_n{d} + {parts[d]})"
+        if kind == "bool":
+            low.stmt(f"s_{an}[{flat}] = ({ctype})(({value}) != 0);")
+        else:
+            low.stmt(f"s_{an}[{flat}] = ({ctype})({value});")
+        label_ix = len(counters)
+        counters.append(eq.label)
+        low.stmt(f"_c{label_ix} += 1;")
+
+    def emit_descriptor(d, root: bool = False) -> None:
+        if isinstance(d, NodeDescriptor):
+            if not d.node.is_equation:
+                raise KernelError("non-equation node in nest")
+            emit_equation(d.node.equation)
+            return
+        assert isinstance(d, LoopDescriptor)
+        var = f"v_{c_name(d.index)}"
+        low.index_names.add(d.index)
+        if root:
+            low.stmt(f"for (i64 {var} = nlo; {var} <= nhi; {var}++) {{")
+        else:
+            lo_c = _bound_c(d.subrange.lo, low)
+            hi_c = _bound_c(d.subrange.hi, low)
+            low.stmt(
+                f"for (i64 {var} = {lo_c}; {var} <= {hi_c}; {var}++) {{"
+            )
+        low.indent += 1
+        for child in d.body:
+            emit_descriptor(child)
+        low.indent -= 1
+        low.stmt("}")
+
+    if variant == "flat":
+        chain, chain_body = collapse_chain(desc)
+        if len(chain) < 2:
+            raise KernelError(
+                f"DOALL {desc.index} is not a perfect nest; nothing to collapse"
+            )
+        chain_indices = {loop.index for loop in chain}
+        for loop in chain:
+            for bound in (loop.subrange.lo, loop.subrange.hi):
+                if names_in(bound) & chain_indices:
+                    raise KernelError(
+                        f"non-rectangular nest: bound of {loop.index} "
+                        f"references a collapsed index"
+                    )
+        for k, loop in enumerate(chain):
+            lo_c = _bound_c(loop.subrange.lo, low)
+            prologue.append(f"    const i64 _clo{k} = {lo_c};")
+            if k > 0:
+                hi_c = _bound_c(loop.subrange.hi, low)
+                prologue.append(
+                    f"    const i64 _cn{k} = ({hi_c}) - _clo{k} + 1;"
+                )
+        for loop in chain:
+            low.index_names.add(loop.index)
+        last = len(chain) - 1
+        low.stmt("for (i64 _f = nlo; _f <= nhi; _f++) {")
+        low.indent += 1
+        low.stmt("i64 _r = _f;")
+        for k in range(last, 0, -1):
+            var = f"v_{c_name(chain[k].index)}"
+            low.stmt(f"i64 {var} = _r % _cn{k} + _clo{k};")
+            low.stmt(f"_r /= _cn{k};")
+        low.stmt(f"i64 v_{c_name(chain[0].index)} = _r + _clo0;")
+        for child in chain_body:
+            emit_descriptor(child)
+        low.indent -= 1
+        low.stmt("}")
+    else:
+        emit_descriptor(desc, root=True)
+
+    # An atomic equation elsewhere may rebind a windowed array wholesale —
+    # same restriction as the Python nest kernels.
+    atomic_names = {
+        t.name for eq in analyzed.equations if eq.atomic for t in eq.targets
+    }
+    for name, (_ordinal, _rank, _kind, wins) in low.arrays.items():
+        if wins and name in atomic_names:
+            raise KernelError(
+                f"windowed array {name!r} is rebound by an atomic equation"
+            )
+
+    # -- assemble the translation unit ------------------------------------
+    arrays = sorted(low.arrays.items(), key=lambda kv: kv[1][0])
+    scalar_names = sorted(low.scalar_names)
+    env_names = sorted(low.env_names - nest_indices)
+    params: list[str] = []
+    for name, (_ordinal, _rank, kind, _wins) in arrays:
+        params.append(f"{C_STORAGE_TYPES[kind]} *s_{c_name(name)}")
+    params.append("const i64 *geom")
+    scalar_kinds: list[tuple[str, str]] = []
+    for name in scalar_names:
+        kind = kind_of_type(analyzed.table.symbol(name).type)
+        scalar_kinds.append((name, kind))
+        ctype = "double" if kind == "real" else "i64"
+        params.append(f"{ctype} v_{c_name(name)}")
+    for name in env_names:
+        params.append(f"i64 v_{c_name(name)}")
+    params.extend(["i64 nlo", "i64 nhi", "i64 *counts", "i64 *err"])
+
+    body: list[str] = []
+    pos = 0
+    for name, (_ordinal, rank, _kind, _wins) in arrays:
+        an = c_name(name)
+        for d in range(rank):
+            body.append(f"    const i64 {an}_lo{d} = geom[{pos}];")
+            body.append(f"    const i64 {an}_hi{d} = geom[{pos + 1}];")
+            body.append(f"    const i64 {an}_n{d} = geom[{pos + 2}];")
+            pos += 3
+    body.extend(prologue)
+    for i in range(len(counters)):
+        body.append(f"    i64 _c{i} = 0;")
+    body.extend(low.lines)
+    for i in range(len(counters)):
+        body.append(f"    counts[{i}] = _c{i};")
+    body.append("    return 0;")
+
+    digest_src = "\n".join(body) + "|" + ", ".join(params)
+    fn_name = "k_" + hashlib.sha256(digest_src.encode()).hexdigest()[:16]
+    signature = f"int {fn_name}({', '.join(params)})"
+    source = (
+        C_PRELUDE
+        + "\n"
+        + signature
+        + "\n{\n"
+        + "\n".join(body)
+        + "\n}\n"
+    )
+    cdef = (
+        "typedef int64_t i64; "
+        + signature.replace("const i64 *geom", "const int64_t *geom") + ";"
+    )
+    return NativeKernelSpec(
+        source=source,
+        fn_name=fn_name,
+        cdef=cdef,
+        arrays=[(name, entry[2]) for name, entry in arrays],
+        ranks=[entry[1] for _name, entry in arrays],
+        scalars=scalar_kinds,
+        env_names=env_names,
+        counters=counters,
+    )
+
+
+def native_emittable(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+    variant: str = "full",
+) -> bool:
+    """Machine-independent static check: does this nest lower to bit-exact
+    C? (Whether the machine can *compile* it is :func:`native_supported`.)
+
+    Memoized on the flowchart by (path, window mode, variant): the
+    ``auto`` planner asks once per candidate backend, and re-running the
+    full emission per candidate would multiply planning cost by the
+    candidate count."""
+    memo = getattr(flowchart, "_native_emit_memo", None)
+    if memo is None:
+        memo = {}
+        flowchart._native_emit_memo = memo
+    key = (flowchart.path_of(desc), bool(use_windows), variant)
+    verdict = memo.get(key)
+    if verdict is None:
+        try:
+            emit_native_nest_source(
+                desc, analyzed, flowchart, use_windows, variant
+            )
+            verdict = True
+        except KernelError:
+            verdict = False
+        memo[key] = verdict
+    return verdict
+
+
+def emittable_nest_sources(
+    analyzed: AnalyzedModule, flowchart: Flowchart, use_windows: bool = False
+) -> dict[str, str]:
+    """Generated C for every natively emittable outermost DOALL nest of a
+    module, keyed ``nest-<flowchart path>-<index>-<variant>`` (the path
+    disambiguates same-named loop indices) — what ``repro plan --save``
+    persists next to the plan text for offline builds."""
+    sources: dict[str, str] = {}
+    for desc in outermost_parallel_loops(flowchart.descriptors):
+        path = flowchart.path_of(desc)
+        at = "_".join(str(i) for i in path) if path else "x"
+        for variant in NEST_VARIANTS:
+            try:
+                spec = emit_native_nest_source(
+                    desc, analyzed, flowchart, use_windows, variant
+                )
+            except KernelError:
+                continue
+            sources[f"nest-{at}-{desc.index}-{variant}"] = spec.source
+    return sources
+
+
+# ---------------------------------------------------------------------------
+# Compilation and the Python-callable wrapper
+# ---------------------------------------------------------------------------
+
+#: source hash -> (lib, ffi) for shared objects already loaded here
+_loaded: dict[str, tuple] = {}
+
+
+def _compile_so(source: str, digest: str) -> Path:
+    """Compile ``source`` into the on-disk cache (or reuse the cached
+    ``.so``); returns the shared-object path."""
+    out_dir = cache_dir()
+    so_path = out_dir / f"{digest}.so"
+    if so_path.exists():
+        return so_path
+    cc = find_compiler()
+    if cc is None:
+        raise KernelError("no C compiler available")
+    c_path = out_dir / f"{digest}.c"
+    c_path.write_text(source)
+    with tempfile.NamedTemporaryFile(
+        dir=out_dir, suffix=".so.tmp", delete=False
+    ) as tmp:
+        tmp_path = Path(tmp.name)
+    try:
+        proc = subprocess.run(
+            [cc, *C_FLAGS, "-shared", "-o", str(tmp_path), str(c_path), "-lm"],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise KernelError(
+                f"C compilation failed ({cc}): {proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp_path, so_path)  # atomic: concurrent compiles race safely
+    finally:
+        if tmp_path.exists():
+            tmp_path.unlink()
+    return so_path
+
+
+def _load(spec: NativeKernelSpec) -> tuple:
+    # The flags are part of the artifact's semantics (-ffp-contract=off,
+    # -fwrapv): a .so built under different flags must not be reused.
+    key = spec.source + "|" + " ".join(C_FLAGS)
+    digest = hashlib.sha256(key.encode()).hexdigest()
+    entry = _loaded.get(digest)
+    if entry is None:
+        cffi = _ffi_module()
+        if cffi is None:
+            raise KernelError("cffi is not available")
+        so_path = _compile_so(spec.source, digest)
+        ffi = cffi.FFI()
+        ffi.cdef(spec.cdef)
+        lib = ffi.dlopen(str(so_path))
+        entry = (lib, ffi)
+        _loaded[digest] = entry
+    return entry
+
+
+def compile_native_nest(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+    variant: str = "full",
+) -> Callable:
+    """Emit, compile (or reload from the on-disk cache), and wrap the
+    native kernel for ``desc``. The wrapper has the exact signature of the
+    fused Python nest kernels — ``kernel(data, env, lo, hi) -> dict`` —
+    and raises the evaluator's out-of-range :class:`ExecutionError` when
+    the C code reports one.
+    """
+    spec = emit_native_nest_source(
+        desc, analyzed, flowchart, use_windows, variant
+    )
+    lib, ffi = _load(spec)
+    fn = getattr(lib, spec.fn_name)
+    array_names = [name for name, _kind in spec.arrays]
+    ptr_types = [
+        C_STORAGE_TYPES[kind] + " *" for _name, kind in spec.arrays
+    ]
+    geom_size = 3 * sum(spec.ranks)
+    scalars = spec.scalars
+    env_names = spec.env_names
+    counters = spec.counters
+
+    def _kernel(data, env, nlo, nhi):
+        cargs = []
+        geom = ffi.new("int64_t[]", geom_size)
+        pos = 0
+        holders = []
+        for name, ptr_t in zip(array_names, ptr_types):
+            arr = data[name]
+            sto = arr.storage
+            holders.append(sto)  # keep the buffer alive across the call
+            cargs.append(ffi.cast(ptr_t, sto.ctypes.data))
+            for d in range(sto.ndim):
+                geom[pos] = arr.los[d]
+                geom[pos + 1] = arr.his[d]
+                geom[pos + 2] = sto.shape[d]
+                pos += 3
+        cargs.append(geom)
+        for name, kind in scalars:
+            v = data[name]
+            cargs.append(float(v) if kind == "real" else int(v))
+        for name in env_names:
+            cargs.append(int(env[name]))
+        counts = ffi.new("int64_t[]", max(1, len(counters)))
+        err = ffi.new("int64_t[]", 4)
+        rc = fn(*cargs, int(nlo), int(nhi), counts, err)
+        if rc == 2:
+            # the evaluator's exact exception for a zero divisor
+            raise ZeroDivisionError("integer division or modulo by zero")
+        if rc == 3:
+            raise ExecutionError(
+                f"integer overflow: {err[0]} div/mod -1 does not fit int64"
+            )
+        if rc != 0:
+            name = array_names[err[2]]
+            arr = data[name]
+            d = err[1]
+            raise ExecutionError(
+                f"index {err[0]} out of range [{arr.los[d]}, {arr.his[d]}] "
+                f"in dimension {d} of {name!r}"
+            )
+        return {label: counts[i] for i, label in enumerate(counters)}
+
+    _kernel.__kernel_source__ = spec.source
+    _kernel.__native__ = True
+    return _kernel

@@ -139,6 +139,27 @@ class TestCompiledC:
         expected = _interpreter_reference(res.original, scalars)
         np.testing.assert_allclose(got, expected, rtol=1e-12)
 
+    def test_floored_div_mod_matches_interpreter(self, tmp_path):
+        """PS ``div``/``mod`` are floored (the evaluator follows Python);
+        the generator used to emit C's truncating ``/``/``%``, which
+        disagree on negative operands — regression for the shared-prelude
+        fix."""
+        from repro.ps.parser import parse_module
+        from repro.ps.semantics import analyze_module
+
+        src = (
+            "T: module (A: array[1 .. n] of real; n: int):"
+            " [B: array[1 .. n] of real];\n"
+            "type I = 1 .. n;\n"
+            "define B[I] = ((I - 5) div 3) * 100 + (I - 5) mod 3 + 0.0 * A[I];\n"
+            "end T;"
+        )
+        analyzed = analyze_module(parse_module(src))
+        scalars = {"n": 9}
+        got = _compile_and_run(analyzed, scalars, tmp_path)
+        expected = _interpreter_reference(analyzed, scalars)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
     def test_openmp_pragma_compiles(self, tmp_path):
         """With -fopenmp the concurrent annotations become real threads."""
         analyzed = jacobi_analyzed()

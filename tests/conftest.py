@@ -1,0 +1,23 @@
+"""Suite-wide fixtures."""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_native_cache(tmp_path_factory):
+    """Point the native kernel tier's on-disk artifact cache at a
+    session-private directory: the suite must not write ``.c``/``.so``
+    files into the developer's real ``~/.cache/repro/native``, and no test
+    may dlopen a stale artifact left there by an earlier checkout (the
+    cache is keyed by source hash, so corruption would be invisible).
+    Tests that probe the cache itself override the variable per test."""
+    import os
+
+    path = tmp_path_factory.mktemp("native-cache")
+    old = os.environ.get("REPRO_NATIVE_CACHE")
+    os.environ["REPRO_NATIVE_CACHE"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_NATIVE_CACHE", None)
+    else:
+        os.environ["REPRO_NATIVE_CACHE"] = old

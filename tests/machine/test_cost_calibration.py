@@ -92,7 +92,11 @@ class TestCalibration:
 
     def test_mode_ordering(self):
         """Per-element cost must rank evaluator > kernel > nest > vector —
-        the orderings the planner's choices rest on."""
+        the orderings the planner's choices rest on. The native mode sits
+        far below nest but in the same memory-bound band as vector (large
+        NumPy spans and compiled C loops both stream the same doubles);
+        what native saves is the per-span setup and per-row bookkeeping,
+        which the planner prices separately."""
         m = MachineModel()
         eq = _eq3()
         costs = [
@@ -101,6 +105,27 @@ class TestCalibration:
         ]
         assert costs == sorted(costs, reverse=True)
         assert costs[0] > 10 * costs[1]  # the interpretation tax is real
+        native = m.element_cost(eq, "native")
+        assert native < m.element_cost(eq, "nest") / 10
+        assert native == pytest.approx(m.element_cost(eq, "vector"), rel=2.0)
+
+    def test_native_factor_tracks_the_native_baseline(self):
+        """``from_native_bench`` re-derives the native per-element factor
+        from the committed BENCH_native.json; the shipped default must stay
+        within a 2x band of that derivation (same contract as the other
+        mode constants)."""
+        path = BASELINE.parent / "BENCH_native.json"
+        payload = json.loads(path.read_text())
+        derived = MachineModel.from_native_bench(payload)
+        default = MachineModel()
+        assert default.native_element_factor == pytest.approx(
+            derived.native_element_factor, rel=1.0
+        )
+        # native stays far below the Python nest tier after recalibration
+        eq = _eq3()
+        assert derived.element_cost(eq, "native") < derived.element_cost(
+            eq, "nest"
+        ) / 10
 
     def test_simulator_modes_scale_cycles(self):
         analyzed = jacobi_analyzed()

@@ -74,6 +74,27 @@ class TestCalibrationStore:
         cal.record("M", {}, "serial", 1.0)
         assert cal.version == v0 + 1
 
+    def test_records_survive_cpu_affinity_changes(self, monkeypatch):
+        """workers=None resolves through the store's *snapshotted* core
+        count: a record written under one affinity setting must stay
+        reachable after the affinity (and thus os.cpu_count) changes —
+        call-time resolution silently orphaned every default-workers
+        record."""
+        import os
+
+        import repro.plan.calibration as calibration_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(calibration_mod.os, "cpu_count", lambda: 8)
+        cal = PlanCalibration()
+        cal.record("M", {"n": 4}, "serial", seconds=9.0, workers=None)
+        # The machine's affinity narrows from 8 cores to 2.
+        monkeypatch.setattr(calibration_mod.os, "cpu_count", lambda: 2)
+        rec = cal.measured("M", {"n": 4}, "serial", workers=None)
+        assert rec is not None and rec.seconds == 9.0
+        # Explicit worker counts keep their own keys.
+        assert cal.measured("M", {"n": 4}, "serial", workers=3) is None
+
 
 class TestMispredictionCorrected:
     def _workload(self):

@@ -14,7 +14,7 @@ from tests.plan.conftest import WORKLOADS
 
 GOLDEN = {
     "jacobi": """\
-        plan Relaxation: backend=vectorized workers=4 kernels=on windows=off [auto]
+        plan Relaxation: backend=vectorized workers=4 kernels=native windows=off [auto]
         DOALL I -> vector; trip 10
             DOALL J -> vector; trip 10; nested in span
                 eq.1 [kernel=vector]
@@ -26,7 +26,7 @@ GOLDEN = {
             DOALL J -> vector; trip 10; nested in span
                 eq.2 [kernel=vector]""",
     "gauss_seidel": """\
-        plan Relaxation: backend=vectorized workers=4 kernels=on windows=off [auto]
+        plan Relaxation: backend=vectorized workers=4 kernels=native windows=off [auto]
         DOALL I -> vector; trip 10
             DOALL J -> vector; trip 10; nested in span
                 eq.1 [kernel=vector]
@@ -37,17 +37,20 @@ GOLDEN = {
         DOALL I -> vector; trip 10
             DOALL J -> vector; trip 10; nested in span
                 eq.2 [kernel=vector]""",
+    # The hyperplane-transformed subscripts miss the affine fast path, so
+    # the vector backend pays fancy-indexing gathers — auto honestly hands
+    # the module to the serial backend's native C nests instead.
     "hyperplane_gs": """\
-        plan RelaxationHyper: backend=vectorized workers=4 kernels=on windows=off [auto]
+        plan RelaxationHyper: backend=serial workers=4 kernels=native windows=off [auto]
         DO Kp -> serial; trip 25
-            DOALL Ip -> vector; trip 4
-                DOALL Jp -> vector; trip 10; nested in span
-                    eq.1 [kernel=vector]
-        DOALL I -> vector; trip 10
-            DOALL J -> vector; trip 10; nested in span
-                eq.2 [kernel=vector]""",
+            DOALL Ip -> nest; trip 4; fused nest kernel
+                DOALL Jp -> nest; trip 10; fused
+                    eq.1 [kernel=native]
+        DOALL I -> nest; trip 10; fused nest kernel
+            DOALL J -> nest; trip 10; fused
+                eq.2 [kernel=native]""",
     "dp": """\
-        plan Align: backend=vectorized workers=4 kernels=on windows=off [auto]
+        plan Align: backend=vectorized workers=4 kernels=native windows=off [auto]
         DOALL _i1 -> vector; trip 7
             eq.1 [kernel=vector]
         DOALL I -> vector; trip 6
@@ -57,7 +60,7 @@ GOLDEN = {
                 eq.3 [kernel=scalar]
         eq.4 [kernel=scalar]""",
     "paths_int": """\
-        plan Paths: backend=vectorized workers=4 kernels=on windows=off [auto]
+        plan Paths: backend=vectorized workers=4 kernels=native windows=off [auto]
         DOALL _i1 -> vector; trip 7
             eq.1 [kernel=vector]
         DOALL I -> vector; trip 6
@@ -76,40 +79,40 @@ GOLDEN = {
 #: — the texts pin that the policy composes with ordinary planning)
 GOLDEN_COLLAPSE = {
     "jacobi": """\
-        plan Relaxation: backend=process workers=4 kernels=on windows=off [pinned]
+        plan Relaxation: backend=process workers=4 kernels=native windows=off [pinned]
         DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
             DOALL J -> collapse; trip 10; collapsed
-                eq.1 [kernel=nest]
+                eq.1 [kernel=native]
         DO K -> serial; trip 3
             DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
                 DOALL J -> collapse; trip 10; collapsed
-                    eq.3 [kernel=nest]
+                    eq.3 [kernel=native]
         DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
             DOALL J -> collapse; trip 10; collapsed
-                eq.2 [kernel=nest]""",
+                eq.2 [kernel=native]""",
     "gauss_seidel": """\
-        plan Relaxation: backend=process workers=4 kernels=on windows=off [pinned]
+        plan Relaxation: backend=process workers=4 kernels=native windows=off [pinned]
         DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
             DOALL J -> collapse; trip 10; collapsed
-                eq.1 [kernel=nest]
+                eq.1 [kernel=native]
         DO K -> serial; trip 3
             DO I -> serial; trip 10
                 DO J -> serial; trip 10
                     eq.3 [kernel=scalar]
         DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
             DOALL J -> collapse; trip 10; collapsed
-                eq.2 [kernel=nest]""",
+                eq.2 [kernel=native]""",
     "hyperplane_gs": """\
-        plan RelaxationHyper: backend=process workers=4 kernels=on windows=off [pinned]
+        plan RelaxationHyper: backend=process workers=4 kernels=native windows=off [pinned]
         DO Kp -> serial; trip 25
             DOALL Ip -> collapse x4; depth 2 flat 40; trip 4; forced
                 DOALL Jp -> collapse; trip 10; collapsed
-                    eq.1 [kernel=nest]
+                    eq.1 [kernel=native]
         DOALL I -> collapse x4; depth 2 flat 100; trip 10; forced
             DOALL J -> collapse; trip 10; collapsed
-                eq.2 [kernel=nest]""",
+                eq.2 [kernel=native]""",
     "dp": """\
-        plan Align: backend=process workers=4 kernels=on windows=off [pinned]
+        plan Align: backend=process workers=4 kernels=native windows=off [pinned]
         DOALL _i1 -> chunk x4; trip 7
             eq.1 [kernel=vector]
         DOALL I -> chunk x4; trip 6
@@ -119,7 +122,7 @@ GOLDEN_COLLAPSE = {
                 eq.3 [kernel=scalar]
         eq.4 [kernel=scalar]""",
     "paths_int": """\
-        plan Paths: backend=process workers=4 kernels=on windows=off [pinned]
+        plan Paths: backend=process workers=4 kernels=native windows=off [pinned]
         DOALL _i1 -> chunk x4; trip 7
             eq.1 [kernel=vector]
         DOALL I -> chunk x4; trip 6
@@ -160,17 +163,17 @@ class TestGoldenPlans:
             _scalars(args), cpu_count=4,
         )
         assert plan.pretty() == textwrap.dedent("""\
-            plan Relaxation: backend=serial workers=1 kernels=on windows=off [pinned]
+            plan Relaxation: backend=serial workers=1 kernels=native windows=off [pinned]
             DOALL I -> nest; trip 10; fused nest kernel
                 DOALL J -> nest; trip 10; fused
-                    eq.1 [kernel=nest]
+                    eq.1 [kernel=native]
             DO K -> serial; trip 3
                 DOALL I -> nest; trip 10; fused nest kernel
                     DOALL J -> nest; trip 10; fused
-                        eq.3 [kernel=nest]
+                        eq.3 [kernel=native]
             DOALL I -> nest; trip 10; fused nest kernel
                 DOALL J -> nest; trip 10; fused
-                    eq.2 [kernel=nest]""")
+                    eq.2 [kernel=native]""")
 
     def test_pinned_threaded_jacobi_chunks(self):
         name, analyzed, flow, args, _ = WORKLOADS[0]
@@ -180,7 +183,7 @@ class TestGoldenPlans:
             _scalars(args), cpu_count=4,
         )
         assert plan.pretty() == textwrap.dedent("""\
-            plan Relaxation: backend=threaded workers=4 kernels=on windows=off [pinned]
+            plan Relaxation: backend=threaded workers=4 kernels=native windows=off [pinned]
             DOALL I -> chunk x4; trip 10
                 DOALL J -> vector; trip 10; nested in span
                     eq.1 [kernel=vector]

@@ -37,14 +37,37 @@ class TestGilAwareChunkCosts:
         assert plan.backend == "process"
 
     def test_numpy_bound_work_still_prefers_vectorized(self):
+        """The preference holds on both kernel tiers: the calibrated
+        native per-element cost is honest about large NumPy-bound sweeps
+        being memory-bound either way, so auto keeps the vectorized
+        backend rather than flipping to serial-with-native-nests."""
+        analyzed = jacobi_analyzed()
+        flow = schedule_module(analyzed)
+        for tier in ("numpy", "native"):
+            plan = build_plan(
+                analyzed, flow,
+                ExecutionOptions(backend="auto", workers=8, kernel_tier=tier),
+                {"M": 30, "maxK": 8}, cpu_count=8,
+            )
+            assert plan.backend == "vectorized", tier
+
+    def test_pinned_serial_plans_native_nests(self):
+        """An explicit serial pin still lowers every fusable nest to the
+        native tier — the label the runtime cache resolves."""
         analyzed = jacobi_analyzed()
         flow = schedule_module(analyzed)
         plan = build_plan(
             analyzed, flow,
-            ExecutionOptions(backend="auto", workers=8),
+            ExecutionOptions(backend="serial", workers=1),
             {"M": 30, "maxK": 8}, cpu_count=8,
         )
-        assert plan.backend == "vectorized"
+        assert all(e.kernel == "native" for e in plan.equations.values())
+        numpy_plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend="serial", workers=1, kernel_tier="numpy"),
+            {"M": 30, "maxK": 8}, cpu_count=8,
+        )
+        assert all(e.kernel == "nest" for e in numpy_plan.equations.values())
 
 
 class TestCalleePlansStayInProcess:

@@ -263,7 +263,9 @@ class TestKernelCache:
         eq = use.equations[0]
         assert cache.kernel_for(eq, True, False) is None
         assert cache.kernel_for(eq, True, False) is None
-        assert cache.stats() == {"entries": 1, "compiled": 0, "nests": 0}
+        assert cache.stats() == {
+            "entries": 1, "compiled": 0, "nests": 0, "native": 0,
+        }
 
     def test_callee_runtime_is_memoized_across_calls(self):
         """Module calls reuse one schedule + kernel cache per callee —

@@ -63,6 +63,31 @@ class TestPlan:
         assert "kernels=off" in out
         assert "evaluator" in out
 
+    def test_kernel_tier_flag(self, jacobi_file, capsys):
+        assert main(["plan", jacobi_file, "--kernel-tier", "numpy",
+                     "--backend", "serial",
+                     "--set", "M=8", "--set", "maxK=4"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels=numpy" in out
+        assert "kernel=native" not in out
+        assert main(["plan", jacobi_file, "--backend", "serial",
+                     "--set", "M=8", "--set", "maxK=4"]) == 0
+        assert "kernels=native" in capsys.readouterr().out
+
+    def test_plan_save_persists_artifacts(
+        self, jacobi_file, capsys, tmp_path, monkeypatch
+    ):
+        cache = tmp_path / "native-cache"
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(cache))
+        assert main(["plan", jacobi_file, "--backend", "serial",
+                     "--set", "M=8", "--set", "maxK=4", "--save"]) == 0
+        err = capsys.readouterr().err
+        assert "saved plan" in err
+        saved = list(cache.glob("plans/Relaxation-*/plan.txt"))
+        assert len(saved) == 1
+        assert "plan Relaxation:" in saved[0].read_text()
+        assert list(saved[0].parent.glob("nest-*.c"))
+
 
 class TestGraph:
     def test_text(self, jacobi_file, capsys):
