@@ -14,9 +14,22 @@ Quickstart::
     result = repro.compile_source(repro.RELAXATION_JACOBI_SOURCE)
     print(result.flowchart.pretty())
     print(result.c_source)
+
+Compile-once/run-many serving (the paper's premise — all parallelization
+work at compile time, amortized over many executions)::
+
+    with repro.Session() as session:
+        session.load(source)
+        session.warm("Relaxation", {"M": 64, "maxK": 8})
+        out = session.run("Relaxation", {...})   # nothing compiles here
+
+The blessed public surface is ``__all__``: the ``repro.*`` names listed
+there (plus the lazy re-exports below) are stable across minor versions;
+anything else is internal and may move without notice.
 """
 
 from repro.errors import (
+    ClientError,
     CodegenError,
     CoverageError,
     ExecutionError,
@@ -27,25 +40,36 @@ from repro.errors import (
     ReproError,
     ScheduleError,
     SemanticError,
+    SessionError,
     SourceError,
     TransformError,
 )
 
-__version__ = "1.2.0"
+#: single source of truth for the package version — pyproject.toml reads
+#: it via ``[tool.setuptools.dynamic]``, so the two can never drift
+__version__ = "1.4.0"
 
 __all__ = [
+    "ClientError",
     "CodegenError",
     "CoverageError",
     "ExecutionError",
+    "ExecutionOptions",
     "InconsistentPositionError",
     "InfeasibleScheduleError",
     "LexError",
     "ParseError",
+    "ReproClient",
+    "ReproDaemon",
     "ReproError",
     "ScheduleError",
     "SemanticError",
+    "Session",
+    "SessionError",
     "SourceError",
     "TransformError",
+    "compile_source",
+    "execute_module",
     "__version__",
 ]
 
@@ -84,6 +108,11 @@ def __getattr__(name):
         "LoopPlan": "repro.plan.ir",
         "build_plan": "repro.plan.planner",
         "forced_plan": "repro.plan.planner",
+        "Session": "repro.serve",
+        "SessionStats": "repro.serve",
+        "ReproDaemon": "repro.serve",
+        "DaemonThread": "repro.serve",
+        "ReproClient": "repro.serve",
     }
     if name in lazy:
         return getattr(import_module(lazy[name]), name)

@@ -10,6 +10,9 @@ plan       print the cost-driven execution plan (backend, chunking, and
            kernel choice per loop nest)
 run        execute a module (scalars via --set, array inputs random or
            loaded from .npy via --load)
+serve      compile modules once, warm plans/kernels/worker pools, and
+           serve run requests over TCP or a unix socket
+client     talk to a running serve daemon (run/plan/describe/stats/...)
 """
 
 from __future__ import annotations
@@ -28,10 +31,8 @@ from repro.hyperplane.pipeline import hyperplane_transform
 from repro.ps.parser import parse_module
 from repro.ps.printer import format_module
 from repro.ps.semantics import analyze_module
-from repro.ps.types import ArrayType
 from repro.runtime.backends import available_backends
 from repro.runtime.executor import ExecutionOptions, execute_module
-from repro.runtime.values import array_bounds
 from repro.schedule.scheduler import schedule_module
 
 
@@ -109,12 +110,13 @@ def _cmd_transform(args) -> int:
     return 0
 
 
-def _cmd_plan(args) -> int:
-    from repro.plan.planner import build_plan
-
-    analyzed = analyze_module(_read_module(args.module))
-    flow = schedule_module(analyzed)
-    options = ExecutionOptions(
+def _execution_options(args, vectorize: bool = True) -> ExecutionOptions:
+    """Execution options from the shared CLI flags, through the one
+    documented resolution path (``ExecutionOptions.resolve``) that the
+    library, the serve daemon, and these commands all use."""
+    return ExecutionOptions.resolve(
+        None,
+        vectorize=vectorize,
         backend=args.backend,
         workers=args.workers,
         use_windows=args.windows,
@@ -122,6 +124,14 @@ def _cmd_plan(args) -> int:
         use_collapse=not args.no_collapse,
         kernel_tier=args.kernel_tier,
     )
+
+
+def _cmd_plan(args) -> int:
+    from repro.plan.planner import build_plan
+
+    analyzed = analyze_module(_read_module(args.module))
+    flow = schedule_module(analyzed)
+    options = _execution_options(args)
     scalars = _parse_assignments(args.set or [])
     plan = build_plan(analyzed, flow, options, scalars)
     text = plan.pretty(cycles=args.cycles)
@@ -154,39 +164,135 @@ def _cmd_run(args) -> int:
     for pair in args.load or []:
         name, _, path = pair.partition("=")
         run_args[name] = np.load(path)
-    # Fill remaining array parameters with seeded random data.
-    rng = np.random.default_rng(args.seed)
-    scalars = {k: v for k, v in run_args.items() if isinstance(v, int)}
-    for pname in analyzed.param_names:
-        if pname in run_args:
-            continue
-        sym = analyzed.symbol(pname)
-        if isinstance(sym.type, ArrayType):
-            bounds = array_bounds(sym.type, scalars)
-            shape = tuple(hi - lo + 1 for lo, hi in bounds)
-            run_args[pname] = rng.random(shape)
-            print(f"note: filled {pname} with random{shape} (seed {args.seed})",
-                  file=sys.stderr)
+    # Fill remaining array parameters with seeded random data — the same
+    # helper the serve daemon uses for "fill": true requests.
+    from repro.serve.session import fill_random_arrays
+
+    for pname in fill_random_arrays(analyzed, run_args, seed=args.seed):
+        shape = run_args[pname].shape
+        print(f"note: filled {pname} with random{shape} (seed {args.seed})",
+              file=sys.stderr)
     if args.scalar and args.backend not in ("auto", "serial"):
         raise ReproError(
             f"--scalar is shorthand for --backend serial and conflicts "
             f"with --backend {args.backend}"
         )
-    options = ExecutionOptions(
-        vectorize=not args.scalar,
-        use_windows=args.windows,
-        backend=args.backend,
-        workers=args.workers,
-        use_kernels=not args.no_kernels,
-        use_collapse=not args.no_collapse,
-        kernel_tier=args.kernel_tier,
-    )
+    options = _execution_options(args, vectorize=not args.scalar)
     results = execute_module(analyzed, run_args, options=options)
     with np.printoptions(precision=6, suppress=True):
         for name, value in results.items():
             print(f"{name} =")
             print(value)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import DaemonThread, Session
+
+    session = Session(execution=_execution_options(args))
+    for path in args.modules:
+        name = session.load_file(path)
+        print(f"loaded {name} from {path}", file=sys.stderr)
+    warm_sizes = _parse_assignments(args.warm or [])
+    session.warm(sizes=warm_sizes or None)
+    runner = DaemonThread(
+        session,
+        host=args.host,
+        port=args.port or 0,
+        unix_path=args.socket,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+    )
+    daemon = runner.start()
+    if isinstance(daemon.address, tuple):
+        print(f"serving on {daemon.address[0]}:{daemon.address[1]}", flush=True)
+    else:
+        print(f"serving on {daemon.address}", flush=True)
+    try:
+        runner.join()
+    except KeyboardInterrupt:
+        runner.stop()
+    return 0
+
+
+def _client(args):
+    from repro.serve import ReproClient
+
+    return ReproClient(host=args.host, port=args.port, unix_path=args.socket)
+
+
+def _client_overrides(args) -> dict:
+    overrides = {"backend": args.backend, "workers": args.workers}
+    return {k: v for k, v in overrides.items() if v is not None}
+
+
+def _cmd_client_run(args) -> int:
+    run_args: dict = dict(_parse_assignments(args.set or []))
+    for pair in args.load or []:
+        name, _, path = pair.partition("=")
+        run_args[name] = np.load(path)
+    with _client(args) as client:
+        results = client.run(
+            args.run_module,
+            run_args,
+            fill=True,
+            seed=args.seed,
+            **_client_overrides(args),
+        )
+    with np.printoptions(precision=6, suppress=True):
+        for name, value in results.items():
+            print(f"{name} =")
+            print(value)
+    return 0
+
+
+def _cmd_client_plan(args) -> int:
+    sizes = _parse_assignments(args.set or [])
+    with _client(args) as client:
+        plan = client.plan(args.run_module, sizes, **_client_overrides(args))
+    print(f"backend: {plan['backend']}  workers: {plan['workers']}  "
+          f"cycles: {plan['cycles']:.0f}")
+    for index, strategy in plan["strategies"]:
+        print(f"  loop {index}: {strategy}")
+    return 0
+
+
+def _cmd_client_simple(args) -> int:
+    import json
+
+    op = args.client_command
+    with _client(args) as client:
+        if op == "ping":
+            print(client.ping())
+        elif op == "modules":
+            for name in client.modules():
+                print(name)
+        elif op == "describe":
+            print(json.dumps(client.describe(args.run_module), indent=2))
+        elif op == "stats":
+            print(json.dumps(client.stats(), indent=2))
+        elif op == "shutdown":
+            print(client.shutdown())
+    return 0
+
+
+def _add_execution_flags(p: argparse.ArgumentParser) -> None:
+    """The execution-option flags shared by plan/run/serve — one flag set
+    feeding :func:`_execution_options`."""
+    p.add_argument("--windows", action="store_true",
+                   help="allocate virtual dimensions as windows")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", *available_backends()],
+                   help="DOALL execution backend (default: planner's choice)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker count for the threaded/process backends")
+    p.add_argument("--no-kernels", action="store_true",
+                   help="disable compiled kernels (reference evaluator only)")
+    p.add_argument("--no-collapse", action="store_true",
+                   help="disable flattening of perfect DOALL nests")
+    p.add_argument("--kernel-tier", default="native",
+                   choices=["native", "numpy", "evaluator"],
+                   help="highest kernel tier (default: native)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -282,6 +388,72 @@ def build_parser() -> argparse.ArgumentParser:
                         "(exec-compiled NumPy kernels), or evaluator "
                         "(reference tree walk only)")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="compile once and serve run requests from a warm daemon",
+    )
+    p.add_argument("modules", nargs="+", metavar="MODULE.ps",
+                   help="PS source files to compile and serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default: an ephemeral port, printed on "
+                        "the ready line)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="serve on a unix socket instead of TCP")
+    p.add_argument("--warm", action="append", metavar="NAME=INT",
+                   help="sizes to pre-plan and prime pools for (repeatable); "
+                        "kernels warm regardless")
+    p.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                   help="requests executing at once (default 8)")
+    p.add_argument("--max-queue", type=int, default=32, metavar="N",
+                   help="waiting requests beyond which the daemon answers "
+                        "Overloaded (default 32)")
+    _add_execution_flags(p)
+    p.set_defaults(func=_cmd_serve)
+
+    conn = argparse.ArgumentParser(add_help=False)
+    conn.add_argument("--host", default="127.0.0.1")
+    conn.add_argument("--port", type=int, default=None)
+    conn.add_argument("--socket", default=None, metavar="PATH")
+
+    p = sub.add_parser("client", help="talk to a running serve daemon")
+    csub = p.add_subparsers(dest="client_command", required=True)
+
+    c = csub.add_parser("run", parents=[conn], help="execute a module")
+    c.add_argument("run_module", metavar="MODULE", help="served module name")
+    c.add_argument("--set", action="append", metavar="NAME=INT",
+                   help="scalar parameter")
+    c.add_argument("--load", action="append", metavar="NAME=FILE.npy",
+                   help="array parameter from a .npy file")
+    c.add_argument("--seed", type=int, default=0,
+                   help="seed for daemon-filled array parameters")
+    c.add_argument("--backend", default=None,
+                   choices=["auto", *available_backends()])
+    c.add_argument("--workers", type=int, default=None, metavar="N")
+    c.set_defaults(func=_cmd_client_run)
+
+    c = csub.add_parser("plan", parents=[conn],
+                        help="show the plan the daemon would execute")
+    c.add_argument("run_module", metavar="MODULE")
+    c.add_argument("--set", action="append", metavar="NAME=INT")
+    c.add_argument("--backend", default=None,
+                   choices=["auto", *available_backends()])
+    c.add_argument("--workers", type=int, default=None, metavar="N")
+    c.set_defaults(func=_cmd_client_plan)
+
+    for op, help_text in [
+        ("ping", "check the daemon is alive"),
+        ("modules", "list served modules"),
+        ("describe", "print a module's parameter/result signature"),
+        ("stats", "print session counters and cache statistics"),
+        ("shutdown", "stop the daemon (pools torn down, shm unlinked)"),
+    ]:
+        c = csub.add_parser(op, parents=[conn], help=help_text)
+        if op == "describe":
+            c.add_argument("run_module", metavar="MODULE")
+        c.set_defaults(func=_cmd_client_simple)
+
     return parser
 
 
@@ -296,6 +468,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. piped through `head`); exit quietly
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

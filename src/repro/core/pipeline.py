@@ -13,8 +13,9 @@ and window allocation (section 3.4).
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -86,14 +87,42 @@ class CompileResult:
         backend: str | None,
         workers: int | None,
     ) -> ExecutionOptions:
-        base = execution or ExecutionOptions()
+        """Deprecated: the scattered ``backend=``/``workers=`` kwarg merge.
+        :meth:`ExecutionOptions.resolve` is the one options-resolution path
+        now (shared with the CLI and the serve daemon); this shim remains
+        so old callers keep working, with a warning."""
+        warnings.warn(
+            "CompileResult._merge_execution is deprecated; use "
+            "ExecutionOptions.resolve(execution, backend=..., workers=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ExecutionOptions.resolve(
+            execution, backend=backend, workers=workers
+        )
+
+    @staticmethod
+    def _resolve_execution(
+        execution: ExecutionOptions | None,
+        backend: str | None,
+        workers: int | None,
+        caller: str,
+    ) -> ExecutionOptions:
+        """Resolve options through the shared path, warning once per call
+        site when the deprecated scattered kwargs are used."""
         if backend is not None or workers is not None:
-            base = replace(
-                base,
-                backend=backend if backend is not None else base.backend,
-                workers=workers if workers is not None else base.workers,
+            warnings.warn(
+                f"CompileResult.{caller}(backend=..., workers=...) is "
+                f"deprecated; pass execution="
+                f"ExecutionOptions.resolve(backend=..., workers=...) "
+                f"instead — one documented options-resolution path for "
+                f"library, CLI, and daemon",
+                DeprecationWarning,
+                stacklevel=3,
             )
-        return base
+        return ExecutionOptions.resolve(
+            execution, backend=backend, workers=workers
+        )
 
     def plan(
         self,
@@ -108,7 +137,7 @@ class CompileResult:
         ``backend="auto"`` (the default) asks the cost-driven planner to
         choose; an explicit backend pins the plan to it.
         """
-        execution = self._merge_execution(execution, backend, workers)
+        execution = self._resolve_execution(execution, backend, workers, "plan")
         scalars = {
             k: int(v)
             for k, v in (args or {}).items()
@@ -177,7 +206,7 @@ class CompileResult:
         follows the cached cost-driven :meth:`plan` unless a prebuilt
         ``plan`` is supplied.
         """
-        execution = self._merge_execution(execution, backend, workers)
+        execution = self._resolve_execution(execution, backend, workers, "run")
         if plan is None:
             plan = self.plan(args, execution=execution)
         return execute_module(

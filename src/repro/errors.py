@@ -73,3 +73,19 @@ class ExecutionError(ReproError):
 
 class CodegenError(ReproError):
     """The code generator cannot emit a construct."""
+
+
+class SessionError(ReproError):
+    """Misuse of the serve layer: a run on a closed
+    :class:`~repro.serve.session.Session`, an unknown module name, a
+    module-name collision between two loaded sources, ..."""
+
+
+class ClientError(ReproError):
+    """A serve-daemon request failed: the structured error the daemon
+    returned (its ``type`` is in :attr:`kind`), or a transport failure
+    talking to it."""
+
+    def __init__(self, message: str, kind: str = "ClientError"):
+        self.kind = kind
+        super().__init__(message)

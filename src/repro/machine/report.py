@@ -4,7 +4,7 @@ comparisons of the cost model against real execution backends."""
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.machine.cost import MachineModel
@@ -151,7 +151,7 @@ def measure_backend_speedups(
 
     from repro.runtime.executor import ExecutionOptions, execute_module
 
-    base = execution or ExecutionOptions()
+    base = ExecutionOptions.resolve(execution)
     scalar_args = {
         k: int(v)
         for k, v in run_args.items()
@@ -163,7 +163,7 @@ def measure_backend_speedups(
             analyzed,
             run_args,
             flowchart=flowchart,
-            options=replace(base, backend="serial"),
+            options=ExecutionOptions.resolve(base, backend="serial"),
         ),
         repeats,
     )
@@ -174,7 +174,7 @@ def measure_backend_speedups(
     seconds: list[float] = []
     predicted: list[float] = []
     for w in workers_counts:
-        options = replace(base, backend=backend, workers=w)
+        options = ExecutionOptions.resolve(base, backend=backend, workers=w)
         seconds.append(
             _best_of(
                 lambda: execute_module(
@@ -295,7 +295,7 @@ def compare_plans(
         backends = [
             b for b in backends if b not in ("process", "process-fork")
         ]
-    base = execution or ExecutionOptions()
+    base = ExecutionOptions.resolve(execution)
     if workers is None:
         workers = base.workers
     scalars = {
@@ -305,7 +305,8 @@ def compare_plans(
     }
 
     auto_plan = build_plan(
-        analyzed, flowchart, replace(base, backend="auto", workers=workers),
+        analyzed, flowchart,
+        ExecutionOptions.resolve(base, backend="auto", workers=workers),
         scalars, calibration=calibration,
     )
     if auto_plan.backend not in backends:
@@ -313,7 +314,9 @@ def compare_plans(
         backends.append(auto_plan.backend)
     rows: list[dict[str, Any]] = []
     for backend in backends:
-        options = replace(base, backend=backend, workers=workers)
+        options = ExecutionOptions.resolve(
+            base, backend=backend, workers=workers
+        )
         plan = build_plan(analyzed, flowchart, options, scalars)
         seconds = _best_of(
             lambda options=options, plan=plan: execute_module(

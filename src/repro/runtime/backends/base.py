@@ -160,6 +160,12 @@ class ExecutionBackend:
     #: registry key, e.g. ``"serial"`` — set by each subclass
     name = "base"
 
+    #: whether a long-lived owner (a serve :class:`Session`) must
+    #: serialise concurrent runs on one instance — the process backends
+    #: stream every run's wavefronts through one task/result queue pair,
+    #: so interleaved runs would consume each other's results
+    serialize_runs = False
+
     def __init__(self, workers: int | None = None):
         self.workers = max(1, workers if workers is not None else os.cpu_count() or 1)
 
@@ -188,8 +194,17 @@ class ExecutionBackend:
         for desc in state.flowchart.descriptors:
             self.exec_descriptor(state, desc, {}, [])
 
+    def end_run(self) -> None:
+        """Release *per-run* resources (e.g. this run's shared-memory
+        segments) while keeping long-lived ones — worker pools, warmed
+        caches — for the next run. Called after results are exported when
+        the backend's lifetime outlives one execution (a
+        :class:`~repro.serve.session.Session` owns such backends);
+        :meth:`close` implies it."""
+
     def close(self) -> None:
         """Release pools/segments. Called after results are exported."""
+        self.end_run()
 
     # -- storage hooks -----------------------------------------------------
 

@@ -81,6 +81,7 @@ class ForkProcessBackend(ExecutionBackend):
     """Fork-per-wavefront baseline (PR 1 semantics)."""
 
     name = "process-fork"
+    serialize_runs = True
 
     def __init__(self, workers: int | None = None):
         super().__init__(workers)
@@ -113,7 +114,11 @@ class ForkProcessBackend(ExecutionBackend):
         # Results must outlive the shared segments backing them.
         return np.array(array)
 
-    def close(self) -> None:
+    def end_run(self) -> None:
+        """Unlink this run's shared segments (results were exported as
+        copies already). Pool workers that attached them drop their stale
+        attachments on the next task's sync (see :func:`_pool_worker`), so
+        a persistent backend does not accumulate segments across runs."""
         for shm in self._segments:
             try:
                 shm.unlink()
@@ -124,6 +129,9 @@ class ForkProcessBackend(ExecutionBackend):
         # exported views exist.
         self._segments.clear()
         self._seg_by_storage.clear()
+
+    def close(self) -> None:
+        self.end_run()
 
     # -- dispatch ----------------------------------------------------------
 
@@ -275,6 +283,24 @@ def _pool_worker(backend: ProcessBackend, state: ExecutionState, task_q, result_
                     name, list(los), list(his), storage, dict(windows), None
                 )
                 known[name] = seg
+            # A persistent pool outlives the run that forked it: drop names
+            # whose segments the parent has since unlinked (they are absent
+            # from this task's full sync state) and unmap attachments no
+            # name references any more, so memory use stays bounded by the
+            # *current* run's arrays, not the session's history.
+            live = set()
+            for name in list(known):
+                if name in specs:
+                    live.add(known[name])
+                else:
+                    known.pop(name)
+                    state.data.pop(name, None)
+            for seg in [s for s in attached if s not in live]:
+                shm = attached.pop(seg)
+                try:
+                    shm.close()
+                except BufferError:  # a NumPy view is still alive; retry
+                    attached[seg] = shm
             desc = state.flowchart.descriptor_at(path)
             sub = state.fork()
             if kind == "flat":

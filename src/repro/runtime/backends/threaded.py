@@ -11,6 +11,7 @@ the shared base dispatch.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
@@ -24,12 +25,18 @@ class ThreadedBackend(ExecutionBackend):
     def __init__(self, workers: int | None = None):
         super().__init__(workers)
         self._pool: ThreadPoolExecutor | None = None
+        # A session-owned backend may serve overlapping runs from several
+        # request threads; pool creation must happen exactly once.
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-doall"
-            )
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-doall",
+                    )
         return self._pool
 
     def _pool_wavefront(self, state: ExecutionState, spans, run_span) -> None:

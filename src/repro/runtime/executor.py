@@ -28,7 +28,7 @@ Options:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -82,6 +82,31 @@ class ExecutionOptions:
     #: plan with the per-loop strategies only — the escape hatch)
     use_collapse: bool = True
 
+    @classmethod
+    def resolve(
+        cls, base: ExecutionOptions | None = None, /, **overrides: Any
+    ) -> ExecutionOptions:
+        """The one options-resolution path shared by the library
+        (:meth:`CompileResult.run`), the CLI, and the serve daemon.
+
+        Starts from ``base`` (or the defaults) and applies ``overrides``
+        by field name; an override of ``None`` means "keep the base value"
+        so callers can thread optional CLI/request parameters straight
+        through. Unknown names raise ``TypeError`` — options typos must
+        not silently plan a different execution.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(
+                f"unknown execution option(s) {sorted(unknown)!r}; "
+                f"valid fields: {sorted(known)}"
+            )
+        effective = {k: v for k, v in overrides.items() if v is not None}
+        if base is None:
+            return cls(**effective)
+        return replace(base, **effective) if effective else base
+
 
 def execute_module(
     analyzed: AnalyzedModule,
@@ -91,6 +116,7 @@ def execute_module(
     program: AnalyzedProgram | None = None,
     kernel_cache: KernelCache | None = None,
     plan: ExecutionPlan | None = None,
+    backend: Any = None,
 ) -> dict[str, Any]:
     """Execute a module with the given inputs; returns its results.
 
@@ -102,6 +128,14 @@ def execute_module(
     prebuilt (possibly hand-forced) :class:`ExecutionPlan`; without it the
     cost-driven planner runs once for this execution — ``backend="auto"``
     asks it to choose, an explicit backend pins the plan.
+
+    ``backend`` supplies a pre-instantiated
+    :class:`~repro.runtime.backends.base.ExecutionBackend` whose lifetime
+    the *caller* owns (a :class:`~repro.serve.session.Session` keeps worker
+    pools alive across runs this way): it must match the plan's backend
+    name, only per-run resources are released afterwards
+    (``backend.end_run()``), and ``backend.close()`` is never called here.
+    Without it a backend is instantiated for the plan and fully closed.
     """
     options = options or ExecutionOptions()
     if flowchart is None:
@@ -126,29 +160,6 @@ def execute_module(
     scalar_env = {
         k: int(v) for k, v in data.items() if isinstance(v, (int, np.integer))
     }
-    for pname in analyzed.param_names:
-        sym = analyzed.symbol(pname)
-        if isinstance(sym.type, ArrayType):
-            if pname not in args:
-                raise ExecutionError(f"missing argument {pname!r}")
-            bounds = array_bounds(sym.type, scalar_env)
-            data[pname] = RuntimeArray.from_numpy(
-                pname,
-                np.asarray(args[pname], dtype=dtype_for(sym.type.element)),
-                bounds,
-            )
-    # Record parameters may arrive as dicts; flatten dotted names.
-    for key, value in args.items():
-        if key not in data and "." in key:
-            data[key] = value
-
-    kernels: KernelCache | None = None
-    if (
-        options.use_kernels
-        and not options.debug_windows
-        and getattr(options, "kernel_tier", "native") != "evaluator"
-    ):
-        kernels = kernel_cache or KernelCache(analyzed, flowchart)
 
     if plan is None:
         from repro.plan.planner import build_plan
@@ -159,20 +170,58 @@ def execute_module(
         # flowchart tree; re-index it on these descriptor identities.
         plan.bind(flowchart)
 
-    state = ExecutionState(
-        analyzed,
-        flowchart,
-        options,
-        data,
-        Evaluator(data, call_fn=None, enums=_enum_env(analyzed)),
-        program=program,
-        kernels=kernels,
-        plan=plan,
-    )
-    state.evaluator.call_fn = lambda name, cargs: _call_module(state, name, cargs)
+    owned = backend is None
+    if owned:
+        backend = instantiate_backend(plan.backend, workers=plan.workers)
+    elif backend.name != plan.backend:
+        raise ExecutionError(
+            f"supplied backend {backend.name!r} does not match the plan's "
+            f"backend {plan.backend!r} — resolve the plan first and hand "
+            f"execute_module the matching backend instance"
+        )
 
-    backend = instantiate_backend(plan.backend, workers=plan.workers)
     try:
+        # Input arrays materialise through the backend's storage factory —
+        # a process backend places them in named shared-memory segments, so
+        # a persistent pool forked on an earlier run re-attaches this run's
+        # inputs by name instead of relying on fork-time inheritance.
+        for pname in analyzed.param_names:
+            sym = analyzed.symbol(pname)
+            if isinstance(sym.type, ArrayType):
+                if pname not in args:
+                    raise ExecutionError(f"missing argument {pname!r}")
+                bounds = array_bounds(sym.type, scalar_env)
+                data[pname] = RuntimeArray.from_numpy(
+                    pname,
+                    np.asarray(args[pname], dtype=dtype_for(sym.type.element)),
+                    bounds,
+                    storage_factory=backend.make_storage,
+                )
+        # Record parameters may arrive as dicts; flatten dotted names.
+        for key, value in args.items():
+            if key not in data and "." in key:
+                data[key] = value
+
+        kernels: KernelCache | None = None
+        if (
+            options.use_kernels
+            and not options.debug_windows
+            and getattr(options, "kernel_tier", "native") != "evaluator"
+        ):
+            kernels = kernel_cache or KernelCache(analyzed, flowchart)
+
+        state = ExecutionState(
+            analyzed,
+            flowchart,
+            options,
+            data,
+            Evaluator(data, call_fn=None, enums=_enum_env(analyzed)),
+            program=program,
+            kernels=kernels,
+            plan=plan,
+        )
+        state.evaluator.call_fn = lambda name, cargs: _call_module(state, name, cargs)
+
         backend.run(state)
         results = {}
         for rname in analyzed.result_names:
@@ -182,7 +231,10 @@ def execute_module(
             results[rname] = value
         return results
     finally:
-        backend.close()
+        if owned:
+            backend.close()
+        else:
+            backend.end_run()
 
 
 def execute_program_module(

@@ -1,0 +1,17 @@
+"""The serve layer: a compile-once/run-many :class:`Session` and the
+daemon/client pair that puts one behind a socket (``repro serve`` /
+``repro client``). See :mod:`repro.serve.session` for the amortization
+story and :mod:`repro.serve.wire` for the protocol."""
+
+from repro.serve.client import ReproClient
+from repro.serve.daemon import DaemonThread, ReproDaemon
+from repro.serve.session import Session, SessionStats, fill_random_arrays
+
+__all__ = [
+    "DaemonThread",
+    "ReproClient",
+    "ReproDaemon",
+    "Session",
+    "SessionStats",
+    "fill_random_arrays",
+]

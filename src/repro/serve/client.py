@@ -1,0 +1,155 @@
+"""A small synchronous client for the serve daemon.
+
+One socket, one request/response line at a time — a deliberately boring
+transport so the interesting guarantees (bit-exact results, input
+isolation, structured errors) live server-side and are testable there.
+Concurrency comes from using one :class:`ReproClient` per thread, exactly
+how the benchmark and the daemon tests drive it.
+
+Structured daemon errors re-raise as :class:`~repro.errors.ClientError`
+with the wire ``type`` in ``.kind``, so callers can tell ``UnknownModule``
+from ``Overloaded`` without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ClientError
+from repro.serve import wire
+
+
+class ReproClient:
+    """Connect to a ``repro serve`` daemon over TCP or a unix socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        unix_path: str | None = None,
+        timeout: float | None = 60.0,
+    ):
+        try:
+            if unix_path is not None:
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(unix_path)
+            elif port is not None:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+            else:
+                raise ClientError("need a port or a unix_path to connect to")
+        except OSError as exc:
+            target = unix_path if unix_path is not None else f"{host}:{port}"
+            raise ClientError(
+                f"cannot connect to daemon at {target}: {exc}", "Transport"
+            ) from exc
+        self._file = self._sock.makefile("rb")
+
+    # -- transport ---------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> Any:
+        """Send one raw request object, return the ``result`` of the
+        response, raising :class:`ClientError` on a structured error."""
+        try:
+            self._sock.sendall(
+                json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+            )
+            line = self._file.readline(wire.MAX_LINE)
+        except OSError as exc:
+            raise ClientError(f"transport failure: {exc}", "Transport") from exc
+        if not line:
+            raise ClientError("daemon closed the connection", "Transport")
+        response = json.loads(line)
+        if not response.get("ok"):
+            err = response.get("error") or {}
+            raise ClientError(
+                err.get("message", "unknown daemon error"),
+                err.get("type", "ClientError"),
+            )
+        return response.get("result")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> ReproClient:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> str:
+        return self.request({"op": "ping"})
+
+    def modules(self) -> list[str]:
+        return self.request({"op": "modules"})
+
+    def describe(self, module: str) -> dict[str, Any]:
+        return self.request({"op": "describe", "module": module})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def plan(
+        self,
+        module: str,
+        sizes: dict[str, int] | None = None,
+        **execution: Any,
+    ) -> dict[str, Any]:
+        return self.request(
+            {
+                "op": "plan",
+                "module": module,
+                "sizes": sizes or {},
+                "execution": execution,
+            }
+        )
+
+    def warm(
+        self,
+        module: str | None = None,
+        sizes: dict[str, int] | None = None,
+        **execution: Any,
+    ) -> dict[str, Any]:
+        request: dict[str, Any] = {"op": "warm", "execution": execution}
+        if module is not None:
+            request["module"] = module
+        if sizes:
+            request["sizes"] = sizes
+        return self.request(request)
+
+    def run(
+        self,
+        module: str,
+        args: dict[str, Any],
+        fill: bool = False,
+        seed: int = 0,
+        **execution: Any,
+    ) -> dict[str, np.ndarray | Any]:
+        """Execute one request; array results come back as numpy arrays
+        (float64 values round-trip bit-exactly through the JSON wire)."""
+        result = self.request(
+            {
+                "op": "run",
+                "module": module,
+                "args": wire.encode_mapping(args),
+                "fill": bool(fill),
+                "seed": seed,
+                "execution": execution,
+            }
+        )
+        return wire.decode_mapping(result)
+
+    def shutdown(self) -> str:
+        """Ask the daemon to shut down; the connection dies with it."""
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,325 @@
+"""The ``repro serve`` daemon: a :class:`~repro.serve.session.Session`
+behind a socket.
+
+The asyncio loop owns only the transport — accept, read a line, write a
+line. Every request body executes in a thread pool against one shared
+warm session, so concurrent clients overlap wherever the session allows
+(always for planning and in-process backends; process-pool runs serialise
+on their backend). Two pressure valves bound a burst of clients:
+
+* ``max_inflight`` requests execute at once (a semaphore over the
+  executor), and
+* at most ``max_queue`` more may wait; beyond that the daemon answers
+  ``Overloaded`` immediately instead of buffering unboundedly.
+
+Wire protocol: one JSON object per line (see :mod:`repro.serve.wire`).
+Requests carry ``op`` plus op-specific fields; every response is either
+``{"ok": true, "result": ...}`` or a structured error. A malformed line
+gets a ``BadRequest`` error and the connection stays open — one bad
+request must not kill a client's pipeline.
+
+Supported ops: ``ping``, ``modules``, ``describe``, ``stats``, ``plan``,
+``warm``, ``run``, ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+from typing import Any
+
+from repro.errors import ReproError, SessionError
+from repro.runtime.executor import ExecutionOptions
+from repro.serve import wire
+from repro.serve.session import Session, fill_random_arrays
+
+
+class ReproDaemon:
+    """Serve one warm :class:`Session` over TCP or a unix socket.
+
+    Synchronous construction; :meth:`serve_forever` runs the asyncio loop
+    until :meth:`request_shutdown` (or a client ``shutdown`` op). The
+    session is owned: closing the daemon closes it, tearing down worker
+    pools and unlinking every shared-memory segment.
+    """
+
+    def __init__(
+        self,
+        session: Session,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: str | None = None,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+    ):
+        self.session = session
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.max_inflight = max(1, int(max_inflight))
+        self.max_queue = max(0, int(max_queue))
+        self._sem = asyncio.Semaphore(self.max_inflight)
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_inflight,
+            thread_name_prefix="repro-serve",
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self._ready = threading.Event()
+        self.address: tuple[str, int] | str | None = None
+
+    # -- request handling --------------------------------------------------
+
+    def _handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Execute one request synchronously (runs on the executor)."""
+        op = request.get("op")
+        if op == "ping":
+            return wire.ok("pong")
+        if op == "modules":
+            return wire.ok(self.session.modules())
+        if op == "stats":
+            return wire.ok(self.session.stats().to_dict())
+        if op == "describe":
+            return wire.ok(self.session.describe(self._module_of(request)))
+        if op == "plan":
+            module = self._module_of(request)
+            sizes = wire.decode_mapping(request.get("sizes") or {})
+            plan = self.session.plan(module, sizes, **self._overrides(request))
+            return wire.ok(
+                {
+                    "backend": plan.backend,
+                    "workers": plan.workers,
+                    "cycles": plan.cycles,
+                    "strategies": [
+                        list(pair) for pair in plan.strategies()
+                    ],
+                }
+            )
+        if op == "warm":
+            module = request.get("module")
+            if module is not None and not isinstance(module, str):
+                raise _BadRequest("'module' must be a string")
+            sizes = wire.decode_mapping(request.get("sizes") or {})
+            report = self.session.warm(
+                module, sizes or None, **self._overrides(request)
+            )
+            return wire.ok(report)
+        if op == "run":
+            module = self._module_of(request)
+            raw = request.get("args")
+            if not isinstance(raw, dict):
+                raise _BadRequest("'args' must be an object")
+            args = wire.decode_mapping(raw)
+            if request.get("fill"):
+                fill_random_arrays(
+                    self.session.result_for(module).analyzed,
+                    args,
+                    seed=int(request.get("seed", 0)),
+                )
+            out = self.session.run(module, args, **self._overrides(request))
+            return wire.ok(wire.encode_mapping(out))
+        raise _BadRequest(f"unknown op {op!r}")
+
+    def _module_of(self, request: dict[str, Any]) -> str:
+        module = request.get("module")
+        if not isinstance(module, str):
+            raise _BadRequest("request needs a string 'module' field")
+        if module not in self.session.modules():
+            raise _UnknownModule(
+                f"unknown module {module!r} "
+                f"(serving: {', '.join(self.session.modules()) or 'none'})"
+            )
+        return module
+
+    @staticmethod
+    def _overrides(request: dict[str, Any]) -> dict[str, Any]:
+        overrides = request.get("execution") or {}
+        if not isinstance(overrides, dict):
+            raise _BadRequest("'execution' must be an object of option overrides")
+        try:
+            ExecutionOptions.resolve(None, **overrides)
+        except TypeError as exc:
+            raise _BadRequest(str(exc)) from None
+        return overrides
+
+    # -- connection loop ---------------------------------------------------
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # over-long line or peer reset: nothing sane to answer on
+                    break
+                if not line:
+                    break
+                response = await self._respond(line)
+                if response is _SHUTDOWN:
+                    writer.write(_dumps(wire.ok("shutting down")))
+                    await writer.drain()
+                    self.request_shutdown()
+                    break
+                writer.write(_dumps(response))
+                await writer.drain()
+        except asyncio.CancelledError:
+            pass  # daemon shutting down while this connection idled
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _respond(self, line: bytes) -> Any:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return wire.error("BadRequest", f"malformed JSON: {exc}")
+        if not isinstance(request, dict):
+            return wire.error("BadRequest", "request must be a JSON object")
+        if request.get("op") == "shutdown":
+            return _SHUTDOWN
+        with self._pending_lock:
+            if self._pending >= self.max_inflight + self.max_queue:
+                return wire.error(
+                    "Overloaded",
+                    f"{self._pending} requests already in flight or queued "
+                    f"(max {self.max_inflight} + {self.max_queue})",
+                )
+            self._pending += 1
+        try:
+            async with self._sem:
+                loop = asyncio.get_running_loop()
+                try:
+                    return await loop.run_in_executor(
+                        self._executor, self._handle, request
+                    )
+                except _DaemonReject as exc:
+                    return wire.error(exc.kind, str(exc))
+                except ReproError as exc:
+                    return wire.error(type(exc).__name__, str(exc))
+                except Exception as exc:  # a bug, but the wire stays clean
+                    return wire.error(
+                        "InternalError", f"{type(exc).__name__}: {exc}"
+                    )
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def _start(self) -> None:
+        if self.unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._serve_client, path=self.unix_path, limit=wire.MAX_LINE
+            )
+            self.address = self.unix_path
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_client, self.host, self.port, limit=wire.MAX_LINE
+            )
+            sock = self._server.sockets[0].getsockname()
+            self.address = (sock[0], sock[1])
+            self.port = sock[1]
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+
+    async def _run(self) -> None:
+        await self._start()
+        try:
+            async with self._server:
+                await self._shutdown.wait()
+        finally:
+            self.close()
+
+    def serve_forever(self) -> None:
+        """Run the daemon until shutdown. Blocks the calling thread."""
+        try:
+            asyncio.run(self._run())
+        finally:
+            self._ready.set()  # unblock wait_ready() even on startup failure
+
+    def wait_ready(self, timeout: float | None = None) -> bool:
+        """Block until the daemon is accepting connections (or failed)."""
+        return self._ready.wait(timeout)
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop; safe from any thread."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._shutdown.set)
+        else:
+            self._shutdown.set()
+
+    def close(self) -> None:
+        """Tear down the executor and the owned session (pools + shm)."""
+        self._executor.shutdown(wait=True)
+        self.session.close()
+
+
+class _DaemonReject(Exception):
+    kind = "BadRequest"
+
+
+class _BadRequest(_DaemonReject):
+    kind = "BadRequest"
+
+
+class _UnknownModule(_DaemonReject):
+    kind = "UnknownModule"
+
+
+_SHUTDOWN = object()
+
+
+def _dumps(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+class DaemonThread:
+    """A daemon running on a background thread — the in-process harness
+    tests and benchmarks use, and ``with`` support for scripts::
+
+        with DaemonThread(session, unix_path=sock) as daemon:
+            client = ReproClient(unix_path=sock)
+    """
+
+    def __init__(self, session: Session, **kwargs: Any):
+        self.daemon = ReproDaemon(session, **kwargs)
+        self._thread = threading.Thread(
+            target=self.daemon.serve_forever, daemon=True
+        )
+
+    def __enter__(self) -> ReproDaemon:
+        self.start()
+        return self.daemon
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> ReproDaemon:
+        self._thread.start()
+        if not self.daemon.wait_ready(timeout=30):
+            raise SessionError("serve daemon failed to start within 30s")
+        if self.daemon.address is None:
+            raise SessionError("serve daemon failed to bind")
+        return self.daemon
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until the daemon thread exits (a client ``shutdown`` op or
+        :meth:`stop` from another thread) — how ``repro serve`` waits."""
+        self._thread.join(timeout)
+
+    def stop(self, timeout: float = 30) -> None:
+        self.daemon.request_shutdown()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise SessionError("serve daemon did not stop cleanly")

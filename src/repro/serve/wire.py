@@ -1,0 +1,84 @@
+"""The serve wire format: newline-delimited JSON requests and responses.
+
+One request per line, one response line per request::
+
+    {"op": "run", "module": "Relaxation", "args": {"M": 4, ...}}
+    {"ok": true, "result": {"newA": {"__array__": {...}}}}
+
+Arrays travel as ``{"__array__": {"b64": ..., "shape": ..., "dtype":
+"<f8"}}`` — base64 of the raw contiguous buffer with an explicit
+byte-order-qualified dtype, so every value round-trips **bit-exactly**
+and a 1000x1000 result costs one memcpy plus base64, not a million
+float reprs. The tag keys array payloads apart from record-parameter
+dicts; scalars travel as plain JSON numbers/booleans.
+
+Hand-written clients may also send arrays as plain nested lists
+(``{"__array__": [[...]], "dtype": "float64"}``): :func:`decode_value`
+accepts both forms.
+
+Errors are structured: ``{"ok": false, "error": {"type": ..., "message":
+...}}`` where ``type`` is the raising exception class (``ExecutionError``,
+``SessionError``, ...) or a daemon-level kind (``BadRequest``,
+``UnknownModule``, ``Overloaded``).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+import numpy as np
+
+#: stream limit for one request/response line — big enough for the array
+#: payloads the daemon serves, small enough to bound a hostile client
+MAX_LINE = 1 << 26
+
+
+def ok(result: Any) -> dict:
+    return {"ok": True, "result": result}
+
+
+def error(kind: str, message: str) -> dict:
+    return {"ok": False, "error": {"type": kind, "message": message}}
+
+
+def encode_value(value: Any) -> Any:
+    """One result/argument value to its JSON form."""
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        return {
+            "__array__": {
+                "b64": base64.b64encode(arr.tobytes()).decode("ascii"),
+                "shape": list(arr.shape),
+                "dtype": arr.dtype.str,
+            }
+        }
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """The inverse of :func:`encode_value`; also accepts the nested-list
+    form hand-written clients may send."""
+    if isinstance(value, dict) and "__array__" in value:
+        payload = value["__array__"]
+        if isinstance(payload, dict):
+            arr = np.frombuffer(
+                base64.b64decode(payload["b64"]),
+                dtype=np.dtype(payload["dtype"]),
+            )
+            # frombuffer views read-only memory; runs need writable arrays
+            return arr.reshape(payload["shape"]).copy()
+        return np.asarray(
+            payload, dtype=np.dtype(value.get("dtype", "float64"))
+        )
+    return value
+
+
+def encode_mapping(mapping: dict[str, Any]) -> dict[str, Any]:
+    return {k: encode_value(v) for k, v in mapping.items()}
+
+
+def decode_mapping(mapping: dict[str, Any]) -> dict[str, Any]:
+    return {k: decode_value(v) for k, v in mapping.items()}

@@ -1,0 +1,213 @@
+"""The serve daemon over a real socket: concurrent bit-exact clients,
+structured errors that keep the connection alive, deterministic
+backpressure, and clean shutdown."""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.paper import RELAXATION_JACOBI_SOURCE
+from repro.errors import ClientError
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.serve import DaemonThread, ReproClient, Session
+
+SIZES = {"M": 6, "maxK": 2}
+
+
+def make_input(seed: int, m: int = 6) -> np.ndarray:
+    return np.random.default_rng(seed).random((m + 2, m + 2))
+
+
+def serial_reference(session: Session, args: dict) -> np.ndarray:
+    result = session.result_for("Relaxation")
+    return execute_module(
+        result.analyzed,
+        dict(args),
+        flowchart=result.flowchart,
+        options=ExecutionOptions(backend="serial"),
+    )["newA"]
+
+
+@pytest.fixture()
+def served():
+    """A warm session behind a TCP daemon; yields (daemon, session)."""
+    session = Session()
+    session.load(RELAXATION_JACOBI_SOURCE)
+    session.warm("Relaxation", SIZES)
+    with DaemonThread(session, port=0) as daemon:
+        yield daemon, session
+
+
+def connect(daemon) -> ReproClient:
+    host, port = daemon.address
+    return ReproClient(host=host, port=port)
+
+
+class TestProtocol:
+    def test_ping_modules_describe_stats(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            assert client.ping() == "pong"
+            assert client.modules() == ["Relaxation"]
+            desc = client.describe("Relaxation")
+            assert desc["results"] == ["newA"]
+            assert client.stats()["modules"] == ["Relaxation"]
+
+    def test_run_round_trips_float64_bit_exactly(self, served):
+        daemon, session = served
+        args = {**SIZES, "InitialA": make_input(0)}
+        expected = serial_reference(session, args)
+        with connect(daemon) as client:
+            out = client.run("Relaxation", args)
+        assert out["newA"].dtype == np.float64
+        assert np.array_equal(out["newA"], expected)
+
+    def test_plan_op_reports_backend(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            plan = client.plan("Relaxation", SIZES)
+        assert set(plan) >= {"backend", "workers", "cycles", "strategies"}
+
+    def test_server_side_fill_is_seeded(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            a = client.run("Relaxation", dict(SIZES), fill=True, seed=7)
+            b = client.run("Relaxation", dict(SIZES), fill=True, seed=7)
+            c = client.run("Relaxation", dict(SIZES), fill=True, seed=8)
+        assert np.array_equal(a["newA"], b["newA"])
+        assert not np.array_equal(a["newA"], c["newA"])
+
+
+class TestStructuredErrors:
+    def test_unknown_module(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            with pytest.raises(ClientError) as exc:
+                client.run("Nope", {})
+            assert exc.value.kind == "UnknownModule"
+            assert client.ping() == "pong"  # connection survives
+
+    def test_unknown_op(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            with pytest.raises(ClientError) as exc:
+                client.request({"op": "frobnicate"})
+            assert exc.value.kind == "BadRequest"
+
+    def test_bad_execution_override(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            with pytest.raises(ClientError) as exc:
+                client.request(
+                    {
+                        "op": "run",
+                        "module": "Relaxation",
+                        "args": {},
+                        "execution": {"bogus": 1},
+                    }
+                )
+            assert exc.value.kind == "BadRequest"
+            assert "bogus" in str(exc.value)
+
+    def test_args_must_be_object(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            with pytest.raises(ClientError) as exc:
+                client.request(
+                    {"op": "run", "module": "Relaxation", "args": [1, 2]}
+                )
+            assert exc.value.kind == "BadRequest"
+
+    def test_malformed_json_keeps_connection_alive(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            client._sock.sendall(b"{not json}\n")
+            response = json.loads(client._file.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "BadRequest"
+            assert client.ping() == "pong"
+
+    def test_non_object_request(self, served):
+        daemon, _ = served
+        with connect(daemon) as client:
+            client._sock.sendall(b"[1, 2, 3]\n")
+            response = json.loads(client._file.readline())
+            assert response["error"]["type"] == "BadRequest"
+
+
+class TestConcurrency:
+    def test_concurrent_clients_bit_exact_and_isolated(self, served):
+        """Eight clients, eight sockets, eight different inputs — every
+        response equals a serial run of that client's own input."""
+        daemon, session = served
+        inputs = [make_input(200 + i) for i in range(8)]
+        expected = [
+            serial_reference(session, {**SIZES, "InitialA": a})
+            for a in inputs
+        ]
+        barrier = threading.Barrier(8)
+
+        def one_client(i):
+            with connect(daemon) as client:
+                barrier.wait()
+                return client.run(
+                    "Relaxation", {**SIZES, "InitialA": inputs[i]}
+                )["newA"]
+
+        with ThreadPoolExecutor(8) as pool:
+            outputs = list(pool.map(one_client, range(8)))
+        for i in range(8):
+            assert np.array_equal(outputs[i], expected[i]), f"client {i}"
+
+    def test_overload_returns_structured_error(self, monkeypatch):
+        """With one execution slot, no queue, and a run that blocks until
+        released, a second concurrent request must be answered Overloaded
+        immediately — not buffered without bound."""
+        session = Session()
+        session.load(RELAXATION_JACOBI_SOURCE)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_run(module, args, **overrides):
+            entered.set()
+            assert release.wait(30)
+            return {}
+
+        monkeypatch.setattr(session, "run", slow_run)
+        with DaemonThread(session, port=0, max_inflight=1, max_queue=0) as daemon:
+            first = connect(daemon)
+            result = []
+            worker = threading.Thread(
+                target=lambda: result.append(
+                    first.request(
+                        {"op": "run", "module": "Relaxation", "args": {}}
+                    )
+                )
+            )
+            worker.start()
+            assert entered.wait(30), "first request never started executing"
+            with connect(daemon) as second:
+                with pytest.raises(ClientError) as exc:
+                    second.run("Relaxation", {})
+                assert exc.value.kind == "Overloaded"
+            release.set()
+            worker.join(30)
+            assert result == [{}]
+            first.close()
+
+
+class TestShutdown:
+    def test_client_shutdown_stops_daemon_and_closes_session(self):
+        session = Session()
+        session.load(RELAXATION_JACOBI_SOURCE)
+        runner = DaemonThread(session, port=0)
+        daemon = runner.start()
+        with connect(daemon) as client:
+            assert client.shutdown() == "shutting down"
+        runner.join(30)
+        assert not runner._thread.is_alive()
+        assert session.closed
+        runner.stop()  # idempotent after a client-driven shutdown

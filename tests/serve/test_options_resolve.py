@@ -1,0 +1,90 @@
+"""ExecutionOptions.resolve — the one options-resolution path — and the
+deprecation of the scattered ``backend=``/``workers=`` kwargs it replaced."""
+
+import numpy as np
+import pytest
+
+from repro.core.paper import RELAXATION_JACOBI_SOURCE
+from repro.core.pipeline import CompileResult, compile_source
+from repro.runtime.executor import ExecutionOptions
+
+ARGS = {"M": 4, "maxK": 2}
+
+
+class TestResolve:
+    def test_no_base_no_overrides_is_defaults(self):
+        assert ExecutionOptions.resolve() == ExecutionOptions()
+
+    def test_overrides_apply_over_base(self):
+        base = ExecutionOptions(backend="threaded", workers=3)
+        merged = ExecutionOptions.resolve(base, backend="serial")
+        assert merged.backend == "serial"
+        assert merged.workers == 3
+
+    def test_none_override_keeps_base_value(self):
+        base = ExecutionOptions(backend="threaded", workers=3)
+        merged = ExecutionOptions.resolve(base, backend=None, workers=None)
+        assert merged == base
+
+    def test_base_is_never_mutated(self):
+        base = ExecutionOptions(backend="threaded")
+        ExecutionOptions.resolve(base, backend="process", workers=9)
+        assert base.backend == "threaded"
+        assert base.workers is None
+
+    def test_no_effective_overrides_returns_base(self):
+        base = ExecutionOptions(workers=2)
+        assert ExecutionOptions.resolve(base, backend=None) is base
+
+    def test_unknown_field_raises_with_name(self):
+        with pytest.raises(TypeError, match="bogus_field"):
+            ExecutionOptions.resolve(None, bogus_field=1)
+
+    def test_base_is_positional_only(self):
+        # keyword base would silently collide with a field named "base" if
+        # one ever appeared; the signature forbids it outright
+        with pytest.raises(TypeError):
+            ExecutionOptions.resolve(base=ExecutionOptions())
+
+    def test_false_and_zero_are_real_overrides(self):
+        base = ExecutionOptions(use_kernels=True, vectorize=True)
+        merged = ExecutionOptions.resolve(base, use_kernels=False)
+        assert merged.use_kernels is False
+        assert merged.vectorize is True
+
+
+class TestDeprecatedKwargs:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return compile_source(RELAXATION_JACOBI_SOURCE)
+
+    def test_run_backend_kwarg_warns_and_still_works(self, result):
+        rng = np.random.default_rng(0)
+        args = {**ARGS, "InitialA": rng.random((6, 6))}
+        with pytest.warns(DeprecationWarning, match="run.*deprecated"):
+            old = result.run(dict(args), backend="serial")
+        new = result.run(
+            dict(args),
+            execution=ExecutionOptions.resolve(None, backend="serial"),
+        )
+        assert np.array_equal(old["newA"], new["newA"])
+
+    def test_plan_workers_kwarg_warns(self, result):
+        with pytest.warns(DeprecationWarning, match="plan.*deprecated"):
+            plan = result.plan(ARGS, backend="threaded", workers=2)
+        assert plan.backend == "threaded"
+        assert plan.workers == 2
+
+    def test_execution_object_path_does_not_warn(self, result):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result.plan(ARGS, execution=ExecutionOptions(backend="serial"))
+
+    def test_merge_execution_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="_merge_execution"):
+            merged = CompileResult._merge_execution(
+                ExecutionOptions(workers=5), "threaded", None
+            )
+        assert merged == ExecutionOptions(backend="threaded", workers=5)

@@ -1,0 +1,47 @@
+"""The package version is single-sourced: ``repro.__version__`` is the
+only place it is written, and pyproject.toml reads it dynamically. The
+historical drift (``__init__`` said 1.2.0 while pyproject said 1.3.0)
+cannot recur as long as these hold."""
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parents[2] / "pyproject.toml"
+
+
+def _load_pyproject() -> dict:
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # 3.10: no stdlib TOML reader
+        return {}
+    with open(PYPROJECT, "rb") as fh:
+        return tomllib.load(fh)
+
+
+def test_version_is_semver():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+def test_pyproject_declares_no_literal_version():
+    text = PYPROJECT.read_text()
+    assert not re.search(r"^version\s*=\s*\"", text, re.MULTILINE), (
+        "pyproject.toml hardcodes a version again — it must stay dynamic "
+        "(single-sourced from repro.__version__)"
+    )
+
+
+def test_pyproject_sources_version_from_package():
+    data = _load_pyproject()
+    if not data:
+        # tomllib unavailable: the regex check above still guards drift
+        assert "repro.__version__" in PYPROJECT.read_text()
+        return
+    assert "version" in data["project"]["dynamic"]
+    attr = data["tool"]["setuptools"]["dynamic"]["version"]["attr"]
+    assert attr == "repro.__version__"
+
+
+def test_version_exported():
+    assert "__version__" in repro.__all__
