@@ -13,7 +13,16 @@ Acceptance gates (CI-enforced):
   Jacobi at the largest benchmarked grid (measured ~50-80x on the
   baseline box — the gate is deliberately conservative for slow CI
   runners);
+* chunk-forced **threaded + native span kernels** (GIL released inside
+  the C calls) is no slower than 1.10x the process backend on Jacobi at
+  4 workers — threads dodge the fork/IPC tax once the compute runs
+  outside the GIL, and this pins that claim on every CI box;
 * every timed pair agrees **bit-exactly** with the evaluator.
+
+The threaded rows carry ``native_seconds`` + ``workers`` so
+``MachineModel.from_native_bench`` can recalibrate ``chunk_dispatch``
+from the same artifact. Both tests accumulate into one
+``BENCH_native.json`` payload.
 
 On a machine without a C compiler (or cffi) the whole module skips with a
 notice — the tier itself degrades to NumPy kernels there, which
@@ -45,6 +54,15 @@ MAXK = 8
 
 #: wall-clock advantage the gate demands
 NATIVE_GATE_SPEEDUP = 1.5
+
+#: the threaded-native gate: threaded wall clock may exceed the process
+#: backend's by at most this factor on chunk-forced Jacobi
+THREADED_GATE_RATIO = 1.10
+GATE_WORKERS = 4
+
+#: both tests accumulate rows/gates here and rewrite the one artifact, so
+#: a partial run (-k) still emits whatever it measured
+_PAYLOAD = {"rows": [], "gates": {}}
 
 
 def _time(fn, repeats=3):
@@ -123,15 +141,14 @@ def _native_matrix(workload, make, grids, repeats):
 
 def test_native_speedup_matrix(artifact):
     """Native vs NumPy nest kernels on the paper workloads + the CI gate."""
-    payload = {"rows": [], "gates": {}}
-    payload["rows"] += _native_matrix("jacobi", _jacobi, GRIDS, repeats=3)
-    payload["rows"] += _native_matrix(
+    _PAYLOAD["rows"] += _native_matrix("jacobi", _jacobi, GRIDS, repeats=3)
+    _PAYLOAD["rows"] += _native_matrix(
         "hyperplane_gauss_seidel", _hyperplane_gs, [24, 48], repeats=3
     )
 
     largest = GRIDS[-1]
     row = next(
-        r for r in payload["rows"]
+        r for r in _PAYLOAD["rows"]
         if r["workload"] == "jacobi" and r["grid"] == largest
     )
     assert row["speedup"] >= NATIVE_GATE_SPEEDUP, (
@@ -139,12 +156,74 @@ def test_native_speedup_matrix(artifact):
         f"nest kernel on serial jacobi at M={largest} "
         f"(gate: {NATIVE_GATE_SPEEDUP}x)"
     )
-    payload["gates"][f"jacobi_native_vs_nest_M{largest}"] = {
+    _PAYLOAD["gates"][f"jacobi_native_vs_nest_M{largest}"] = {
         "speedup": row["speedup"],
         "required": NATIVE_GATE_SPEEDUP,
         "passed": True,
     }
-    artifact("BENCH_native.json", json.dumps(payload, indent=2))
+    artifact("BENCH_native.json", json.dumps(_PAYLOAD, indent=2))
+
+
+def _run_chunked(analyzed, flow, args, backend, cache, workers):
+    """One chunk-forced execution on a parallel backend: every DOALL that
+    can chunk is chunked, and on the native tier each chunk runs the
+    GIL-released span kernels."""
+    options = ExecutionOptions(backend=backend, workers=workers)
+    scalars = {k: v for k, v in args.items() if isinstance(v, int)}
+    plan = forced_plan(analyzed, flow, backend, options, scalars, default="chunk")
+    return execute_module(
+        analyzed, args, flowchart=flow, options=options,
+        kernel_cache=cache, plan=plan,
+    )
+
+
+def test_threaded_native_gate(artifact):
+    """Chunk-forced threaded execution with native span kernels must keep
+    pace with (or beat) the process backend on Jacobi at 4 workers."""
+    m = GRIDS[1]
+    analyzed, flow, args = _jacobi(m)
+    ref = execute_module(
+        analyzed, args, flowchart=flow,
+        options=ExecutionOptions(backend="serial", use_kernels=False),
+    )
+    caches = {b: KernelCache(analyzed, flow) for b in ("threaded", "process")}
+    times, outs = {}, {}
+    for backend in ("threaded", "process"):
+        _run_chunked(analyzed, flow, args, backend, caches[backend],
+                     GATE_WORKERS)  # warm-up: compile + pool spin-up
+        times[backend], outs[backend] = _time(
+            lambda b=backend: _run_chunked(
+                analyzed, flow, args, b, caches[b], GATE_WORKERS
+            ),
+            repeats=3,
+        )
+        assert np.array_equal(outs[backend]["newA"], ref["newA"]), (
+            f"threaded-native gate: {backend} diverged from the evaluator"
+        )
+    assert caches["threaded"].stats()["native"] > 0, (
+        "threaded gate ran without native span kernels"
+    )
+    ratio = times["threaded"] / times["process"]
+    _PAYLOAD["rows"].append({
+        "workload": "jacobi",
+        "backend": "threaded",
+        "grid": m,
+        "maxk": args["maxK"],
+        "workers": GATE_WORKERS,
+        "native_seconds": times["threaded"],
+        "process_seconds": times["process"],
+    })
+    assert ratio <= THREADED_GATE_RATIO, (
+        f"threaded+native-span took {ratio:.2f}x the process backend on "
+        f"jacobi M={m} at {GATE_WORKERS} workers "
+        f"(gate: <= {THREADED_GATE_RATIO}x)"
+    )
+    _PAYLOAD["gates"][f"jacobi_threaded_native_vs_process_M{m}"] = {
+        "ratio": ratio,
+        "required": THREADED_GATE_RATIO,
+        "passed": True,
+    }
+    artifact("BENCH_native.json", json.dumps(_PAYLOAD, indent=2))
 
 
 def test_native_wallclock_serial(benchmark):

@@ -127,15 +127,22 @@ def _execution_options(args, vectorize: bool = True) -> ExecutionOptions:
 
 
 def _cmd_plan(args) -> int:
+    from repro.plan.calibration import PlanCalibration
     from repro.plan.planner import build_plan
 
     analyzed = analyze_module(_read_module(args.module))
     flow = schedule_module(analyzed)
     options = _execution_options(args)
     scalars = _parse_assignments(args.set or [])
-    plan = build_plan(analyzed, flow, options, scalars)
+    # The durable per-machine store, so the provenance block reports the
+    # calibration hits/misses an actual auto run would see.
+    plan = build_plan(
+        analyzed, flow, options, scalars, calibration=PlanCalibration.load()
+    )
     text = plan.pretty(cycles=args.cycles)
     print(text)
+    print()
+    print(plan.explain())
     if args.save:
         from repro.runtime.kernels import native
 

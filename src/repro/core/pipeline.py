@@ -70,9 +70,12 @@ class CompileResult:
     _plan_cache: dict = field(default_factory=dict, repr=False, compare=False)
     #: measured-wall-clock feedback for the planner (see
     #: :mod:`repro.plan.calibration`); :meth:`calibrate` fills it and the
-    #: plan cache keys on its version, so new measurements replan
+    #: plan cache keys on its version, so new measurements replan. Loaded
+    #: from (and re-saved to) the on-disk machine-fingerprinted store, so
+    #: every compilation — in any process, including the serve daemon —
+    #: starts from everything this machine has ever measured.
     _calibration: PlanCalibration = field(
-        default_factory=PlanCalibration, repr=False, compare=False
+        default_factory=PlanCalibration.load, repr=False, compare=False
     )
 
     @property

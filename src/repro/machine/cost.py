@@ -180,7 +180,19 @@ class MachineModel:
         native kernel on the same grid; the native per-element factor is
         derived from that measured ratio against the nest overhead the
         model already carries — a pure ratio, so it transfers between
-        machines the same way the other mode constants do."""
+        machines the same way the other mode constants do.
+
+        When the payload additionally carries a **threaded** Jacobi row
+        (the threaded-native gate: native span kernels dispatched on the
+        thread pool, with ``workers``), ``chunk_dispatch`` is recalibrated
+        too. The serial nest row anchors seconds-per-cycle; the threaded
+        row's wall clock is then modelled as native span work (overlapping
+        across ``workers``) plus one dispatch per chunk, approximating the
+        dispatch count as ``maxk * workers`` (one chunked wavefront per
+        sweep). The residual over the compute term, divided by that count,
+        is the measured per-dispatch cost — clamped positive, and left
+        untouched when the residual is noise (measured <= modelled
+        compute)."""
         from repro.core.paper import jacobi_analyzed
 
         base = base or cls()
@@ -198,10 +210,38 @@ class MachineModel:
         eqc = equation_cost(eq3, base)
         nest_per_element = eqc + base.nest_element_overhead
         ratio = row["native_seconds"] / row["nest_seconds"]
-        return replace(
+        model = replace(
             base,
             native_element_factor=max(1e-6, ratio * nest_per_element / eqc),
         )
+
+        threaded = [
+            r
+            for r in bench.get("rows", [])
+            if r["workload"] == "jacobi" and r["backend"] == "threaded"
+            and r.get("native_seconds") and r.get("workers")
+        ]
+        if threaded:
+            trow = max(threaded, key=lambda r: r["grid"])
+            maxk = trow.get("maxk", 8)
+            workers = max(1, int(trow["workers"]))
+            elements = (maxk + 1) * (trow["grid"] + 2) ** 2
+            # seconds per cycle, anchored on the serial nest row
+            cycle = row["nest_seconds"] / (
+                (row.get("maxk", 8) + 1)
+                * (row["grid"] + 2) ** 2
+                * nest_per_element
+            )
+            compute_cycles = (
+                elements * eqc * model.native_element_factor / workers
+            )
+            dispatches = max(1, maxk * workers)
+            residual = trow["native_seconds"] / cycle - compute_cycles
+            if residual > 0:
+                model = replace(
+                    model, chunk_dispatch=max(1.0, residual / dispatches)
+                )
+        return model
 
 
 def expression_cost(expr: Expr, model: MachineModel) -> int:

@@ -17,12 +17,41 @@ calibration taken on a 4x4096 grid at 2 workers says nothing about a
 64x64 one at 16. ``version`` increments on every record so plan caches
 (``CompileResult._plan_cache``) can key entries by it and replan when new
 evidence arrives.
+
+The store is **durable**: :func:`PlanCalibration.load` reads the JSON file
+:func:`store_path` names inside the native artifact cache directory
+(``$REPRO_NATIVE_CACHE`` or ``~/.cache/repro/native``), and every
+:meth:`PlanCalibration.record` re-saves it atomically — so every process,
+and the serve daemon, learns from every measured run. The file name carries
+the machine fingerprint (cpu_count snapshot) and :data:`COST_MODEL_VERSION`:
+a record taken on different hardware, or under retuned cost-model
+semantics, is simply a different file and never pollutes this machine's
+rankings. Loading never raises — a missing, corrupt, or foreign-version
+file yields an empty in-memory store.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
+
+#: bumped when the meaning of predicted cycles changes (cost-model retune,
+#: new pricing modes) — on-disk stores from other versions are ignored
+COST_MODEL_VERSION = 2
+
+
+def store_path(cpu_count: int | None = None) -> Path:
+    """Where this machine's calibration store lives: inside the native
+    artifact cache (so tests that redirect ``$REPRO_NATIVE_CACHE`` isolate
+    both caches with one knob), fingerprinted by core count and cost-model
+    version."""
+    from repro.runtime.kernels.native import cache_dir
+
+    n = cpu_count if cpu_count is not None else os.cpu_count() or 1
+    return cache_dir() / f"calibration-cpu{n}-v{COST_MODEL_VERSION}.json"
 
 
 def sizes_key(scalar_env: dict[str, int] | None) -> tuple:
@@ -66,6 +95,89 @@ class PlanCalibration:
     #: number, so records stay reachable even when CPU affinity changes
     #: between the write and the read
     cpu_count: int = field(default_factory=lambda: os.cpu_count() or 1)
+    #: where this store persists (None: in-memory only — the default for
+    #: directly constructed stores, so tests and ad-hoc planning never
+    #: write to disk unless they opted in via :meth:`load`)
+    path: Path | None = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def load(cls, path: Path | None = None) -> PlanCalibration:
+        """The durable store for this machine: read from ``path`` (default
+        :func:`store_path`), attached so later :meth:`record` calls re-save
+        it. Never raises — any unreadable or mismatched file yields an
+        empty store that will overwrite it on the next record."""
+        cpu_count = os.cpu_count() or 1
+        if path is None:
+            try:
+                path = store_path(cpu_count)
+            except OSError:
+                return cls()
+        store = cls(cpu_count=cpu_count, path=path)
+        try:
+            payload = json.loads(path.read_text())
+            if (
+                payload.get("cost_model_version") != COST_MODEL_VERSION
+                or payload.get("cpu_count") != cpu_count
+            ):
+                return store
+            for row in payload.get("records", []):
+                key = (
+                    row["module"],
+                    tuple((k, int(v)) for k, v in row["sizes"]),
+                    int(row["workers"]),
+                    row["backend"],
+                )
+                store.records[key] = CalibrationRecord(
+                    float(row["seconds"]),
+                    (
+                        float(row["predicted_cycles"])
+                        if row.get("predicted_cycles") is not None
+                        else None
+                    ),
+                )
+            store.version = int(payload.get("version", len(store.records)))
+        except (OSError, ValueError, KeyError, TypeError):
+            return cls(cpu_count=cpu_count, path=path)
+        return store
+
+    def _save(self) -> None:
+        """Atomic best-effort persist (tuple keys flattened to row dicts);
+        a read-only cache directory silently leaves the store in-memory."""
+        if self.path is None:
+            return
+        rows = [
+            {
+                "module": module,
+                "sizes": [[k, v] for k, v in sizes],
+                "workers": workers,
+                "backend": backend,
+                "seconds": rec.seconds,
+                "predicted_cycles": rec.predicted_cycles,
+            }
+            for (module, sizes, workers, backend), rec in sorted(
+                self.records.items()
+            )
+        ]
+        payload = {
+            "cost_model_version": COST_MODEL_VERSION,
+            "cpu_count": self.cpu_count,
+            "version": self.version,
+            "records": rows,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), suffix=".json.tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as f:
+                    json.dump(payload, f, indent=1)
+                os.replace(tmp, self.path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            pass
 
     def _key(
         self,
@@ -93,6 +205,7 @@ class PlanCalibration:
         key = self._key(module, scalar_env, backend, workers)
         self.records[key] = CalibrationRecord(seconds, predicted_cycles)
         self.version += 1
+        self._save()
 
     def measured(
         self,

@@ -159,6 +159,11 @@ class ExecutionPlan:
     equations: dict[str, EquationPlan] = field(default_factory=dict)
     #: total predicted cycles for the planned execution (calibrated model)
     cycles: float | None = None
+    #: how the backend decision was made (``auto`` only fills this fully):
+    #: candidate backends priced, their predicted cycles and
+    #: calibration-adjusted costs, which had measured records, and why the
+    #: winner won — rendered by :meth:`explain` for ``repro plan``
+    provenance: dict | None = field(default=None, repr=False, compare=False)
     #: id(descriptor) -> LoopPlan for O(1) lookup during execution; rebuilt
     #: by bind() — valid only against the flowchart the plan was built from
     _by_id: dict[int, LoopPlan] = field(
@@ -238,4 +243,39 @@ class ExecutionPlan:
                 lines.append(f"{pad}{e.label}")
         if cycles and self.cycles is not None:
             lines.append(f"predicted total: ~{self.cycles:.0f} cycles")
+        return "\n".join(lines)
+
+    def explain(self) -> str:
+        """Render the backend-decision provenance: every candidate priced,
+        whether calibration had a measurement for it (hit) or the ranking
+        fell back to predicted cycles (miss), and why the winner won.
+        Separate from :meth:`pretty` so golden tests pinning the plan text
+        stay untouched by provenance additions."""
+        if not self.provenance:
+            return (
+                f"provenance {self.module}: none recorded "
+                f"(prebuilt or forced plan)"
+            )
+        p = self.provenance
+        lines = [f"provenance {self.module}: {p['mode']} -> {self.backend}"]
+        for row in p.get("candidates", []):
+            mark = "*" if row.get("winner") else " "
+            bits = [f"predicted ~{row['predicted_cycles']:.0f} cycles"]
+            if row.get("measured_seconds") is not None:
+                bits.append(
+                    f"measured {row['measured_seconds']:.6f} s "
+                    f"[calibration hit]"
+                )
+            elif p.get("calibrated"):
+                bits.append(
+                    f"anchored ~{row['adjusted_cost']:.6f} s "
+                    f"[calibration miss]"
+                )
+            else:
+                bits.append("[calibration miss]")
+            lines.append(f"  {mark} {row['backend']}: " + "; ".join(bits))
+        for backend, why in p.get("excluded", []):
+            lines.append(f"    {backend}: excluded ({why})")
+        if p.get("reason"):
+            lines.append(f"winner: {self.backend} — {p['reason']}")
         return "\n".join(lines)

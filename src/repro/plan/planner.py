@@ -43,7 +43,7 @@ from repro.runtime.kernels.emit import (
     kernelizable,
     nest_fusable,
 )
-from repro.runtime.kernels.native import native_emittable
+from repro.runtime.kernels.native import native_emittable, native_span_emittable
 from repro.runtime.values import eval_bound
 from repro.schedule.flowchart import (
     Flowchart,
@@ -56,7 +56,7 @@ from repro.schedule.flowchart import (
 )
 
 #: backends that split DOALL subranges into worker chunks
-CHUNKED_BACKENDS = ("threaded", "process", "process-fork")
+CHUNKED_BACKENDS = ("threaded", "free-threading", "process", "process-fork")
 
 #: every backend a plan may target (kept in sync with the registry in
 #: ``repro.runtime.backends`` — the plan layer must not import the runtime)
@@ -153,9 +153,15 @@ def build_plan(
         from repro.runtime.backends.process import _fork_available
 
         pool = list(candidates or AUTO_CANDIDATES)
+        excluded: list[tuple[str, str]] = []
         if not _fork_available():
             # Without fork the process backends cannot run at all (their
             # constructors raise), so auto never offers them.
+            excluded = [
+                (c, "fork start method unavailable on this platform")
+                for c in pool
+                if c in ("process", "process-fork")
+            ]
             pool = [c for c in pool if c not in ("process", "process-fork")]
         planners: list[_Planner] = []
         for candidate in pool:
@@ -167,14 +173,45 @@ def build_plan(
             p.plan_module()
             planners.append(p)
         totals = [p.total for p in planners]
+        measured: dict[str, float] = {}
         if calibration is not None:
             totals = calibration.adjusted_costs(
                 analyzed.name, scalar_env,
                 [(p.backend, p.total) for p in planners],
                 workers=workers,
             )
+            for p in planners:
+                rec = calibration.measured(
+                    analyzed.name, scalar_env, p.backend, workers=workers
+                )
+                if rec is not None:
+                    measured[p.backend] = rec.seconds
         best = min(zip(totals, planners), key=lambda pair: pair[0])[1]
-        return best.finish(analyzed.name, requested="auto", pinned=False)
+        plan = best.finish(analyzed.name, requested="auto", pinned=False)
+        plan.provenance = {
+            "mode": "auto",
+            "workers": workers,
+            "calibrated": bool(measured),
+            "candidates": [
+                {
+                    "backend": p.backend,
+                    "predicted_cycles": p.total,
+                    "adjusted_cost": adj,
+                    "measured_seconds": measured.get(p.backend),
+                    "winner": p is best,
+                }
+                for p, adj in zip(planners, totals)
+            ],
+            "excluded": excluded,
+            "reason": (
+                "lowest measured/anchored seconds for these sizes "
+                "(online calibration)"
+                if measured
+                else "lowest predicted cycles (no calibration record "
+                "for these sizes)"
+            ),
+        }
+        return plan
 
     planner = _Planner(
         analyzed, flowchart, requested, workers, effective,
@@ -182,7 +219,24 @@ def build_plan(
         use_collapse=use_collapse, tier=tier,
     )
     planner.plan_module()
-    return planner.finish(analyzed.name, requested=requested, pinned=True)
+    plan = planner.finish(analyzed.name, requested=requested, pinned=True)
+    plan.provenance = {
+        "mode": "pinned",
+        "workers": workers,
+        "calibrated": False,
+        "candidates": [
+            {
+                "backend": planner.backend,
+                "predicted_cycles": planner.total,
+                "adjusted_cost": planner.total,
+                "measured_seconds": None,
+                "winner": True,
+            }
+        ],
+        "excluded": [],
+        "reason": f"backend {requested!r} pinned by the caller",
+    }
+    return plan
 
 
 def forced_plan(
@@ -329,9 +383,14 @@ class _Planner:
         key = (id(desc), variant)
         ok = self._native.get(key)
         if ok is None:
-            ok = native_emittable(
-                desc, self.analyzed, self.flowchart, self.use_windows, variant
-            )
+            if variant == "span":
+                ok = native_span_emittable(
+                    desc, self.analyzed, self.flowchart, self.use_windows
+                )
+            else:
+                ok = native_emittable(
+                    desc, self.analyzed, self.flowchart, self.use_windows, variant
+                )
             self._native[key] = ok
         return ok
 
@@ -472,6 +531,24 @@ class _Planner:
     def _cost_chunk_root(self, desc: LoopDescriptor, parts: int) -> float:
         t = self._trip_est(desc)
         per_chunk = ceil(t / parts) if parts else t
+        if self._native_ok(desc, "span"):
+            # Each chunk runs as native span kernels: one C call per
+            # equation over the subrange, all behind a released GIL (cffi
+            # drops it for the call), so chunks overlap fully on every
+            # parallel backend — no GIL-bound residue, which is what lets
+            # threads outprice process dispatch whenever the span lowers.
+            m = self.model
+            neq = len(desc.nested_equations())
+            released = neq * m.native_call_overhead + sum(
+                self._cost(d, "native", per_chunk) for d in desc.body
+            )
+            waves = ceil(parts / self.parallelism)
+            return (
+                m.doall_fork
+                + m.doall_barrier
+                + parts * self._dispatch_cost()
+                + waves * released
+            )
         pairs = [self._vector_costs(d, per_chunk) for d in desc.body]
         released = sum(r for r, _ in pairs)
         bound = sum(b for _, b in pairs)
@@ -704,8 +781,8 @@ class _Planner:
             return 0.0
         eq = desc.node.equation
         mode = self._eq_mode(eq, ctx)
-        if mode in ("nest", "collapse") and self._native_root:
-            # The enclosing nest lowers to the native C tier — the
+        if mode in ("nest", "collapse", "vector", "kernel") and self._native_root:
+            # The enclosing nest/span lowers to the native C tier — the
             # equation's per-element cost and kernel label follow.
             mode = "native"
         # Inside a collapsed chain the equation runs in the fused (flat)
@@ -746,10 +823,16 @@ class _Planner:
             return cost
 
         if ctx == "vector":
+            span_reason = ""
+            if desc.parallel:
+                span_reason = (
+                    "nested in native span" if self._native_root
+                    else "nested in span"
+                )
             lp = LoopPlan(
                 path, desc.index, desc.keyword,
                 "vector" if desc.parallel else "serial",
-                trip=t, reason="nested in span" if desc.parallel else "",
+                trip=t, reason=span_reason,
             )
             self._register(lp, depth)
             if desc.parallel:
@@ -826,6 +909,8 @@ class _Planner:
             self._native_root = self._native_ok(desc, "full")
         elif strategy == "collapse":
             self._native_root = self._native_ok(desc, "flat")
+        elif strategy == "chunk":
+            self._native_root = self._native_ok(desc, "span")
         try:
             for i, d in enumerate(desc.body):
                 self._emit(d, path + (i,), depth + 1, body_ctx, body_span)

@@ -20,13 +20,20 @@ from repro.runtime.backends.base import (
 )
 from repro.runtime.backends.process import ForkProcessBackend, ProcessBackend
 from repro.runtime.backends.serial import SerialBackend
-from repro.runtime.backends.threaded import ThreadedBackend
+from repro.runtime.backends.threaded import (
+    FreeThreadingBackend,
+    ThreadedBackend,
+    free_threading_active,
+)
 from repro.runtime.backends.vectorized import VectorizedBackend
 
 BACKENDS: dict[str, type[ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     VectorizedBackend.name: VectorizedBackend,
     ThreadedBackend.name: ThreadedBackend,
+    # Thread-pool dispatch tuned for no-GIL CPython; degrades to exactly
+    # ThreadedBackend behaviour on a GIL build, so always constructible.
+    FreeThreadingBackend.name: FreeThreadingBackend,
     ProcessBackend.name: ProcessBackend,
     # The fork-per-wavefront baseline the persistent pool replaced; kept
     # for measurement (bench_kernels) and as a debugging escape hatch.
@@ -75,6 +82,7 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionState",
     "ForkProcessBackend",
+    "FreeThreadingBackend",
     "ProcessBackend",
     "SerialBackend",
     "ThreadedBackend",
@@ -83,6 +91,7 @@ __all__ = [
     "chunk_safe",
     "create_backend",
     "equation_is_vector_safe",
+    "free_threading_active",
     "instantiate_backend",
     "resolve_backend_name",
 ]

@@ -356,9 +356,51 @@ class ExecutionBackend:
             self.ensure_targets(state, eq)
         spans = split_range(lo, hi, parts)
         if len(spans) < 2:
-            self.exec_vector_span(state, desc, lo, hi, env, vector_names)
+            self.exec_chunk_span(state, desc, lo, hi, env, vector_names)
             return
         self.dispatch_chunks(state, desc, spans, env, vector_names)
+
+    def exec_native_span(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+    ) -> bool:
+        """Run one chunk subrange through the composite native span kernel
+        (one C function per equation); False when the span is not natively
+        available so the caller falls through to ``exec_vector_span``.
+        Targets are pre-allocated by the chunk dispatcher before spans run,
+        so the kernel only writes disjoint elements."""
+        if state.kernels is None or state.kernel_tier() != "native":
+            return False
+        kernel = state.kernels.span_kernel_for(desc, state.options.use_windows)
+        if kernel is None:
+            return False
+        try:
+            counts = kernel(state.data, env, lo, hi)
+        except KeyError as exc:
+            raise ExecutionError(f"unbound name {exc.args[0]!r}") from None
+        state.merge_counts(counts)
+        return True
+
+    def exec_chunk_span(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        """One worker's chunk of a chunk-dispatched DOALL: the native span
+        kernel when one compiles (cffi releases the GIL around the C call,
+        so threaded chunks genuinely overlap), the NumPy per-equation
+        distribution otherwise."""
+        if not vector_names and self.exec_native_span(state, desc, lo, hi, env):
+            return
+        self.exec_vector_span(state, desc, lo, hi, env, vector_names)
 
     def dispatch_chunks(
         self,
@@ -373,7 +415,7 @@ class ExecutionBackend:
         correct, just not concurrent; the parallel backends override this
         with their pools."""
         for clo, chi in spans:
-            self.exec_vector_span(state, desc, clo, chi, env, vector_names)
+            self.exec_chunk_span(state, desc, clo, chi, env, vector_names)
 
     # -- collapsed nests ---------------------------------------------------
 

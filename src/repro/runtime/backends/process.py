@@ -234,7 +234,7 @@ class ForkProcessBackend(ExecutionBackend):
             if kind == "flat":
                 self.exec_flat_span(state, desc, lo, hi, env, fuse)
             else:
-                self.exec_vector_span(state, desc, lo, hi, env, vector_names)
+                self.exec_chunk_span(state, desc, lo, hi, env, vector_names)
             queue.put(("ok", state.eval_counts))
         except BaseException as exc:  # broad by design — reported to the parent
             queue.put(("error", f"{type(exc).__name__}: {exc}"))
@@ -309,7 +309,9 @@ def _pool_worker(backend: ProcessBackend, state: ExecutionState, task_q, result_
                 # compiled work, no GIL shared with sibling workers.
                 vec.exec_flat_span(sub, desc, lo, hi, env, fuse)
             else:
-                vec.exec_vector_span(sub, desc, lo, hi, env, [])
+                # Native span kernel when the span lowers to C (inherited
+                # pre-compiled from the parent's warm), NumPy path otherwise.
+                vec.exec_chunk_span(sub, desc, lo, hi, env, [])
             result_q.put((task_id, "ok", sub.eval_counts))
         except BaseException as exc:  # broad by design — reported to the parent
             result_q.put((task_id, "error", f"{type(exc).__name__}: {exc}"))

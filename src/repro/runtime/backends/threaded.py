@@ -1,22 +1,43 @@
-"""Threaded backend: planned DOALL chunks on a thread pool.
+"""Threaded backends: planned DOALL chunks on a thread pool.
 
 The planner splits a chunk-planned ``DOALL`` into balanced contiguous
-chunks; each chunk runs the vectorised NumPy path, so the heavy lifting
-happens inside NumPy kernels that release the GIL. Waiting on all futures
-is the per-wavefront barrier. Chunk-safety (scalar targets, atomic
-equations, window aliasing) is the planner's concern: a DOALL this backend
-sees with a ``vector`` or ``serial`` plan simply runs that strategy via
-the shared base dispatch.
+chunks; each chunk runs through :meth:`~repro.runtime.backends.base.
+ExecutionBackend.exec_chunk_span` — the *native span kernel* when the span
+lowers to C (cffi's ABI mode releases the GIL around the C invocation, so
+chunks genuinely overlap on today's GIL-ful CPython), the vectorised NumPy
+path otherwise (NumPy kernels release the GIL too, but the per-equation
+Python bookkeeping between them serialises). Waiting on all futures is the
+per-wavefront barrier. Chunk-safety (scalar targets, atomic equations,
+window aliasing) is the planner's concern: a DOALL this backend sees with
+a ``vector`` or ``serial`` plan simply runs that strategy via the shared
+base dispatch.
+
+:class:`FreeThreadingBackend` is the same dispatch registered as
+``free-threading``: on a no-GIL CPython build (3.13t/3.14 with the GIL
+disabled) even the pure-Python spans overlap, so *every* chunk scales with
+workers, not just the native ones. On a regular GIL build it degrades
+cleanly to exactly :class:`ThreadedBackend` behaviour — same pool, same
+dispatch — so pinning it is always safe.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.runtime.backends.base import ExecutionBackend, ExecutionState
 from repro.schedule.flowchart import LoopDescriptor
+
+
+def free_threading_active() -> bool:
+    """True when this interpreter is actually running without a GIL (a
+    free-threaded CPython build with the GIL not re-enabled at runtime)."""
+    try:
+        return not sys._is_gil_enabled()
+    except AttributeError:  # < 3.13: always GIL-ful
+        return False
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -65,7 +86,7 @@ class ThreadedBackend(ExecutionBackend):
     ) -> None:
         self._pool_wavefront(
             state, spans,
-            lambda sub, lo, hi: self.exec_vector_span(
+            lambda sub, lo, hi: self.exec_chunk_span(
                 sub, desc, lo, hi, env, vector_names
             ),
         )
@@ -93,3 +114,15 @@ class ThreadedBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+class FreeThreadingBackend(ThreadedBackend):
+    """``free-threading``: the thread-pool dispatch on a no-GIL CPython.
+
+    Deliberately constructible on any interpreter — on a GIL build it *is*
+    the threaded backend (same pool, same chunk dispatch), so scripts can
+    pin ``--backend free-threading`` and run everywhere; the extra
+    parallelism on pure-Python spans simply appears when the interpreter
+    provides it (:func:`free_threading_active`)."""
+
+    name = "free-threading"

@@ -28,8 +28,11 @@ from repro.runtime.kernels.emit import (
 )
 from repro.runtime.kernels.native import (
     compile_native_nest,
+    compile_native_span,
     emit_native_nest_source,
+    emit_native_span_sources,
     native_emittable,
+    native_span_emittable,
     native_supported,
 )
 
@@ -39,12 +42,15 @@ __all__ = [
     "KernelError",
     "compile_kernel",
     "compile_native_nest",
+    "compile_native_span",
     "compile_nest_kernel",
     "emit_kernel_source",
     "emit_native_nest_source",
+    "emit_native_span_sources",
     "emit_nest_kernel_source",
     "kernelizable",
     "native_emittable",
+    "native_span_emittable",
     "native_supported",
     "nest_fusable",
 ]

@@ -44,8 +44,8 @@ from repro.runtime.kernels.emit import (
 from repro.schedule.flowchart import (
     Flowchart,
     LoopDescriptor,
+    loop_chunk_safe,
     loop_collapse_safe,
-    outermost_parallel_loops,
 )
 
 #: kernel tiers ``ExecutionOptions.kernel_tier`` may select
@@ -171,24 +171,71 @@ class KernelCache:
         return fn
 
     def warm(self, use_windows: bool, tier: str = "native") -> None:
-        """Compile every equation's kernels (and every *reachable* nest
-        kernel, in both variants where applicable) up front — the process
-        backend calls this before forking so workers inherit the full cache
-        (including dlopened native libraries) and never compile anything
-        themselves. Only outermost parallel loops met on the scalar walk
-        can execute as fused nests (inner loops of a span or nest never
-        dispatch their own kernel), so only those are compiled; the flat
-        variant additionally requires a collapse-safe chain."""
+        """Compile every equation's kernels and every *reachable* nest and
+        span kernel up front — the process backend calls this before forking
+        so workers inherit the full cache (including dlopened native
+        libraries) and never compile anything themselves, and
+        ``Session.warm`` calls it so first-request latency never pays an
+        in-flight cc compile.
+
+        Every parallel loop is a potential kernel root, not just the
+        outermost ones: when an enclosing loop plans ``serial``/``iterate``
+        the scalar walk meets the *inner* parallel loops directly, and
+        chunk dispatch runs span kernels per subrange. So each parallel
+        loop warms its fused nest kernel, the flat variant when its chain
+        is collapse-safe, and the native span kernels when it is
+        chunk-safe."""
         for eq in self.analyzed.equations:
             for vector in (False, True):
                 self.kernel_for(eq, vector, use_windows)
 
-        for desc in outermost_parallel_loops(self.flowchart.descriptors):
+        for desc in self.flowchart.loops():
+            if not desc.parallel:
+                continue
             self.nest_kernel_for(desc, use_windows, tier=tier)
             if loop_collapse_safe(
                 desc, self.analyzed, self.flowchart.windows, use_windows
             ):
                 self.nest_kernel_for(desc, use_windows, variant="flat", tier=tier)
+            if tier == "native" and loop_chunk_safe(
+                desc, self.analyzed, self.flowchart.windows, use_windows
+            ):
+                self.span_kernel_for(desc, use_windows)
+
+    def span_kernel_for(
+        self,
+        desc: LoopDescriptor,
+        use_windows: bool,
+        path: tuple[int, ...] | None = None,
+    ) -> Callable | None:
+        """The composite native span kernel (one C function per equation
+        over a root subrange) for a chunk-dispatched DOALL, or None when the
+        span is not natively emittable or this machine has no C compiler —
+        chunk dispatch then falls back to the NumPy ``exec_vector_span``
+        path. Memoized under the reserved variant key ``"span"``."""
+        if path is None:
+            path = self.flowchart.path_of(desc)
+            if path is None:
+                return None
+        key = (path, bool(use_windows), "span")
+        try:
+            return self._native[key]
+        except KeyError:
+            pass
+        fn: Callable | None = None
+        if native_mod.native_supported():
+            try:
+                fn = native_mod.compile_native_span(
+                    desc, self.analyzed, self.flowchart, use_windows
+                )
+            except KernelError:
+                fn = None
+            except Exception:
+                # Same degradation contract as the nest tier: a toolchain
+                # failure serves the NumPy path, never takes the run down.
+                fn = None
+        self._native[key] = fn
+        return fn
 
     def stats(self) -> dict[str, int]:
         compiled = sum(1 for v in self._compiled.values() if v is not None)

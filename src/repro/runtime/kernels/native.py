@@ -37,6 +37,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
@@ -318,128 +319,41 @@ def _bound_c(expr: Expr, low: _NativeLowerer) -> str:
     raise KernelError(f"invalid bound expression {type(expr).__name__}")
 
 
-def emit_native_nest_source(
-    desc: LoopDescriptor,
-    analyzed: AnalyzedModule,
-    flowchart: Flowchart,
-    use_windows: bool,
-    variant: str = "full",
-) -> NativeKernelSpec:
-    """Lower a fusable DOALL nest to one C function.
-
-    ``variant="full"``: execute the root subrange ``[nlo, nhi]`` with the
-    inner loops at their declared bounds — the native analogue of the fused
-    Python nest kernel. ``variant="flat"``: execute the inclusive flat
-    range ``[nlo, nhi]`` of the collapsed perfect DOALL chain, recovering
-    the chain indices with a divmod cascade per element (row-major,
-    innermost fastest — the exact iteration order of the reference
-    ``exec_flat_walk``).
-
-    Raises :class:`KernelError` when the nest is not natively emittable
-    (module calls, transcendental builtins, non-rectangular chains, scalar
-    targets — anything whose C translation would not be bit-exact).
-    """
-    if variant not in NEST_VARIANTS:
-        raise KernelError(f"unknown nest-kernel variant {variant!r}")
-    if not nest_fusable(desc, analyzed, flowchart, use_windows):
-        raise KernelError(f"DOALL {desc.index} nest is not fusable")
-
-    nest_indices = desc.nest_indices()
-    low = _NativeLowerer(analyzed, flowchart, use_windows, nest_indices)
-    counters: list[str] = []
-    prologue: list[str] = []
-
-    def emit_equation(eq: AnalyzedEquation) -> None:
-        if eq.atomic or len(eq.targets) != 1:
-            raise KernelError(f"{eq.label}: not a single-target equation")
-        low.current_dims = set(eq.index_names)
-        target = eq.targets[0]
-        _ordinal, rank, kind, _wins = low.register_array(target.name)
-        if len(target.subscripts) != rank:
-            raise KernelError(f"{eq.label}: partial-rank target")
-        value = low.lower(eq.rhs)
-        ctype = C_STORAGE_TYPES[kind]
-        an = c_name(target.name)
-        parts = [
-            low.subscript_code(target.name, d, s)
-            for d, s in enumerate(target.subscripts)
-        ]
-        flat = parts[0]
-        for d in range(1, rank):
-            flat = f"({flat} * {an}_n{d} + {parts[d]})"
-        if kind == "bool":
-            low.stmt(f"s_{an}[{flat}] = ({ctype})(({value}) != 0);")
-        else:
-            low.stmt(f"s_{an}[{flat}] = ({ctype})({value});")
-        label_ix = len(counters)
-        counters.append(eq.label)
-        low.stmt(f"_c{label_ix} += 1;")
-
-    def emit_descriptor(d, root: bool = False) -> None:
-        if isinstance(d, NodeDescriptor):
-            if not d.node.is_equation:
-                raise KernelError("non-equation node in nest")
-            emit_equation(d.node.equation)
-            return
-        assert isinstance(d, LoopDescriptor)
-        var = f"v_{c_name(d.index)}"
-        low.index_names.add(d.index)
-        if root:
-            low.stmt(f"for (i64 {var} = nlo; {var} <= nhi; {var}++) {{")
-        else:
-            lo_c = _bound_c(d.subrange.lo, low)
-            hi_c = _bound_c(d.subrange.hi, low)
-            low.stmt(
-                f"for (i64 {var} = {lo_c}; {var} <= {hi_c}; {var}++) {{"
-            )
-        low.indent += 1
-        for child in d.body:
-            emit_descriptor(child)
-        low.indent -= 1
-        low.stmt("}")
-
-    if variant == "flat":
-        chain, chain_body = collapse_chain(desc)
-        if len(chain) < 2:
-            raise KernelError(
-                f"DOALL {desc.index} is not a perfect nest; nothing to collapse"
-            )
-        chain_indices = {loop.index for loop in chain}
-        for loop in chain:
-            for bound in (loop.subrange.lo, loop.subrange.hi):
-                if names_in(bound) & chain_indices:
-                    raise KernelError(
-                        f"non-rectangular nest: bound of {loop.index} "
-                        f"references a collapsed index"
-                    )
-        for k, loop in enumerate(chain):
-            lo_c = _bound_c(loop.subrange.lo, low)
-            prologue.append(f"    const i64 _clo{k} = {lo_c};")
-            if k > 0:
-                hi_c = _bound_c(loop.subrange.hi, low)
-                prologue.append(
-                    f"    const i64 _cn{k} = ({hi_c}) - _clo{k} + 1;"
-                )
-        for loop in chain:
-            low.index_names.add(loop.index)
-        last = len(chain) - 1
-        low.stmt("for (i64 _f = nlo; _f <= nhi; _f++) {")
-        low.indent += 1
-        low.stmt("i64 _r = _f;")
-        for k in range(last, 0, -1):
-            var = f"v_{c_name(chain[k].index)}"
-            low.stmt(f"i64 {var} = _r % _cn{k} + _clo{k};")
-            low.stmt(f"_r /= _cn{k};")
-        low.stmt(f"i64 v_{c_name(chain[0].index)} = _r + _clo0;")
-        for child in chain_body:
-            emit_descriptor(child)
-        low.indent -= 1
-        low.stmt("}")
+def _emit_equation_store(
+    low: _NativeLowerer, eq: AnalyzedEquation, counters: list[str]
+) -> None:
+    """Lower one equation's store into ``low``'s statement stream: RHS,
+    range-checked flattened target subscript, element-kind cast, and the
+    per-label evaluation counter."""
+    if eq.atomic or len(eq.targets) != 1:
+        raise KernelError(f"{eq.label}: not a single-target equation")
+    low.current_dims = set(eq.index_names)
+    target = eq.targets[0]
+    _ordinal, rank, kind, _wins = low.register_array(target.name)
+    if len(target.subscripts) != rank:
+        raise KernelError(f"{eq.label}: partial-rank target")
+    value = low.lower(eq.rhs)
+    ctype = C_STORAGE_TYPES[kind]
+    an = c_name(target.name)
+    parts = [
+        low.subscript_code(target.name, d, s)
+        for d, s in enumerate(target.subscripts)
+    ]
+    flat = parts[0]
+    for d in range(1, rank):
+        flat = f"({flat} * {an}_n{d} + {parts[d]})"
+    if kind == "bool":
+        low.stmt(f"s_{an}[{flat}] = ({ctype})(({value}) != 0);")
     else:
-        emit_descriptor(desc, root=True)
+        low.stmt(f"s_{an}[{flat}] = ({ctype})({value});")
+    label_ix = len(counters)
+    counters.append(eq.label)
+    low.stmt(f"_c{label_ix} += 1;")
 
-    # An atomic equation elsewhere may rebind a windowed array wholesale —
-    # same restriction as the Python nest kernels.
+
+def _check_windowed_atomics(low: _NativeLowerer, analyzed: AnalyzedModule) -> None:
+    """An atomic equation elsewhere may rebind a windowed array wholesale —
+    same restriction as the Python nest kernels."""
     atomic_names = {
         t.name for eq in analyzed.equations if eq.atomic for t in eq.targets
     }
@@ -449,7 +363,17 @@ def emit_native_nest_source(
                 f"windowed array {name!r} is rebound by an atomic equation"
             )
 
-    # -- assemble the translation unit ------------------------------------
+
+def _assemble_spec(
+    low: _NativeLowerer,
+    counters: list[str],
+    prologue: list[str],
+    nest_indices: set[str],
+    analyzed: AnalyzedModule,
+) -> NativeKernelSpec:
+    """Assemble one lowered kernel body into a full translation unit with
+    the shared parameter layout (array pointers, geometry, hoisted scalars,
+    env names, subrange, counters, error channel)."""
     arrays = sorted(low.arrays.items(), key=lambda kv: kv[1][0])
     scalar_names = sorted(low.scalar_names)
     env_names = sorted(low.env_names - nest_indices)
@@ -511,6 +435,171 @@ def emit_native_nest_source(
     )
 
 
+def emit_native_nest_source(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+    variant: str = "full",
+) -> NativeKernelSpec:
+    """Lower a fusable DOALL nest to one C function.
+
+    ``variant="full"``: execute the root subrange ``[nlo, nhi]`` with the
+    inner loops at their declared bounds — the native analogue of the fused
+    Python nest kernel. ``variant="flat"``: execute the inclusive flat
+    range ``[nlo, nhi]`` of the collapsed perfect DOALL chain, recovering
+    the chain indices with a divmod cascade per element (row-major,
+    innermost fastest — the exact iteration order of the reference
+    ``exec_flat_walk``).
+
+    Raises :class:`KernelError` when the nest is not natively emittable
+    (module calls, transcendental builtins, non-rectangular chains, scalar
+    targets — anything whose C translation would not be bit-exact).
+    """
+    if variant not in NEST_VARIANTS:
+        raise KernelError(f"unknown nest-kernel variant {variant!r}")
+    if not nest_fusable(desc, analyzed, flowchart, use_windows):
+        raise KernelError(f"DOALL {desc.index} nest is not fusable")
+
+    nest_indices = desc.nest_indices()
+    low = _NativeLowerer(analyzed, flowchart, use_windows, nest_indices)
+    counters: list[str] = []
+    prologue: list[str] = []
+
+    def emit_descriptor(d, root: bool = False) -> None:
+        if isinstance(d, NodeDescriptor):
+            if not d.node.is_equation:
+                raise KernelError("non-equation node in nest")
+            _emit_equation_store(low, d.node.equation, counters)
+            return
+        assert isinstance(d, LoopDescriptor)
+        var = f"v_{c_name(d.index)}"
+        low.index_names.add(d.index)
+        if root:
+            low.stmt(f"for (i64 {var} = nlo; {var} <= nhi; {var}++) {{")
+        else:
+            lo_c = _bound_c(d.subrange.lo, low)
+            hi_c = _bound_c(d.subrange.hi, low)
+            low.stmt(
+                f"for (i64 {var} = {lo_c}; {var} <= {hi_c}; {var}++) {{"
+            )
+        low.indent += 1
+        for child in d.body:
+            emit_descriptor(child)
+        low.indent -= 1
+        low.stmt("}")
+
+    if variant == "flat":
+        chain, chain_body = collapse_chain(desc)
+        if len(chain) < 2:
+            raise KernelError(
+                f"DOALL {desc.index} is not a perfect nest; nothing to collapse"
+            )
+        chain_indices = {loop.index for loop in chain}
+        for loop in chain:
+            for bound in (loop.subrange.lo, loop.subrange.hi):
+                if names_in(bound) & chain_indices:
+                    raise KernelError(
+                        f"non-rectangular nest: bound of {loop.index} "
+                        f"references a collapsed index"
+                    )
+        for k, loop in enumerate(chain):
+            lo_c = _bound_c(loop.subrange.lo, low)
+            prologue.append(f"    const i64 _clo{k} = {lo_c};")
+            if k > 0:
+                hi_c = _bound_c(loop.subrange.hi, low)
+                prologue.append(
+                    f"    const i64 _cn{k} = ({hi_c}) - _clo{k} + 1;"
+                )
+        for loop in chain:
+            low.index_names.add(loop.index)
+        last = len(chain) - 1
+        low.stmt("for (i64 _f = nlo; _f <= nhi; _f++) {")
+        low.indent += 1
+        low.stmt("i64 _r = _f;")
+        for k in range(last, 0, -1):
+            var = f"v_{c_name(chain[k].index)}"
+            low.stmt(f"i64 {var} = _r % _cn{k} + _clo{k};")
+            low.stmt(f"_r /= _cn{k};")
+        low.stmt(f"i64 v_{c_name(chain[0].index)} = _r + _clo0;")
+        for child in chain_body:
+            emit_descriptor(child)
+        low.indent -= 1
+        low.stmt("}")
+    else:
+        emit_descriptor(desc, root=True)
+
+    _check_windowed_atomics(low, analyzed)
+    return _assemble_spec(low, counters, prologue, nest_indices, analyzed)
+
+
+def emit_native_span_sources(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+) -> list[NativeKernelSpec]:
+    """Lower a chunk-dispatchable DOALL subtree to **span kernels**: one C
+    function per equation, each executing the root subrange ``[nlo, nhi]``
+    with its enclosing inner loops at their declared bounds. This is the
+    native analogue of ``exec_vector_span``'s per-equation distribution —
+    and exactly as there, distribution is only order-preserving when every
+    loop in the subtree is DOALL (a sequential inner ``DO`` carries
+    cross-iteration dependences that per-equation reordering would break),
+    so any non-parallel loop makes the whole span non-emittable.
+
+    All-or-nothing: if *any* equation in the subtree fails to lower, the
+    span stays on the NumPy tier (no mixed native/NumPy dispatch).
+    """
+    if not desc.parallel:
+        raise KernelError(f"loop {desc.index} is not DOALL")
+    pairs: list[tuple[list[LoopDescriptor], AnalyzedEquation]] = []
+
+    def walk(d, chain: list[LoopDescriptor]) -> None:
+        if isinstance(d, NodeDescriptor):
+            if not d.node.is_equation:
+                raise KernelError("non-equation node in span")
+            pairs.append((chain, d.node.equation))
+            return
+        assert isinstance(d, LoopDescriptor)
+        if not d.parallel:
+            raise KernelError(
+                f"sequential loop {d.index} inside span: per-equation "
+                "distribution would reorder its cross-iteration dependences"
+            )
+        for child in d.body:
+            walk(child, [*chain, d])
+
+    walk(desc, [])
+    if not pairs:
+        raise KernelError(f"DOALL {desc.index}: empty span")
+
+    specs: list[NativeKernelSpec] = []
+    for chain, eq in pairs:
+        chain_indices = {loop.index for loop in chain}
+        low = _NativeLowerer(analyzed, flowchart, use_windows, chain_indices)
+        counters: list[str] = []
+        for depth, loop in enumerate(chain):
+            var = f"v_{c_name(loop.index)}"
+            low.index_names.add(loop.index)
+            if depth == 0:
+                low.stmt(f"for (i64 {var} = nlo; {var} <= nhi; {var}++) {{")
+            else:
+                lo_c = _bound_c(loop.subrange.lo, low)
+                hi_c = _bound_c(loop.subrange.hi, low)
+                low.stmt(
+                    f"for (i64 {var} = {lo_c}; {var} <= {hi_c}; {var}++) {{"
+                )
+            low.indent += 1
+        _emit_equation_store(low, eq, counters)
+        for _ in chain:
+            low.indent -= 1
+            low.stmt("}")
+        _check_windowed_atomics(low, analyzed)
+        specs.append(_assemble_spec(low, counters, [], chain_indices, analyzed))
+    return specs
+
+
 def native_emittable(
     desc: LoopDescriptor,
     analyzed: AnalyzedModule,
@@ -543,6 +632,30 @@ def native_emittable(
     return verdict
 
 
+def native_span_emittable(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+) -> bool:
+    """Machine-independent static check for the span shape, memoized like
+    :func:`native_emittable` under the reserved variant key ``"span"``."""
+    memo = getattr(flowchart, "_native_emit_memo", None)
+    if memo is None:
+        memo = {}
+        flowchart._native_emit_memo = memo
+    key = (flowchart.path_of(desc), bool(use_windows), "span")
+    verdict = memo.get(key)
+    if verdict is None:
+        try:
+            emit_native_span_sources(desc, analyzed, flowchart, use_windows)
+            verdict = True
+        except KernelError:
+            verdict = False
+        memo[key] = verdict
+    return verdict
+
+
 def emittable_nest_sources(
     analyzed: AnalyzedModule, flowchart: Flowchart, use_windows: bool = False
 ) -> dict[str, str]:
@@ -562,6 +675,14 @@ def emittable_nest_sources(
             except KernelError:
                 continue
             sources[f"nest-{at}-{desc.index}-{variant}"] = spec.source
+        try:
+            span_specs = emit_native_span_sources(
+                desc, analyzed, flowchart, use_windows
+            )
+        except KernelError:
+            continue
+        for n, spec in enumerate(span_specs):
+            sources[f"span-{at}-{desc.index}-{n}"] = spec.source
     return sources
 
 
@@ -572,10 +693,24 @@ def emittable_nest_sources(
 #: source hash -> (lib, ffi) for shared objects already loaded here
 _loaded: dict[str, tuple] = {}
 
+#: serializes compile+dlopen within this process. Pool threads dispatching
+#: the first chunks of a run race to compile the same span kernel; without
+#: the lock they also duplicated cc invocations for one digest.
+_load_lock = threading.Lock()
+
 
 def _compile_so(source: str, digest: str) -> Path:
     """Compile ``source`` into the on-disk cache (or reuse the cached
-    ``.so``); returns the shared-object path."""
+    ``.so``); returns the shared-object path.
+
+    Every file lands via ``os.replace`` from a unique temp name — including
+    the ``.c``, and the compiler reads the *temp* copy. A concurrent
+    compile of the same digest (another thread before the lock existed,
+    or another process sharing the cache) must never let cc read a
+    half-written source: a truncated ``.c`` can still compile clean and
+    produce a ``.so`` without the kernel symbol, which would then be
+    dlopened and memoized while a later good compile silently fixes only
+    the disk file."""
     out_dir = cache_dir()
     so_path = out_dir / f"{digest}.so"
     if so_path.exists():
@@ -583,15 +718,16 @@ def _compile_so(source: str, digest: str) -> Path:
     cc = find_compiler()
     if cc is None:
         raise KernelError("no C compiler available")
-    c_path = out_dir / f"{digest}.c"
-    c_path.write_text(source)
+    fd, tmp_c = tempfile.mkstemp(dir=out_dir, suffix=".tmp.c")
+    with os.fdopen(fd, "w") as f:
+        f.write(source)
     with tempfile.NamedTemporaryFile(
         dir=out_dir, suffix=".so.tmp", delete=False
     ) as tmp:
         tmp_path = Path(tmp.name)
     try:
         proc = subprocess.run(
-            [cc, *C_FLAGS, "-shared", "-o", str(tmp_path), str(c_path), "-lm"],
+            [cc, *C_FLAGS, "-shared", "-o", str(tmp_path), tmp_c, "-lm"],
             capture_output=True,
             text=True,
         )
@@ -599,8 +735,12 @@ def _compile_so(source: str, digest: str) -> Path:
             raise KernelError(
                 f"C compilation failed ({cc}): {proc.stderr.strip()[:500]}"
             )
-        os.replace(tmp_path, so_path)  # atomic: concurrent compiles race safely
+        # atomic: concurrent compiles race safely, readers see whole files
+        os.replace(tmp_c, out_dir / f"{digest}.c")
+        os.replace(tmp_path, so_path)
     finally:
+        if os.path.exists(tmp_c):
+            os.unlink(tmp_c)
         if tmp_path.exists():
             tmp_path.unlink()
     return so_path
@@ -613,34 +753,28 @@ def _load(spec: NativeKernelSpec) -> tuple:
     digest = hashlib.sha256(key.encode()).hexdigest()
     entry = _loaded.get(digest)
     if entry is None:
-        cffi = _ffi_module()
-        if cffi is None:
-            raise KernelError("cffi is not available")
-        so_path = _compile_so(spec.source, digest)
-        ffi = cffi.FFI()
-        ffi.cdef(spec.cdef)
-        lib = ffi.dlopen(str(so_path))
-        entry = (lib, ffi)
-        _loaded[digest] = entry
+        with _load_lock:
+            entry = _loaded.get(digest)
+            if entry is None:
+                cffi = _ffi_module()
+                if cffi is None:
+                    raise KernelError("cffi is not available")
+                so_path = _compile_so(spec.source, digest)
+                ffi = cffi.FFI()
+                ffi.cdef(spec.cdef)
+                lib = ffi.dlopen(str(so_path))
+                entry = (lib, ffi)
+                _loaded[digest] = entry
     return entry
 
 
-def compile_native_nest(
-    desc: LoopDescriptor,
-    analyzed: AnalyzedModule,
-    flowchart: Flowchart,
-    use_windows: bool,
-    variant: str = "full",
-) -> Callable:
-    """Emit, compile (or reload from the on-disk cache), and wrap the
-    native kernel for ``desc``. The wrapper has the exact signature of the
-    fused Python nest kernels — ``kernel(data, env, lo, hi) -> dict`` —
-    and raises the evaluator's out-of-range :class:`ExecutionError` when
-    the C code reports one.
-    """
-    spec = emit_native_nest_source(
-        desc, analyzed, flowchart, use_windows, variant
-    )
+def _wrap_spec(spec: NativeKernelSpec) -> Callable:
+    """Compile (or reload from the on-disk cache) one spec and wrap it as
+    ``kernel(data, env, nlo, nhi) -> dict[label, count]``. The wrapper pins
+    every storage buffer for the duration of the call (cffi's ABI mode
+    releases the GIL around the C invocation, so a free-running thread must
+    not let the arrays be collected mid-kernel), checks the error channel
+    after, and re-raises the evaluator's exact exceptions."""
     lib, ffi = _load(spec)
     fn = getattr(lib, spec.fn_name)
     array_names = [name for name, _kind in spec.arrays]
@@ -696,3 +830,48 @@ def compile_native_nest(
     _kernel.__kernel_source__ = spec.source
     _kernel.__native__ = True
     return _kernel
+
+
+def compile_native_nest(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+    variant: str = "full",
+) -> Callable:
+    """Emit, compile (or reload from the on-disk cache), and wrap the
+    native kernel for ``desc``. The wrapper has the exact signature of the
+    fused Python nest kernels — ``kernel(data, env, lo, hi) -> dict`` —
+    and raises the evaluator's out-of-range :class:`ExecutionError` when
+    the C code reports one.
+    """
+    spec = emit_native_nest_source(
+        desc, analyzed, flowchart, use_windows, variant
+    )
+    return _wrap_spec(spec)
+
+
+def compile_native_span(
+    desc: LoopDescriptor,
+    analyzed: AnalyzedModule,
+    flowchart: Flowchart,
+    use_windows: bool,
+) -> Callable:
+    """Emit, compile, and wrap the per-equation span kernels for ``desc``
+    as one composite callable with the shared kernel signature
+    (``kernel(data, env, nlo, nhi) -> dict[label, count]``). Kernels run
+    in emission order — the same per-equation distribution order as
+    ``exec_vector_span`` — and their counters are merged."""
+    specs = emit_native_span_sources(desc, analyzed, flowchart, use_windows)
+    kernels = [_wrap_spec(spec) for spec in specs]
+
+    def _span_kernel(data, env, nlo, nhi):
+        counts: dict[str, int] = {}
+        for kern in kernels:
+            for label, n in kern(data, env, nlo, nhi).items():
+                counts[label] = counts.get(label, 0) + n
+        return counts
+
+    _span_kernel.__kernel_source__ = "\n".join(spec.source for spec in specs)
+    _span_kernel.__native__ = True
+    return _span_kernel

@@ -7,11 +7,18 @@ real hardware disagrees, ``compare_plans`` records the stopwatch into a
 — a mispredicted plan is corrected on the second run.
 """
 
+import json
+import os
+
 import numpy as np
 
 from repro.core.pipeline import compile_source
 from repro.machine.report import compare_plans
-from repro.plan.calibration import PlanCalibration
+from repro.plan.calibration import (
+    COST_MODEL_VERSION,
+    PlanCalibration,
+    store_path,
+)
 from repro.plan.planner import build_plan
 from repro.runtime.executor import ExecutionOptions
 
@@ -94,6 +101,78 @@ class TestCalibrationStore:
         assert rec is not None and rec.seconds == 9.0
         # Explicit worker counts keep their own keys.
         assert cal.measured("M", {"n": 4}, "serial", workers=3) is None
+
+
+class TestDurableStore:
+    """The on-disk calibration store: machine-fingerprinted, atomic,
+    and never able to take planning down."""
+
+    def test_record_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "cal.json"
+        cal = PlanCalibration(path=path)
+        cal.record("M", {"n": 4}, "threaded", seconds=0.25,
+                   predicted_cycles=100.0, workers=2)
+        loaded = PlanCalibration.load(path)
+        rec = loaded.measured("M", {"n": 4}, "threaded", workers=2)
+        assert rec is not None
+        assert rec.seconds == 0.25 and rec.predicted_cycles == 100.0
+        assert loaded.version == cal.version
+
+    def test_missing_file_yields_empty_store(self, tmp_path):
+        loaded = PlanCalibration.load(tmp_path / "absent.json")
+        assert loaded.records == {}
+        # ...and the path is attached, so the first record persists
+        loaded.record("M", {}, "serial", 1.0)
+        assert (tmp_path / "absent.json").exists()
+
+    def test_corrupt_file_never_raises(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text("{not json")
+        assert PlanCalibration.load(path).records == {}
+        path.write_text(json.dumps({"cost_model_version": COST_MODEL_VERSION,
+                                    "cpu_count": os.cpu_count() or 1,
+                                    "records": [{"module": "M"}]}))
+        assert PlanCalibration.load(path).records == {}
+
+    def test_foreign_version_or_machine_ignored(self, tmp_path):
+        path = tmp_path / "cal.json"
+        row = {"module": "M", "sizes": [["n", 4]], "workers": 2,
+               "backend": "serial", "seconds": 1.0,
+               "predicted_cycles": None}
+        path.write_text(json.dumps({
+            "cost_model_version": COST_MODEL_VERSION + 1,
+            "cpu_count": os.cpu_count() or 1,
+            "version": 1, "records": [row],
+        }))
+        assert PlanCalibration.load(path).records == {}
+        path.write_text(json.dumps({
+            "cost_model_version": COST_MODEL_VERSION,
+            "cpu_count": (os.cpu_count() or 1) + 64,
+            "version": 1, "records": [row],
+        }))
+        assert PlanCalibration.load(path).records == {}
+
+    def test_in_memory_store_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        cal = PlanCalibration()  # no path: directly constructed
+        cal.record("M", {}, "serial", 1.0)
+        assert not list(tmp_path.glob("calibration-*.json"))
+
+    def test_store_path_fingerprints_machine(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        p = store_path(cpu_count=4)
+        assert p.parent == tmp_path
+        assert f"cpu4-v{COST_MODEL_VERSION}" in p.name
+        assert store_path(cpu_count=8) != p
+
+    def test_default_load_lands_in_native_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        cal = PlanCalibration.load()
+        cal.record("M", {"n": 2}, "serial", 0.5)
+        files = list(tmp_path.glob("calibration-*.json"))
+        assert len(files) == 1
+        again = PlanCalibration.load()
+        assert again.measured("M", {"n": 2}, "serial").seconds == 0.5
 
 
 class TestMispredictionCorrected:

@@ -114,9 +114,9 @@ GOLDEN_COLLAPSE = {
     "dp": """\
         plan Align: backend=process workers=4 kernels=native windows=off [pinned]
         DOALL _i1 -> chunk x4; trip 7
-            eq.1 [kernel=vector]
+            eq.1 [kernel=native]
         DOALL I -> chunk x4; trip 6
-            eq.2 [kernel=vector]
+            eq.2 [kernel=native]
         DO I -> serial; trip 6
             DO J -> serial; trip 6
                 eq.3 [kernel=scalar]
@@ -124,14 +124,14 @@ GOLDEN_COLLAPSE = {
     "paths_int": """\
         plan Paths: backend=process workers=4 kernels=native windows=off [pinned]
         DOALL _i1 -> chunk x4; trip 7
-            eq.1 [kernel=vector]
+            eq.1 [kernel=native]
         DOALL I -> chunk x4; trip 6
-            eq.2 [kernel=vector]
+            eq.2 [kernel=native]
         DO I -> serial; trip 6
             DO J -> serial; trip 6
                 eq.3 [kernel=scalar]
         DOALL _i0 -> chunk x4; trip 7
-            eq.4 [kernel=vector]""",
+            eq.4 [kernel=native]""",
 }
 
 
@@ -175,7 +175,11 @@ class TestGoldenPlans:
                 DOALL J -> nest; trip 10; fused
                     eq.2 [kernel=native]""")
 
-    def test_pinned_threaded_jacobi_chunks(self):
+    def test_pinned_threaded_jacobi_collapses(self):
+        # Near-tie between chunk (per-equation native span kernels) and
+        # collapse (one fused native flat kernel per chunk): collapse wins
+        # by the span tier's per-call overhead, and is the better shape —
+        # fewer native calls, perfect load balance over the flat space.
         name, analyzed, flow, args, _ = WORKLOADS[0]
         plan = build_plan(
             analyzed, flow,
@@ -184,16 +188,16 @@ class TestGoldenPlans:
         )
         assert plan.pretty() == textwrap.dedent("""\
             plan Relaxation: backend=threaded workers=4 kernels=native windows=off [pinned]
-            DOALL I -> chunk x4; trip 10
-                DOALL J -> vector; trip 10; nested in span
-                    eq.1 [kernel=vector]
+            DOALL I -> collapse x4; depth 2 flat 100; trip 10
+                DOALL J -> collapse; trip 10; collapsed
+                    eq.1 [kernel=native]
             DO K -> serial; trip 3
-                DOALL I -> chunk x4; trip 10
-                    DOALL J -> vector; trip 10; nested in span
-                        eq.3 [kernel=vector]
-            DOALL I -> chunk x4; trip 10
-                DOALL J -> vector; trip 10; nested in span
-                    eq.2 [kernel=vector]""")
+                DOALL I -> collapse x4; depth 2 flat 100; trip 10
+                    DOALL J -> collapse; trip 10; collapsed
+                        eq.3 [kernel=native]
+            DOALL I -> collapse x4; depth 2 flat 100; trip 10
+                DOALL J -> collapse; trip 10; collapsed
+                    eq.2 [kernel=native]""")
 
     def test_cycles_rendering_is_optional(self):
         name, analyzed, flow, args, _ = WORKLOADS[0]

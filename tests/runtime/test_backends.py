@@ -72,7 +72,8 @@ def options_for(backend: str, use_windows: bool = False) -> ExecutionOptions:
 class TestRegistry:
     def test_available_backends(self):
         assert available_backends() == [
-            "process", "process-fork", "serial", "threaded", "vectorized",
+            "free-threading", "process", "process-fork", "serial",
+            "threaded", "vectorized",
         ]
 
     def test_auto_follows_vectorize_flag(self):
