@@ -1,0 +1,147 @@
+"""B-pipeline — DSWP-style decoupling of recurrence + consumer runs.
+
+A sequential recurrence schedules as a ``DO`` loop; the serial reference
+plan walks it one element at a time through scalar kernels. The
+``pipeline`` strategy turns the recurrence and its downstream DOALL
+consumers into decoupled stages over bounded block hand-offs: the
+sequential stage streams in-order blocks through the fused ``"seq"``
+native nest kernel, the replicated stage chases its completion frontier
+with the remaining workers. This bench measures that mechanism on the
+coupled-recurrence workload (two mutually recursive sequences feeding an
+elementwise consumer) and writes ``BENCH_pipeline.json``.
+
+Acceptance gates (CI-enforced):
+
+* forced ``pipeline`` on the threaded backend at 4 workers is >= 1.5x
+  faster than the serial backend's default plan at the largest benchmarked
+  trip (measured ~100-200x on the baseline box — the decoupled sequential
+  stage runs compiled C blocks where the serial plan walks Python
+  elements; the gate stays conservative for slow CI runners);
+* the *unforced* threaded plan picks pipeline on its own at the largest
+  trip — the pricing must recognise the win, not just obey ``--strategy``;
+* every timed execution agrees **bit-exactly** with its reference.
+
+On a machine without a C compiler the module skips (the sequential stage
+would fall back to NumPy seq kernels; the mechanism still works but the
+serial baseline shifts, and the native lane is the one the gate pins).
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.recurrences import coupled_analyzed, coupled_args
+from repro.plan.planner import build_plan
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.kernels import KernelCache, native_supported
+from repro.schedule.scheduler import schedule_module
+
+pytestmark = pytest.mark.skipif(
+    not native_supported(),
+    reason="native tier unavailable: no C compiler / cffi on this machine",
+)
+
+#: recurrence lengths; the gate applies at the largest
+TRIPS = [5_000, 50_000]
+
+#: wall-clock advantage the gate demands at the largest trip
+PIPELINE_GATE_SPEEDUP = 1.5
+GATE_WORKERS = 4
+
+_PAYLOAD = {"rows": [], "gates": {}}
+
+
+def _time(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_pipeline_speedup_gate(artifact):
+    analyzed = coupled_analyzed()
+    flow = schedule_module(analyzed)
+
+    # Bit-exactness of the full stack vs the tree-walking evaluator at a
+    # size the evaluator can afford; the large rows then cross-check the
+    # two fast paths against each other.
+    small = coupled_args(n=512)
+    ref = execute_module(
+        analyzed, small, flowchart=flow,
+        options=ExecutionOptions(backend="serial", use_kernels=False),
+    )
+    res = execute_module(
+        analyzed, small, flowchart=flow,
+        options=ExecutionOptions(
+            backend="threaded", workers=GATE_WORKERS, strategy="pipeline"
+        ),
+    )
+    assert np.array_equal(res["R"], ref["R"]), (
+        "pipeline diverged from the evaluator at n=512"
+    )
+
+    for n in TRIPS:
+        args = coupled_args(n=n)
+        cache_serial = KernelCache(analyzed, flow)
+        cache_pipe = KernelCache(analyzed, flow)
+        o_serial = ExecutionOptions(backend="serial")
+        o_pipe = ExecutionOptions(
+            backend="threaded", workers=GATE_WORKERS, strategy="pipeline"
+        )
+
+        def run_serial(args=args, options=o_serial, cache=cache_serial):
+            return execute_module(
+                analyzed, args, flowchart=flow, options=options,
+                kernel_cache=cache,
+            )
+
+        def run_pipe(args=args, options=o_pipe, cache=cache_pipe):
+            return execute_module(
+                analyzed, args, flowchart=flow, options=options,
+                kernel_cache=cache,
+            )
+
+        run_serial(), run_pipe()  # warm caches/pools outside the timed region
+        t_serial, out_serial = _time(run_serial)
+        t_pipe, out_pipe = _time(run_pipe)
+        assert np.array_equal(out_pipe["R"], out_serial["R"]), (
+            f"pipeline diverged from the serial plan at n={n}"
+        )
+
+        # The pricing must choose decoupling unforced at bench sizes.
+        plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend="threaded", workers=GATE_WORKERS),
+            {"n": n}, cpu_count=GATE_WORKERS,
+        )
+        auto_pipelines = any(s == "pipeline" for _, s in plan.strategies())
+
+        _PAYLOAD["rows"].append({
+            "workload": "coupled",
+            "trip": n,
+            "workers": GATE_WORKERS,
+            "serial_seconds": t_serial,
+            "pipeline_seconds": t_pipe,
+            "speedup": t_serial / t_pipe,
+            "auto_pipelines": auto_pipelines,
+        })
+
+    largest = max(TRIPS)
+    row = next(r for r in _PAYLOAD["rows"] if r["trip"] == largest)
+    assert row["speedup"] >= PIPELINE_GATE_SPEEDUP, (
+        f"pipeline only {row['speedup']:.2f}x over the serial plan on "
+        f"coupled at n={largest} (gate: {PIPELINE_GATE_SPEEDUP}x)"
+    )
+    assert row["auto_pipelines"], (
+        f"unforced threaded plan at n={largest} did not choose pipeline"
+    )
+    _PAYLOAD["gates"][f"coupled_pipeline_vs_serial_n{largest}"] = {
+        "speedup": row["speedup"],
+        "required": PIPELINE_GATE_SPEEDUP,
+        "passed": True,
+    }
+    artifact("BENCH_pipeline.json", json.dumps(_PAYLOAD, indent=2))

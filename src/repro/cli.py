@@ -28,6 +28,7 @@ from repro.errors import ReproError
 from repro.graph.build import build_dependency_graph
 from repro.graph.dot import to_dot, to_text
 from repro.hyperplane.pipeline import hyperplane_transform
+from repro.plan.ir import STRATEGIES
 from repro.ps.parser import parse_module
 from repro.ps.printer import format_module
 from repro.ps.semantics import analyze_module
@@ -123,6 +124,7 @@ def _execution_options(args, vectorize: bool = True) -> ExecutionOptions:
         use_kernels=not args.no_kernels,
         use_collapse=not args.no_collapse,
         kernel_tier=args.kernel_tier,
+        strategy=getattr(args, "strategy", None),
     )
 
 
@@ -345,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pin the plan to a backend (default: planner's choice)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="worker count the plan budgets for")
+    p.add_argument("--strategy", default=None, choices=list(STRATEGIES),
+                   help="prefer this strategy wherever it is valid "
+                        "(pipeline: decouple every partitionable sibling "
+                        "run of loops into concurrent stages)")
     p.add_argument("--windows", action="store_true",
                    help="plan for window-allocated virtual dimensions")
     p.add_argument("--no-kernels", action="store_true",
@@ -379,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="auto",
                    choices=["auto", *available_backends()],
                    help="DOALL execution backend (auto follows --scalar)")
+    p.add_argument("--strategy", default=None, choices=list(STRATEGIES),
+                   help="prefer this strategy wherever it is valid "
+                        "(pipeline: decouple every partitionable sibling "
+                        "run of loops into concurrent stages)")
     p.add_argument("--workers", type=int, default=None, metavar="N",
                    help="worker count for the threaded/process backends "
                         "(default: cpu count)")

@@ -1,0 +1,124 @@
+"""A small recurrence-workload corpus: the loops the paper's DOALL focus
+leaves serial.
+
+Each module here schedules into a run of sibling loops over the same
+iteration space in which at least one loop is a genuine recurrence (a
+``DO`` the hyperplane rewrite cannot remove) feeding downstream ``DOALL``
+consumers — exactly the shape :mod:`repro.schedule.pipeline_stages`
+partitions into a sequential stage plus replicated stages. The parity
+suites run them against every backend, and ``benchmarks/bench_pipeline.py``
+uses the coupled recurrence as its gate workload.
+
+* :func:`scan_analyzed` — a first-order linear scan feeding a pointwise
+  consumer: ``seq + par``.
+* :func:`coupled_analyzed` — two mutually recursive sequences (one SCC,
+  so the scheduler fuses them into a single ``DO`` body) feeding a
+  consumer: ``seq + par``.
+* :func:`line_sweep_analyzed` — a Gauss–Seidel-style line sweep (each row
+  relaxed from the previous row, rows sequential, columns DOALL) feeding
+  two chained diagnostics whose dependence is identity — they coalesce
+  into one replicated stage: ``seq + par(2 loops)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ps.parser import parse_module
+from repro.ps.semantics import AnalyzedModule, analyze_module
+
+SCAN_SOURCE = """\
+(* First-order linear recurrence (scan) + pointwise consumer. *)
+Scan: module (X: array[1 .. n] of real; a: real; n: int):
+      [Y: array[1 .. n] of real];
+type
+    I = 1 .. n;
+var
+    S: array [0 .. n] of real;
+define
+    S[0] = 0.0;
+    S[I] = S[I-1] * a + X[I];
+    Y[I] = S[I] * S[I] + X[I];
+end Scan;
+"""
+
+COUPLED_SOURCE = """\
+(* Two mutually recursive sequences — one SCC, one DO loop — feeding a
+   pointwise consumer. *)
+Coupled: module (X: array[1 .. n] of real;
+                 c1: real; c2: real; c3: real; c4: real; n: int):
+         [R: array[1 .. n] of real];
+type
+    I = 1 .. n;
+var
+    P: array [0 .. n] of real;
+    Q: array [0 .. n] of real;
+define
+    P[0] = 0.0;
+    Q[0] = 1.0;
+    P[I] = P[I-1] * c1 + Q[I-1] * c2 + X[I];
+    Q[I] = Q[I-1] * c3 + P[I] * c4;
+    R[I] = P[I] * Q[I] + X[I];
+end Coupled;
+"""
+
+LINE_SWEEP_SOURCE = """\
+(* Line sweep: each row relaxed from the previous row's neighbourhood
+   (rows sequential, columns DOALL), then two chained per-row
+   diagnostics. *)
+LineSweep: module (G: array[0 .. n, 0 .. m+1] of real; n: int; m: int):
+           [Mout: array[1 .. n, 0 .. m+1] of real];
+type
+    I = 1 .. n;
+    J = 0 .. m+1;
+var
+    L: array [0 .. n, 0 .. m+1] of real;
+    D: array [1 .. n, 0 .. m+1] of real;
+define
+    L[0,J] = G[0,J];
+    L[I,J] = if (J = 0) or (J = m+1) then G[I,J]
+             else (L[I-1,J-1] + L[I-1,J] + L[I-1,J+1]) / 3.0 + G[I,J];
+    D[I,J] = L[I,J] - G[I,J];
+    Mout[I,J] = D[I,J] * D[I,J];
+end LineSweep;
+"""
+
+
+def scan_analyzed() -> AnalyzedModule:
+    return analyze_module(parse_module(SCAN_SOURCE))
+
+
+def coupled_analyzed() -> AnalyzedModule:
+    return analyze_module(parse_module(COUPLED_SOURCE))
+
+
+def line_sweep_analyzed() -> AnalyzedModule:
+    return analyze_module(parse_module(LINE_SWEEP_SOURCE))
+
+
+def scan_args(n: int = 64, seed: int = 11) -> dict:
+    rng = np.random.default_rng(seed)
+    return {"X": rng.random(n), "a": 0.97, "n": n}
+
+
+def coupled_args(n: int = 64, seed: int = 12) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "X": rng.random(n),
+        "c1": 0.45, "c2": 0.25, "c3": 0.35, "c4": 0.15,
+        "n": n,
+    }
+
+
+def line_sweep_args(n: int = 12, m: int = 8, seed: int = 13) -> dict:
+    rng = np.random.default_rng(seed)
+    return {"G": rng.random((n + 1, m + 2)), "n": n, "m": m}
+
+
+#: (name, analyzed-builder, args-builder, result key) — the parity tests
+#: and examples iterate this
+RECURRENCE_WORKLOADS = (
+    ("scan", scan_analyzed, scan_args, "Y"),
+    ("coupled", coupled_analyzed, coupled_args, "R"),
+    ("line_sweep", line_sweep_analyzed, line_sweep_args, "Mout"),
+)

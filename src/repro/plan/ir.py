@@ -37,6 +37,16 @@ Loop strategies
     (per-equation scalar walk when the kernel is unavailable). Collapsing
     load-balances nests whose outer trip count is small or uneven — the
     whole flat space divides over the workers regardless of shape.
+``pipeline``
+    DSWP-style decoupling of a *run of sibling loops* over one iteration
+    space (see :mod:`repro.schedule.pipeline_stages`): sequential (``DO``)
+    stages advance block by block on one worker each — through compiled
+    sequential nest kernels where the nest lowers — while replicated
+    (``DOALL``) stages chase the upstream frontier with chunked span
+    kernels on the remaining workers. The run's *first* loop carries the
+    strategy plus the :class:`StagePlan` list and the group size; the
+    other member loops carry ``pipeline`` with a ``stage k/n`` reason and
+    are executed by the group engine, never dispatched individually.
 """
 
 from __future__ import annotations
@@ -46,7 +56,9 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 
 #: valid LoopPlan.strategy values
-STRATEGIES = ("serial", "nest", "vector", "chunk", "iterate", "collapse")
+STRATEGIES = (
+    "serial", "nest", "vector", "chunk", "iterate", "collapse", "pipeline",
+)
 
 #: valid EquationPlan.kernel values — "native" marks an equation whose
 #: enclosing nest lowers to the cffi-compiled C tier (degrading to the
@@ -78,6 +90,25 @@ class EquationPlan:
 
 
 @dataclass
+class StagePlan:
+    """One stage of a pipeline group (attached to the group head's
+    :class:`LoopPlan`)."""
+
+    #: "sequential" | "replicated"
+    kind: str
+    #: offsets of the member loops within the group's sibling run
+    members: tuple[int, ...]
+    #: equation labels the stage evaluates (for display)
+    labels: tuple[str, ...]
+    #: workers assigned to the stage (1 for sequential stages)
+    workers: int = 1
+
+    def annotation(self) -> str:
+        tag = "seq" if self.kind == "sequential" else f"par x{self.workers}"
+        return f"{tag}({', '.join(self.labels)})"
+
+
+@dataclass
 class LoopPlan:
     """The planner's decision for one loop descriptor."""
 
@@ -106,11 +137,27 @@ class LoopPlan:
     cycles: float | None = None
     #: one-line rationale for the choice
     reason: str = ""
+    #: the stage partition, set on the *head* loop of a pipeline group
+    #: (member loops carry strategy "pipeline" with stages=None)
+    stages: list[StagePlan] | None = None
+    #: how many consecutive sibling loops the group spans (head loop only)
+    group_size: int | None = None
+    #: per-stage hand-off block size, in iterations (head loop only)
+    queue_depth: int | None = None
 
     def annotation(self) -> str:
         bits = [self.strategy]
         if self.strategy in ("chunk", "collapse") and self.parts:
             bits[-1] += f" x{self.parts}"
+        if self.strategy == "pipeline" and self.stages:
+            if self.parts:
+                bits[-1] += f" x{self.parts}"
+            bits.append(
+                f"stages {len(self.stages)} "
+                f"[{' | '.join(s.annotation() for s in self.stages)}]"
+            )
+            if self.queue_depth:
+                bits.append(f"block {self.queue_depth}")
         if self.strategy == "iterate" and self.chunk_index:
             bits.append(f"inner-chunk {self.chunk_index}")
         if self.strategy == "collapse" and self.collapse_depth:
@@ -278,4 +325,19 @@ class ExecutionPlan:
             lines.append(f"    {backend}: excluded ({why})")
         if p.get("reason"):
             lines.append(f"winner: {self.backend} — {p['reason']}")
+        for note in p.get("pipeline_groups", []):
+            verdict = "chosen" if note.get("chosen") else "rejected"
+            row = (
+                f"  pipeline group @{note['index']}: {note['kinds']} "
+                f"({note['stage_count']} stages, trip {note['trip']}) — "
+                f"{verdict}"
+            )
+            if note.get("pipeline_cycles") is not None:
+                row += (
+                    f": predicted ~{note['pipeline_cycles']:.0f} vs "
+                    f"~{note['serial_cycles']:.0f} cycles undecoupled"
+                )
+            if note.get("why"):
+                row += f" ({note['why']})"
+            lines.append(row)
         return "\n".join(lines)

@@ -37,6 +37,7 @@ from repro.plan.ir import (
     LoopPlan,
     PlanEntry,
     PlanError,
+    StagePlan,
 )
 from repro.runtime.kernels.emit import (
     equation_affine_fast_path,
@@ -57,6 +58,13 @@ from repro.schedule.flowchart import (
 
 #: backends that split DOALL subranges into worker chunks
 CHUNKED_BACKENDS = ("threaded", "free-threading", "process", "process-fork")
+
+#: backends whose pools run the decoupled pipeline engine — the planner
+#: only *prices* pipeline groups for these (shared-memory threads; the
+#: process pools copy, and stage hand-offs flow through the module arrays).
+#: A forced pipeline still plans on any backend: the base inline engine
+#: executes groups stage by stage, correct everywhere, concurrent here.
+PIPELINE_BACKENDS = ("threaded", "free-threading")
 
 #: every backend a plan may target (kept in sync with the registry in
 #: ``repro.runtime.backends`` — the plan layer must not import the runtime)
@@ -118,6 +126,12 @@ def build_plan(
     options = options or _default_options()
     scalar_env = scalar_env or {}
     model = model or MachineModel()
+    soft_strategy = getattr(options, "strategy", None)
+    if soft_strategy is not None and soft_strategy not in STRATEGIES:
+        raise ExecutionError(
+            f"unknown strategy {soft_strategy!r}; "
+            f"available: {', '.join(STRATEGIES)}"
+        )
     # Resolve the machine's core count exactly once: a worker count and an
     # effective-parallelism bound read under two different affinity
     # settings would silently disagree.
@@ -152,6 +166,10 @@ def build_plan(
     if requested == "auto":
         from repro.runtime.backends.process import _fork_available
 
+        if soft_strategy == "pipeline" and candidates is None:
+            # The decoupled engine lives on the thread pools; auto honours
+            # the preference by choosing among backends that can run it.
+            candidates = PIPELINE_BACKENDS
         pool = list(candidates or AUTO_CANDIDATES)
         excluded: list[tuple[str, str]] = []
         if not _fork_available():
@@ -169,6 +187,7 @@ def build_plan(
                 analyzed, flowchart, candidate, workers, effective,
                 scalar_env, model, use_kernels, bool(options.use_windows),
                 use_collapse=use_collapse, tier=tier,
+                force_default=soft_strategy, force_soft=True,
             )
             p.plan_module()
             planners.append(p)
@@ -189,6 +208,7 @@ def build_plan(
         best = min(zip(totals, planners), key=lambda pair: pair[0])[1]
         plan = best.finish(analyzed.name, requested="auto", pinned=False)
         plan.provenance = {
+            "pipeline_groups": best.pipeline_notes,
             "mode": "auto",
             "workers": workers,
             "calibrated": bool(measured),
@@ -217,10 +237,12 @@ def build_plan(
         analyzed, flowchart, requested, workers, effective,
         scalar_env, model, use_kernels, bool(options.use_windows),
         use_collapse=use_collapse, tier=tier,
+        force_default=soft_strategy, force_soft=True,
     )
     planner.plan_module()
     plan = planner.finish(analyzed.name, requested=requested, pinned=True)
     plan.provenance = {
+        "pipeline_groups": planner.pipeline_notes,
         "mode": "pinned",
         "workers": workers,
         "calibrated": False,
@@ -313,6 +335,7 @@ class _Planner:
         tier: str = "native",
         force_default: str | None = None,
         force_overrides: dict[tuple[int, ...], str] | None = None,
+        force_soft: bool = False,
     ):
         self.analyzed = analyzed
         self.flowchart = flowchart
@@ -327,7 +350,14 @@ class _Planner:
         self.tier = tier
         self.force_default = force_default
         self.force_overrides = force_overrides or {}
+        self.force_soft = force_soft
         self.entries: list[PlanEntry] = []
+        #: one provenance note per pipeline group considered (chosen or not)
+        self.pipeline_notes: list[dict] = []
+        #: True while planning the body of a pipeline sequential stage that
+        #: cannot fuse — inner DOALLs must stay off the pool (the stage
+        #: already runs *on* a pool worker)
+        self._in_stage = False
         self.loops: dict[tuple[int, ...], LoopPlan] = {}
         self.equations: dict[str, EquationPlan] = {}
         self.total = 0.0
@@ -663,22 +693,52 @@ class _Planner:
             return None
         if forced not in STRATEGIES:
             raise PlanError(f"unknown forced strategy {forced!r}")
+        if forced == "pipeline":
+            # Pipeline is a *group* decision made at the sibling-list walk
+            # (see _emit_siblings); a loop met individually — outside any
+            # partitionable run — plans normally.
+            if path in self.force_overrides:
+                raise PlanError(
+                    "'pipeline' is a group-level strategy; force it as the "
+                    "default, not per loop"
+                )
+            return None
+
+        def invalid(why: str) -> str | None:
+            if self.force_soft:
+                return None
+            raise PlanError(why)
+
         if forced == "chunk" and not self._chunk_safe(desc):
-            raise PlanError(
+            return invalid(
                 f"cannot force 'chunk' on DOALL {desc.index}: not chunk-safe"
             )
         if forced == "nest" and not self._fusable(desc):
-            raise PlanError(
+            return invalid(
                 f"cannot force 'nest' on DOALL {desc.index}: not fusable"
             )
         if forced == "collapse" and not self._collapse_safe(desc):
-            raise PlanError(
+            return invalid(
                 f"cannot force 'collapse' on DOALL {desc.index}: "
                 f"not a collapse-safe perfect DOALL chain"
             )
         return forced
 
     def _choose_uncached(self, desc: LoopDescriptor):
+        if self._in_stage:
+            # Inside a pipeline sequential stage the walk already runs on a
+            # pool worker: never chunk/collapse (pool re-entry deadlocks),
+            # pick the best in-worker strategy instead.
+            best = ("serial", None, self._cost_serial_root(desc),
+                    "inside pipeline stage", None)
+            if self._fusable(desc):
+                c_nest = self._cost_nest_root(desc)
+                if c_nest < best[2]:
+                    best = ("nest", None, c_nest, "inside pipeline stage", None)
+            c_vec = self._cost_vector_root(desc)
+            if c_vec < best[2]:
+                best = ("vector", None, c_vec, "inside pipeline stage", None)
+            return best
         forced = self._forced_for(desc)
         if forced is not None:
             if forced == "chunk":
@@ -765,15 +825,267 @@ class _Planner:
 
         raise PlanError(f"unknown execution backend {self.backend!r}")
 
+    # -- pipeline groups ---------------------------------------------------
+
+    def _pipeline_group_at(self, container: tuple[int, ...], offset: int):
+        """The partitionable sibling run starting here, when this planning
+        pass may consider one at all: the thread backends price groups on
+        merit, any backend honours a forced default (the base inline engine
+        executes them correctly everywhere), and a single worker has
+        nothing to decouple over."""
+        if self._in_stage:
+            return None
+        if (
+            self.force_default != "pipeline"
+            and self.backend not in PIPELINE_BACKENDS
+        ):
+            return None
+        if self.workers < 2:
+            return None
+        from repro.schedule.pipeline_stages import group_starting_at
+
+        return group_starting_at(
+            self.analyzed, self.flowchart, container, offset, self.use_windows
+        )
+
+    def _seq_fusable(self, desc: LoopDescriptor) -> bool:
+        return self.use_kernels and nest_fusable(
+            desc, self.analyzed, self.flowchart, self.use_windows, "seq"
+        )
+
+    def _price_pipeline(self, group) -> dict | None:
+        """Price the decoupled execution of ``group``. None when the team
+        cannot host one *running* task per stage — the engine's
+        no-deadlock requirement (every stage must make progress for the
+        frontier hand-offs to drain). Otherwise a dict the emitter and the
+        provenance notes consume.
+
+        The model: one fork/barrier for the group, one spin-up per stage
+        worker, the bottleneck stage's time (sequential stages run their
+        whole subrange through block-wise sequential nest kernels; a
+        replicated stage divides its span work over its workers), bounded
+        below by total work over the machine's effective parallelism, plus
+        one link hand-off per block per stage boundary."""
+        m = self.model
+        stages = group.stages
+        n_stages = len(stages)
+        if self.workers < n_stages:
+            return None
+        t = self._trip_est(group.loops[0])
+        n_seq = sum(1 for s in stages if s.kind == "sequential")
+        n_rep = n_stages - n_seq
+        avail = self.workers - n_seq
+        stage_workers: list[int] = []
+        rep_seen = 0
+        for s in stages:
+            if s.kind == "sequential":
+                stage_workers.append(1)
+            else:
+                w = avail // n_rep + (1 if rep_seen < avail % n_rep else 0)
+                stage_workers.append(max(1, w))
+                rep_seen += 1
+        workers_used = sum(stage_workers)
+        blocks = max(1, min(t, 4 * self.workers))
+        block = ceil(t / blocks)
+        blocks = ceil(t / block)
+
+        stage_times: list[float] = []
+        total_work = 0.0
+        for s, w in zip(stages, stage_workers):
+            if s.kind == "sequential":
+                loop = group.loops[s.members[0]]
+                if self._native_ok(loop, "seq"):
+                    work = blocks * m.native_call_overhead + sum(
+                        self._cost(d, "native", t) for d in loop.body
+                    )
+                elif self._seq_fusable(loop):
+                    work = blocks * m.vector_setup + sum(
+                        self._cost(d, "nest", t) for d in loop.body
+                    )
+                else:
+                    work = t * (
+                        m.loop_overhead
+                        + sum(self._cost(d, "walk", 1) for d in loop.body)
+                    )
+                time = work
+            else:
+                work = 0.0
+                for mem in s.members:
+                    loop = group.loops[mem]
+                    if self._native_ok(loop, "span"):
+                        neq = len(loop.nested_equations())
+                        work += blocks * neq * m.native_call_overhead + sum(
+                            self._cost(d, "native", t) for d in loop.body
+                        )
+                    else:
+                        pairs = [
+                            self._vector_costs(d, block) for d in loop.body
+                        ]
+                        work += blocks * (
+                            sum(r for r, _ in pairs)
+                            + sum(b for _, b in pairs)
+                        )
+                time = work / max(1, w)
+            stage_times.append(time)
+            total_work += work
+        compute = max(max(stage_times), total_work / max(1, self.parallelism))
+        cycles = (
+            m.doall_fork
+            + m.doall_barrier
+            + workers_used * m.pipeline_stage_spinup
+            + compute
+            + blocks * (n_stages - 1) * m.pipeline_link_overhead
+        )
+        undecoupled = sum(
+            self._cost(loop, "walk", 1) for loop in group.loops
+        )
+        stage_plans = [
+            StagePlan(s.kind, s.members, s.labels, workers=w)
+            for s, w in zip(stages, stage_workers)
+        ]
+        return {
+            "cycles": cycles,
+            "serial_cycles": undecoupled,
+            "stage_plans": stage_plans,
+            "workers_used": workers_used,
+            "block": block,
+            "trip": t,
+        }
+
+    def _emit_pipeline_maybe(
+        self, group, container: tuple[int, ...], depth: int
+    ) -> float | None:
+        """Decide one pipeline group; emit it and return its cost when
+        taken, None to leave the siblings to plan individually. Every
+        considered group leaves a provenance note either way — ``repro
+        plan`` must be able to say why pipeline won or was rejected."""
+        forced = self.force_default == "pipeline"
+        priced = self._price_pipeline(group)
+        note = {
+            "index": str(container + (group.start,)),
+            "kinds": group.kinds(),
+            "stage_count": len(group.stages),
+            "trip": self._trip_est(group.loops[0]),
+            "pipeline_cycles": priced["cycles"] if priced else None,
+            "serial_cycles": priced["serial_cycles"] if priced else None,
+            "chosen": False,
+            "why": "",
+        }
+        self.pipeline_notes.append(note)
+        if priced is None:
+            note["why"] = (
+                f"needs one worker per stage: {len(group.stages)} stages "
+                f"> {self.workers} workers"
+            )
+            return None
+        if not forced and priced["cycles"] >= priced["serial_cycles"]:
+            note["why"] = "undecoupled plan is cheaper"
+            return None
+        note["chosen"] = True
+        note["why"] = "forced" if forced else "decoupling is cheaper"
+        return self._emit_pipeline(group, container, depth, priced, forced)
+
+    def _emit_pipeline(
+        self, group, container: tuple[int, ...], depth: int, priced: dict,
+        forced: bool,
+    ) -> float:
+        """Emit the LoopPlans of one taken pipeline group: the head loop
+        carries the stage partition, worker assignment, and hand-off block
+        size; member loops carry their stage membership. Sequential-stage
+        bodies plan as (sequential) fused nests where the nest lowers and
+        as a pool-safe in-worker walk otherwise; replicated-stage bodies
+        plan exactly like chunk spans."""
+        stages = priced["stage_plans"]
+        n_stages = len(stages)
+        stage_of = {
+            mdx: k for k, s in enumerate(stages) for mdx in s.members
+        }
+        for j, loop in enumerate(group.loops):
+            path = container + (group.start + j,)
+            k = stage_of[j]
+            stage = stages[k]
+            head = j == 0
+            seq_fuse = stage.kind == "sequential" and self._seq_fusable(loop)
+            lp = LoopPlan(
+                path, loop.index, loop.keyword, "pipeline",
+                parts=priced["workers_used"] if head else None,
+                trip=self.trip(loop),
+                fuse=seq_fuse,
+                stages=stages if head else None,
+                group_size=group.size if head else None,
+                queue_depth=priced["block"] if head else None,
+                cycles=priced["cycles"] if head else None,
+                reason=(
+                    ("forced" if forced else "decoupled sibling run")
+                    if head
+                    else f"stage {k + 1}/{n_stages}"
+                ),
+            )
+            self._register(lp, depth)
+            te = self._trip_est(loop)
+            prev_native = self._native_root
+            if stage.kind == "sequential":
+                if seq_fuse:
+                    self._native_root = self._native_ok(loop, "seq")
+                    try:
+                        for i, d in enumerate(loop.body):
+                            self._emit(
+                                d, path + (i,), depth + 1, "nest", float(te)
+                            )
+                    finally:
+                        self._native_root = prev_native
+                else:
+                    self._in_stage = True
+                    try:
+                        for i, d in enumerate(loop.body):
+                            self._emit(d, path + (i,), depth + 1, "walk", 1.0)
+                    finally:
+                        self._in_stage = False
+            else:
+                self._native_root = self._native_ok(loop, "span")
+                try:
+                    for i, d in enumerate(loop.body):
+                        self._emit(
+                            d, path + (i,), depth + 1, "vector",
+                            float(priced["block"]),
+                        )
+                finally:
+                    self._native_root = prev_native
+        return priced["cycles"]
+
     # -- emission ----------------------------------------------------------
 
     def plan_module(self) -> None:
-        total = 0.0
-        for i, d in enumerate(self.flowchart.descriptors):
-            total += self._emit(d, (i,), 0, "walk", 1.0)
+        total = self._emit_siblings(
+            self.flowchart.descriptors, (), 0, "walk", 1.0
+        )
         if self.backend == "process" and self._chunked_somewhere:
             total += self.model.process_spinup
         self.total = total
+
+    def _emit_siblings(
+        self, descs, container: tuple[int, ...], depth, ctx, span
+    ) -> float:
+        """Emit one sibling list, consuming pipeline groups where they
+        start. Groups only exist for the always-sequential containers
+        (:func:`repro.schedule.pipeline_stages.pipeline_groups` scans the
+        top level and ``DO`` bodies), so other contexts fall straight
+        through to the per-descriptor emission."""
+        total = 0.0
+        i = 0
+        n = len(descs)
+        while i < n:
+            if ctx == "walk":
+                group = self._pipeline_group_at(container, i)
+                if group is not None:
+                    cost = self._emit_pipeline_maybe(group, container, depth)
+                    if cost is not None:
+                        total += cost
+                        i += group.size
+                        continue
+            total += self._emit(descs[i], container + (i,), depth, ctx, span)
+            i += 1
+        return total
 
     def _emit_equation(self, desc: NodeDescriptor, path, depth, ctx, span) -> float:
         if not desc.node.is_equation:
@@ -855,10 +1167,7 @@ class _Planner:
         if not desc.parallel:
             lp = LoopPlan(path, desc.index, desc.keyword, "serial", trip=t)
             self._register(lp, depth)
-            body = sum(
-                self._emit(d, path + (i,), depth + 1, "walk", 1.0)
-                for i, d in enumerate(desc.body)
-            )
+            body = self._emit_siblings(desc.body, path, depth + 1, "walk", 1.0)
             lp.cycles = te * (self.model.loop_overhead + body)
             return lp.cycles
 

@@ -191,8 +191,7 @@ class ExecutionBackend:
                 state.scalar_env(),
                 backend=self.name,
             )
-        for desc in state.flowchart.descriptors:
-            self.exec_descriptor(state, desc, {}, [])
+        self.exec_descriptor_list(state, state.flowchart.descriptors, {}, [])
 
     def end_run(self) -> None:
         """Release *per-run* resources (e.g. this run's shared-memory
@@ -252,8 +251,41 @@ class ExecutionBackend:
         for i in range(lo, hi + 1):
             env2 = dict(env)
             env2[desc.index] = i
-            for d in desc.body:
-                self.exec_descriptor(state, d, env2, vector_names)
+            self.exec_descriptor_list(state, desc.body, env2, vector_names)
+
+    def exec_descriptor_list(
+        self,
+        state: ExecutionState,
+        descs: list[Descriptor] | tuple[Descriptor, ...],
+        env: dict[str, Any],
+        vector_names: list[str],
+    ) -> None:
+        """Walk a sibling sequence in flowchart order, recognising pipeline
+        groups: when a loop's plan is the head of a decoupled sibling run
+        (strategy ``"pipeline"`` with its stage structure attached), the
+        whole run is handed to :meth:`exec_pipeline_group` as one unit.
+        Inside a vector span the plan is already spent, so groups are only
+        recognised on the scalar walk."""
+        i = 0
+        n = len(descs)
+        while i < n:
+            desc = descs[i]
+            if not vector_names and isinstance(desc, LoopDescriptor):
+                plan = state.plan_of(desc, self.name)
+                if (
+                    plan is not None
+                    and plan.strategy == "pipeline"
+                    and plan.stages
+                    and plan.group_size
+                    and i + plan.group_size <= n
+                ):
+                    self.exec_pipeline_group(
+                        state, list(descs[i : i + plan.group_size]), plan, env
+                    )
+                    i += plan.group_size
+                    continue
+            self.exec_descriptor(state, desc, env, vector_names)
+            i += 1
 
     #: how a DOALL with no LoopPlan runs (hand-built flowcharts whose
     #: descriptors are not part of the state's planned flowchart)
@@ -288,6 +320,11 @@ class ExecutionBackend:
             self.exec_chunked_loop(state, desc, lo, hi, env, vector_names, plan)
         elif strategy == "collapse":
             self.exec_collapsed_loop(state, desc, lo, hi, env, plan)
+        elif strategy == "pipeline":
+            # A group member reached outside its group walk (e.g. a
+            # hand-driven walk of one descriptor): run the subrange as one
+            # span — bit-exact, just undecoupled.
+            self.exec_chunk_span(state, desc, lo, hi, env, vector_names)
         else:
             raise ExecutionError(f"unknown plan strategy {strategy!r}")
 
@@ -316,14 +353,18 @@ class ExecutionBackend:
         lo: int,
         hi: int,
         env: dict[str, Any],
+        variant: str = "full",
     ) -> bool:
         """Run the whole nest through its fused compiled kernel — the
         native (C) tier first, then the NumPy tier; False when no kernel is
-        available (the caller falls back to the scalar walk)."""
+        available (the caller falls back to the scalar walk). ``variant``
+        selects the emission (``"seq"``: the in-order nest a pipeline
+        sequential stage runs block-wise)."""
         if state.kernels is None:
             return False
         kernel = state.kernels.nest_kernel_for(
-            desc, state.options.use_windows, tier=state.kernel_tier()
+            desc, state.options.use_windows, variant=variant,
+            tier=state.kernel_tier(),
         )
         if kernel is None:
             return False
@@ -416,6 +457,71 @@ class ExecutionBackend:
         with their pools."""
         for clo, chi in spans:
             self.exec_chunk_span(state, desc, clo, chi, env, vector_names)
+
+    # -- pipeline groups ---------------------------------------------------
+
+    def exec_seq_block(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+    ) -> None:
+        """One in-order block of a pipeline *sequential* stage: the fused
+        ``"seq"``-variant nest kernel when the nest lowers, the strictly
+        ordered per-iteration walk otherwise (whose inner loops were
+        planned in-stage, so they never re-enter a worker pool)."""
+        if self.exec_nest_kernel(state, desc, lo, hi, env, variant="seq"):
+            return
+        for i in range(lo, hi + 1):
+            env2 = dict(env)
+            env2[desc.index] = i
+            for d in desc.body:
+                self.exec_descriptor(state, d, env2, [])
+
+    def exec_rep_block(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+    ) -> None:
+        """One frontier-released block of a pipeline *replicated* stage —
+        exactly a chunk span (native span kernel when one compiles, the
+        NumPy distribution otherwise)."""
+        self.exec_chunk_span(state, desc, lo, hi, env, [])
+
+    def exec_pipeline_group(
+        self,
+        state: ExecutionState,
+        descs: list[Descriptor],
+        plan: Any,
+        env: dict[str, Any],
+    ) -> None:
+        """Execute one pipeline group (the run of sibling loops whose head
+        carries ``plan``). The base implementation executes the member
+        loops whole, in flowchart order — sequential members through the
+        in-order stage path, replicated members as one span — which *is*
+        the reference order, so a pipeline plan forced onto a backend
+        without the decoupled engine stays correct, just not concurrent.
+        :class:`~repro.runtime.backends.threaded.ThreadedBackend` overrides
+        this with the block-decoupled stage engine."""
+        scalar_env = state.scalar_env()
+        for desc in descs:
+            assert isinstance(desc, LoopDescriptor)
+            for eq in desc.nested_equations():
+                self.ensure_targets(state, eq)
+        for desc in descs:
+            lo = eval_bound(desc.subrange.lo, scalar_env)
+            hi = eval_bound(desc.subrange.hi, scalar_env)
+            if hi < lo:
+                continue
+            if desc.parallel:
+                self.exec_rep_block(state, desc, lo, hi, env)
+            else:
+                self.exec_seq_block(state, desc, lo, hi, env)
 
     # -- collapsed nests ---------------------------------------------------
 

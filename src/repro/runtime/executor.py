@@ -81,6 +81,13 @@ class ExecutionOptions:
     #: chunked iteration space executed by fused flat kernels (off, nests
     #: plan with the per-loop strategies only — the escape hatch)
     use_collapse: bool = True
+    #: soft strategy preference (``repro run/plan --strategy``): every loop
+    #: the strategy validly applies to takes it, everything else plans
+    #: normally — unlike :func:`repro.plan.planner.forced_plan`, an
+    #: inapplicable preference degrades instead of raising. ``"pipeline"``
+    #: asks the planner to take every partitionable sibling-loop run as a
+    #: pipeline group regardless of predicted price.
+    strategy: str | None = None
 
     @classmethod
     def resolve(
@@ -295,6 +302,7 @@ def _callee_plan(
         name, options.backend, options.workers, options.vectorize,
         options.use_windows, options.use_kernels, options.debug_windows,
         options.use_collapse, getattr(options, "kernel_tier", "native"),
+        getattr(options, "strategy", None),
     )
     plan = memo.get(key)
     if plan is None:

@@ -6,7 +6,8 @@ calls, and ``execute_module`` creates a transient one otherwise. Kernels are
 compiled on first use and keyed by equation label, variant, and the window
 mode (window allocation changes the subscript mapping the kernel bakes in);
 nest kernels are keyed by descriptor path plus the nest variant (``"full"``
-runs a root subrange, ``"flat"`` a collapse-chunked flat range). A ``None``
+runs a root subrange, ``"flat"`` a collapse-chunked flat range, ``"seq"``
+an in-order block of a sequential root for pipeline stages). A ``None``
 entry records a non-kernelizable equation so the backends ask exactly once
 and fall back to the evaluator thereafter.
 
@@ -123,7 +124,7 @@ class KernelCache:
         except KeyError:
             pass
         fn: Callable | None = None
-        if nest_fusable(desc, self.analyzed, self.flowchart, use_windows):
+        if nest_fusable(desc, self.analyzed, self.flowchart, use_windows, variant):
             try:
                 fn = compile_nest_kernel(
                     desc, self.analyzed, self.flowchart, use_windows,
@@ -184,7 +185,9 @@ class KernelCache:
         chunk dispatch runs span kernels per subrange. So each parallel
         loop warms its fused nest kernel, the flat variant when its chain
         is collapse-safe, and the native span kernels when it is
-        chunk-safe."""
+        chunk-safe. Sequential loops that head a pipeline sequential stage
+        additionally warm the ``"seq"`` nest variant those stages advance
+        through."""
         for eq in self.analyzed.equations:
             for vector in (False, True):
                 self.kernel_for(eq, vector, use_windows)
@@ -201,6 +204,21 @@ class KernelCache:
                 desc, self.analyzed, self.flowchart.windows, use_windows
             ):
                 self.span_kernel_for(desc, use_windows)
+
+        # Lazy import: pipeline_stages sits above the kernel layer.
+        from repro.schedule.pipeline_stages import pipeline_groups
+
+        for groups in pipeline_groups(
+            self.analyzed, self.flowchart, use_windows
+        ).values():
+            for group in groups:
+                for stage in group.stages:
+                    if stage.kind != "sequential":
+                        continue
+                    for m in stage.members:
+                        self.nest_kernel_for(
+                            group.loops[m], use_windows, variant="seq", tier=tier
+                        )
 
     def span_kernel_for(
         self,

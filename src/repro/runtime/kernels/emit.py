@@ -554,16 +554,19 @@ def nest_fusable(
     analyzed: AnalyzedModule,
     flowchart: Flowchart,
     use_windows: bool,
+    variant: str = "full",
 ) -> bool:
-    """Static check: can this DOALL nest be lowered into one kernel?
+    """Static check: can this nest be lowered into one kernel?
 
-    Required: a parallel root; a nest of loops and equations only (no data
-    declarations); every equation kernelizable with a full-rank *array*
-    target. A scalar target is rejected because the nest kernel hoists
-    scalar reads once — a write inside the nest would be invisible to a
-    later read, unlike the per-element walk.
+    Required: a parallel root (except for ``variant="seq"``, whose whole
+    point is a sequential root executed in iteration order); a nest of
+    loops and equations only (no data declarations); every equation
+    kernelizable with a full-rank *array* target. A scalar target is
+    rejected because the nest kernel hoists scalar reads once — a write
+    inside the nest would be invisible to a later read, unlike the
+    per-element walk.
     """
-    if not desc.parallel:
+    if variant != "seq" and not desc.parallel:
         return False
     saw_equation = False
     for d in desc.nested_descriptors():
@@ -615,8 +618,12 @@ class _BoundLowerer:
 #: nest-kernel variants: ``"full"`` executes the root subrange ``[lo, hi]``
 #: (chunkable on the root index only); ``"flat"`` executes the inclusive
 #: *flat* range ``[flo, fhi]`` of the collapsed perfect DOALL chain,
-#: delinearizing each flat offset back to the chain indices in-loop
-NEST_VARIANTS = ("full", "flat")
+#: delinearizing each flat offset back to the chain indices in-loop;
+#: ``"seq"`` is the ``"full"`` emission with a *sequential* root — the
+#: body already runs in strict iteration order, so relaxing the
+#: root-parallel requirement is bit-exact by construction. Pipeline
+#: sequential stages advance block by block through it.
+NEST_VARIANTS = ("full", "flat", "seq")
 
 
 def emit_nest_kernel_source(
@@ -646,12 +653,17 @@ def emit_nest_kernel_source(
     and end mid-row, which is what load-balances tall-skinny nests over
     workers.
 
+    ``variant="seq"`` is the ``"full"`` shape over a *sequential* root:
+    the caller hands in-order blocks ``[lo, hi]`` of a ``DO`` subrange and
+    the kernel runs them element by element exactly as the serial walk
+    would — what a pipeline sequential stage advances its frontier with.
+
     Either way the result maps equation labels to element counts.
     """
     if variant not in NEST_VARIANTS:
         raise KernelError(f"unknown nest-kernel variant {variant!r}")
-    if not nest_fusable(desc, analyzed, flowchart, use_windows):
-        raise KernelError(f"DOALL {desc.index} nest is not fusable")
+    if not nest_fusable(desc, analyzed, flowchart, use_windows, variant):
+        raise KernelError(f"{desc.index} nest is not fusable")
 
     atomic_names = _atomic_target_names(analyzed)
     nest_indices = desc.nest_indices()

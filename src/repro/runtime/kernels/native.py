@@ -450,7 +450,10 @@ def emit_native_nest_source(
     range ``[nlo, nhi]`` of the collapsed perfect DOALL chain, recovering
     the chain indices with a divmod cascade per element (row-major,
     innermost fastest — the exact iteration order of the reference
-    ``exec_flat_walk``).
+    ``exec_flat_walk``). ``variant="seq"``: the ``"full"`` emission over a
+    *sequential* root — the C loops already run in strict iteration order,
+    so a ``DO`` subrange block executes bit-exactly; pipeline sequential
+    stages advance through it.
 
     Raises :class:`KernelError` when the nest is not natively emittable
     (module calls, transcendental builtins, non-rectangular chains, scalar
@@ -458,8 +461,8 @@ def emit_native_nest_source(
     """
     if variant not in NEST_VARIANTS:
         raise KernelError(f"unknown nest-kernel variant {variant!r}")
-    if not nest_fusable(desc, analyzed, flowchart, use_windows):
-        raise KernelError(f"DOALL {desc.index} nest is not fusable")
+    if not nest_fusable(desc, analyzed, flowchart, use_windows, variant):
+        raise KernelError(f"{desc.index} nest is not fusable")
 
     nest_indices = desc.nest_indices()
     low = _NativeLowerer(analyzed, flowchart, use_windows, nest_indices)
@@ -668,6 +671,10 @@ def emittable_nest_sources(
         path = flowchart.path_of(desc)
         at = "_".join(str(i) for i in path) if path else "x"
         for variant in NEST_VARIANTS:
+            if variant == "seq":
+                # For a parallel root "seq" is byte-identical to "full";
+                # persisting it would only duplicate sources.
+                continue
             try:
                 spec = emit_native_nest_source(
                     desc, analyzed, flowchart, use_windows, variant

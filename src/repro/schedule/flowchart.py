@@ -260,8 +260,9 @@ def loop_chunk_safe(
 
 
 def annotate_flowchart(flowchart: Flowchart, analyzed) -> None:
-    """Precompute every loop's chunk-safety (both window modes) and every
-    equation's vector-safety at flowchart-build time."""
+    """Precompute every loop's chunk-safety (both window modes), every
+    equation's vector-safety, and the pipeline stage partition at
+    flowchart-build time."""
     for desc in flowchart.walk():
         if isinstance(desc, LoopDescriptor):
             for use_windows in (False, True):
@@ -271,6 +272,13 @@ def annotate_flowchart(flowchart: Flowchart, analyzed) -> None:
                 equation_vector_safe(eq)
         elif desc.node.is_equation:
             equation_vector_safe(desc.node.equation)
+    # Pipeline stage partitioning over sibling-loop runs (lazy import: the
+    # stage analysis consumes the dependence graph machinery, which must
+    # not become a schedule-time import cycle).
+    from repro.schedule.pipeline_stages import pipeline_groups
+
+    for use_windows in (False, True):
+        pipeline_groups(analyzed, flowchart, use_windows)
 
 
 def split_range(lo: int, hi: int, parts: int) -> list[tuple[int, int]]:
