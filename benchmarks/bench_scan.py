@@ -1,0 +1,179 @@
+"""B-scan — breaking the sequential-recurrence bottleneck with blocked
+scans.
+
+A first-order recurrence schedules as a ``DO`` loop; the serial
+reference plan walks it one element at a time through scalar kernels.
+The ``scan`` strategy solves it Blelloch-style in three phases (parallel
+per-block sweeps around a p-step serial carry pass) on the thread pool,
+with the sweeps running in compiled C behind a released GIL. This bench
+measures that mechanism on the integer linear-recurrence workload
+(loop-varying coefficients, bit-exact under two's-complement wraparound)
+and writes ``BENCH_scan.json``.
+
+Acceptance gates (CI-enforced):
+
+* forced ``scan`` on the threaded backend at 4 workers is >= 1.5x faster
+  than the serial backend's default plan at the largest benchmarked trip
+  (measured ~100x+ on the baseline box — the phases run compiled C where
+  the serial plan walks Python elements; the gate stays conservative for
+  slow CI runners);
+* the *unforced* threaded plan picks scan on its own at the largest trip
+  — the pricing must recognise the win, not just obey ``--strategy``;
+* every timed execution agrees **bit-exactly** with its reference, and
+  all three bit-exact scan workloads (int sum, running max, int linrec)
+  agree across serial/vectorized/threaded/free-threading.
+
+On a machine without a C compiler the module skips (the sweeps would
+fall back to the NumPy bundle; the mechanism still works but the serial
+baseline shifts, and the native lane is the one the gate pins).
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.recurrences import (
+    RECURRENCE_WORKLOADS,
+    ilinrec_analyzed,
+    ilinrec_args,
+)
+from repro.plan.planner import build_plan
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.kernels import KernelCache, native_supported
+from repro.schedule.scheduler import schedule_module
+
+pytestmark = pytest.mark.skipif(
+    not native_supported(),
+    reason="native tier unavailable: no C compiler / cffi on this machine",
+)
+
+#: recurrence lengths; the gate applies at the largest
+TRIPS = [50_000, 500_000]
+
+#: wall-clock advantage the gate demands at the largest trip
+SCAN_GATE_SPEEDUP = 1.5
+GATE_WORKERS = 4
+
+_PAYLOAD = {"rows": [], "gates": {}}
+
+
+def _time(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_scan_speedup_gate(artifact):
+    analyzed = ilinrec_analyzed()
+    flow = schedule_module(analyzed)
+
+    # Bit-exactness of the full stack vs the tree-walking evaluator at a
+    # size the evaluator can afford; the large rows then cross-check the
+    # two fast paths against each other.
+    small = ilinrec_args(n=512)
+    ref = execute_module(
+        analyzed, small, flowchart=flow,
+        options=ExecutionOptions(backend="serial", use_kernels=False),
+    )
+    res = execute_module(
+        analyzed, small, flowchart=flow,
+        options=ExecutionOptions(
+            backend="threaded", workers=GATE_WORKERS, strategy="scan"
+        ),
+    )
+    assert np.array_equal(res["S"], ref["S"]), (
+        "scan diverged from the evaluator at n=512"
+    )
+
+    for n in TRIPS:
+        args = ilinrec_args(n=n)
+        cache_serial = KernelCache(analyzed, flow)
+        cache_scan = KernelCache(analyzed, flow)
+        o_serial = ExecutionOptions(backend="serial")
+        o_scan = ExecutionOptions(
+            backend="threaded", workers=GATE_WORKERS, strategy="scan"
+        )
+
+        def run_serial(args=args, options=o_serial, cache=cache_serial):
+            return execute_module(
+                analyzed, args, flowchart=flow, options=options,
+                kernel_cache=cache,
+            )
+
+        def run_scan(args=args, options=o_scan, cache=cache_scan):
+            return execute_module(
+                analyzed, args, flowchart=flow, options=options,
+                kernel_cache=cache,
+            )
+
+        run_serial(), run_scan()  # warm caches/pools outside the timed region
+        t_serial, out_serial = _time(run_serial)
+        t_scan, out_scan = _time(run_scan)
+        assert np.array_equal(out_scan["S"], out_serial["S"]), (
+            f"scan diverged from the serial plan at n={n}"
+        )
+
+        # The pricing must choose the blocked scan unforced at bench sizes.
+        plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend="threaded", workers=GATE_WORKERS),
+            {"n": n}, cpu_count=GATE_WORKERS,
+        )
+        auto_scans = any(s == "scan" for _, s in plan.strategies())
+
+        _PAYLOAD["rows"].append({
+            "workload": "ilinrec",
+            "trip": n,
+            "workers": GATE_WORKERS,
+            "serial_seconds": t_serial,
+            "scan_seconds": t_scan,
+            "speedup": t_serial / t_scan,
+            "auto_scans": auto_scans,
+        })
+
+    largest = max(TRIPS)
+    row = next(r for r in _PAYLOAD["rows"] if r["trip"] == largest)
+    assert row["speedup"] >= SCAN_GATE_SPEEDUP, (
+        f"scan only {row['speedup']:.2f}x over the serial plan on "
+        f"ilinrec at n={largest} (gate: {SCAN_GATE_SPEEDUP}x)"
+    )
+    assert row["auto_scans"], (
+        f"unforced threaded plan at n={largest} did not choose scan"
+    )
+    _PAYLOAD["gates"][f"ilinrec_scan_vs_serial_n{largest}"] = {
+        "speedup": row["speedup"],
+        "required": SCAN_GATE_SPEEDUP,
+        "passed": True,
+    }
+
+    # Cross-backend agreement for every bit-exact scan workload: the
+    # blocked execution must not be a threaded-only truth.
+    for name, analyzed_fn, args_fn, out in RECURRENCE_WORKLOADS:
+        if name not in ("isum", "runmax", "ilinrec"):
+            continue
+        a2 = analyzed_fn()
+        f2 = schedule_module(a2)
+        args2 = args_fn(n=20_000)
+        base = None
+        for backend in ("serial", "vectorized", "threaded", "free-threading"):
+            r2 = execute_module(
+                a2, args2, flowchart=f2,
+                options=ExecutionOptions(
+                    backend=backend, workers=GATE_WORKERS, strategy="scan"
+                ),
+            )
+            arr = np.asarray(r2[out])
+            if base is None:
+                base = arr
+            else:
+                assert np.array_equal(arr, base), (
+                    f"{name} diverged on backend {backend}"
+                )
+    _PAYLOAD["gates"]["cross_backend_bit_exact"] = {"passed": True}
+
+    artifact("BENCH_scan.json", json.dumps(_PAYLOAD, indent=2))

@@ -38,6 +38,7 @@ TEXT_SECONDARY = "#52514e"
 GRID = "#e8e8e6"
 SERIES = "#2a78d6"
 THRESHOLD = "#a8a7a2"
+ALERT = "#b3261e"
 
 PANEL_W, PANEL_H = 280, 130
 PAD_L, PAD_R, PAD_T, PAD_B = 14, 64, 34, 22
@@ -135,10 +136,16 @@ def _panel(out: list[str], x0: float, y0: float, title: str,
             f'stroke-width="2" stroke-linejoin="round"/>'
         )
     for i, v in points:
+        # A value under its gate is a regression: flag the point in the
+        # alert hue with the verdict in the tooltip, so a failing run is
+        # readable straight off the chart.
+        below = threshold is not None and v < threshold
+        fill = ALERT if below else SERIES
+        suffix = " — below gate" if below else ""
         out.append(
             f'<circle cx="{sx(i):.1f}" cy="{sy(v):.1f}" r="3.5" '
-            f'fill="{SERIES}" stroke="{SURFACE}" stroke-width="2">'
-            f"<title>{_esc(runs[i])}: {v:.3g}x</title></circle>"
+            f'fill="{fill}" stroke="{SURFACE}" stroke-width="2">'
+            f"<title>{_esc(runs[i])}: {v:.3g}x{suffix}</title></circle>"
         )
     last_i, last_v = points[-1]
     out.append(

@@ -125,6 +125,7 @@ def _execution_options(args, vectorize: bool = True) -> ExecutionOptions:
         use_collapse=not args.no_collapse,
         kernel_tier=args.kernel_tier,
         strategy=getattr(args, "strategy", None),
+        allow_reassoc=getattr(args, "allow_reassoc", False) or None,
     )
 
 
@@ -302,6 +303,10 @@ def _add_execution_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--kernel-tier", default="native",
                    choices=["native", "numpy", "evaluator"],
                    help="highest kernel tier (default: native)")
+    p.add_argument("--allow-reassoc", action="store_true",
+                   help="let the parallel scan strategy reassociate float "
+                        "+/* recurrences (bit-for-bit parity with the "
+                        "in-order reference is traded for speed)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -362,6 +367,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="highest kernel tier the plan budgets for "
                         "(default: native, degrading to numpy at run time "
                         "when no C compiler exists)")
+    p.add_argument("--allow-reassoc", action="store_true",
+                   help="let the scan strategy reassociate float +/* "
+                        "recurrences (results differ from the in-order "
+                        "reference by rounding)")
     p.add_argument("--cycles", action="store_true",
                    help="include calibrated cycle predictions")
     p.add_argument("--save", action="store_true",
@@ -404,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(cffi-compiled C, the default), numpy "
                         "(exec-compiled NumPy kernels), or evaluator "
                         "(reference tree walk only)")
+    p.add_argument("--allow-reassoc", action="store_true",
+                   help="let the scan strategy reassociate float +/* "
+                        "recurrences (results differ from the in-order "
+                        "reference by rounding)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser(

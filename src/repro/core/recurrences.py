@@ -18,6 +18,18 @@ uses the coupled recurrence as its gate workload.
   relaxed from the previous row, rows sequential, columns DOALL) feeding
   two chained diagnostics whose dependence is identity — they coalesce
   into one replicated stage: ``seq + par(2 loops)``.
+
+Three standalone recurrences exercise the parallel ``scan`` strategy
+(:mod:`repro.schedule.scan_detect`) — no consumer siblings, so the loop
+meets the planner alone rather than as a pipeline stage:
+
+* :func:`isum_analyzed` — an integer sum reduction (bit-exact under
+  two's-complement wraparound).
+* :func:`runmax_analyzed` — a running maximum over reals (max is exactly
+  associative, so blocked execution is bit-exact without reassociation).
+* :func:`ilinrec_analyzed` — an integer first-order linear recurrence
+  with *loop-varying* coefficients ``S[I] = A[I]*S[I-1] + B[I]`` —
+  ``benchmarks/bench_scan.py`` uses it as the gate workload.
 """
 
 from __future__ import annotations
@@ -84,6 +96,46 @@ end LineSweep;
 """
 
 
+ISUM_SOURCE = """\
+(* Integer sum reduction: the running-total form of sum(X). *)
+ISum: module (X: array[1 .. n] of int; n: int):
+      [T: array[0 .. n] of int];
+type
+    I = 1 .. n;
+define
+    T[0] = 0;
+    T[I] = T[I-1] + X[I];
+end ISum;
+"""
+
+RUNMAX_SOURCE = """\
+(* Running maximum over reals — max is exactly associative, so the
+   blocked scan is bit-exact. *)
+RunMax: module (X: array[1 .. n] of real; n: int):
+        [M: array[0 .. n] of real];
+type
+    I = 1 .. n;
+define
+    M[0] = X[1];
+    M[I] = max(M[I-1], X[I]);
+end RunMax;
+"""
+
+ILINREC_SOURCE = """\
+(* Integer first-order linear recurrence with loop-varying
+   coefficients. *)
+ILinRec: module (A: array[1 .. n] of int; B: array[1 .. n] of int;
+                 n: int):
+         [S: array[0 .. n] of int];
+type
+    I = 1 .. n;
+define
+    S[0] = 0;
+    S[I] = A[I] * S[I-1] + B[I];
+end ILinRec;
+"""
+
+
 def scan_analyzed() -> AnalyzedModule:
     return analyze_module(parse_module(SCAN_SOURCE))
 
@@ -94,6 +146,18 @@ def coupled_analyzed() -> AnalyzedModule:
 
 def line_sweep_analyzed() -> AnalyzedModule:
     return analyze_module(parse_module(LINE_SWEEP_SOURCE))
+
+
+def isum_analyzed() -> AnalyzedModule:
+    return analyze_module(parse_module(ISUM_SOURCE))
+
+
+def runmax_analyzed() -> AnalyzedModule:
+    return analyze_module(parse_module(RUNMAX_SOURCE))
+
+
+def ilinrec_analyzed() -> AnalyzedModule:
+    return analyze_module(parse_module(ILINREC_SOURCE))
 
 
 def scan_args(n: int = 64, seed: int = 11) -> dict:
@@ -115,10 +179,35 @@ def line_sweep_args(n: int = 12, m: int = 8, seed: int = 13) -> dict:
     return {"G": rng.random((n + 1, m + 2)), "n": n, "m": m}
 
 
+def isum_args(n: int = 64, seed: int = 14) -> dict:
+    rng = np.random.default_rng(seed)
+    return {"X": rng.integers(-1000, 1000, n), "n": n}
+
+
+def runmax_args(n: int = 64, seed: int = 15) -> dict:
+    rng = np.random.default_rng(seed)
+    return {"X": rng.random(n), "n": n}
+
+
+def ilinrec_args(n: int = 64, seed: int = 16) -> dict:
+    # a in {0, 1} keeps the products bounded (any int coefficient would be
+    # *correct* under two's-complement wraparound, but bounded values make
+    # golden outputs humanly checkable); b is loop-varying.
+    rng = np.random.default_rng(seed)
+    return {
+        "A": rng.integers(0, 2, n),
+        "B": rng.integers(-1000, 1000, n),
+        "n": n,
+    }
+
+
 #: (name, analyzed-builder, args-builder, result key) — the parity tests
 #: and examples iterate this
 RECURRENCE_WORKLOADS = (
     ("scan", scan_analyzed, scan_args, "Y"),
     ("coupled", coupled_analyzed, coupled_args, "R"),
     ("line_sweep", line_sweep_analyzed, line_sweep_args, "Mout"),
+    ("isum", isum_analyzed, isum_args, "T"),
+    ("runmax", runmax_analyzed, runmax_args, "M"),
+    ("ilinrec", ilinrec_analyzed, ilinrec_args, "S"),
 )

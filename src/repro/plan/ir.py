@@ -47,6 +47,15 @@ Loop strategies
     strategy plus the :class:`StagePlan` list and the group size; the
     other member loops carry ``pipeline`` with a ``stage k/n`` reason and
     are executed by the group engine, never dispatched individually.
+``scan``
+    A recognized sequential recurrence (associative ``+ * min max``
+    reduction/prefix scan, or a first-order linear recurrence — see
+    :mod:`repro.schedule.scan_detect`) runs as a three-phase Blelloch
+    blocked scan: ``parts`` per-block partial sweeps in parallel, a
+    serial exclusive scan of the block carries, and a parallel per-block
+    fix-up sweep. Int and min/max scans are bit-exact; float ``+``/``*``
+    requires ``allow_reassoc``. Backends without a scan engine fall back
+    to the in-order walk.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ from repro.errors import ReproError
 #: valid LoopPlan.strategy values
 STRATEGIES = (
     "serial", "nest", "vector", "chunk", "iterate", "collapse", "pipeline",
+    "scan",
 )
 
 #: valid EquationPlan.kernel values — "native" marks an equation whose
@@ -94,7 +104,9 @@ class StagePlan:
     """One stage of a pipeline group (attached to the group head's
     :class:`LoopPlan`)."""
 
-    #: "sequential" | "replicated"
+    #: "sequential" | "replicated" | "scan" (a sequential stage whose
+    #: single member loop runs as a parallel blocked scan before the
+    #: decoupled engine starts)
     kind: str
     #: offsets of the member loops within the group's sibling run
     members: tuple[int, ...]
@@ -104,7 +116,12 @@ class StagePlan:
     workers: int = 1
 
     def annotation(self) -> str:
-        tag = "seq" if self.kind == "sequential" else f"par x{self.workers}"
+        if self.kind == "sequential":
+            tag = "seq"
+        elif self.kind == "scan":
+            tag = f"scan x{self.workers}"
+        else:
+            tag = f"par x{self.workers}"
         return f"{tag}({', '.join(self.labels)})"
 
 
@@ -147,7 +164,7 @@ class LoopPlan:
 
     def annotation(self) -> str:
         bits = [self.strategy]
-        if self.strategy in ("chunk", "collapse") and self.parts:
+        if self.strategy in ("chunk", "collapse", "scan") and self.parts:
             bits[-1] += f" x{self.parts}"
         if self.strategy == "pipeline" and self.stages:
             if self.parts:
@@ -336,6 +353,21 @@ class ExecutionPlan:
                 row += (
                     f": predicted ~{note['pipeline_cycles']:.0f} vs "
                     f"~{note['serial_cycles']:.0f} cycles undecoupled"
+                )
+            if note.get("why"):
+                row += f" ({note['why']})"
+            lines.append(row)
+        for note in p.get("scan_loops", []):
+            verdict = "chosen" if note.get("chosen") else "rejected"
+            what = note["kind"] + (f" {note['op']}" if note.get("op") else "")
+            row = (
+                f"  scan loop @{note['index']} ({note['label']}): {what}, "
+                f"trip {note['trip']} — {verdict}"
+            )
+            if note.get("scan_cycles") is not None:
+                row += (
+                    f": predicted ~{note['scan_cycles']:.0f} vs "
+                    f"~{note['serial_cycles']:.0f} cycles in-order"
                 )
             if note.get("why"):
                 row += f" ({note['why']})"

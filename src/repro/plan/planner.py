@@ -91,6 +91,7 @@ def _default_options() -> Any:
         use_kernels=True,
         use_collapse=True,
         kernel_tier="native",
+        allow_reassoc=False,
     )
 
 
@@ -141,6 +142,7 @@ def build_plan(
     use_kernels = bool(options.use_kernels) and not options.debug_windows
     use_collapse = bool(getattr(options, "use_collapse", True))
     tier = getattr(options, "kernel_tier", "native")
+    allow_reassoc = bool(getattr(options, "allow_reassoc", False))
     if tier == "evaluator":
         use_kernels = False
 
@@ -166,9 +168,9 @@ def build_plan(
     if requested == "auto":
         from repro.runtime.backends.process import _fork_available
 
-        if soft_strategy == "pipeline" and candidates is None:
-            # The decoupled engine lives on the thread pools; auto honours
-            # the preference by choosing among backends that can run it.
+        if soft_strategy in ("pipeline", "scan") and candidates is None:
+            # The decoupled/scan engines live on the thread pools; auto
+            # honours the preference by choosing among backends running them.
             candidates = PIPELINE_BACKENDS
         pool = list(candidates or AUTO_CANDIDATES)
         excluded: list[tuple[str, str]] = []
@@ -188,6 +190,7 @@ def build_plan(
                 scalar_env, model, use_kernels, bool(options.use_windows),
                 use_collapse=use_collapse, tier=tier,
                 force_default=soft_strategy, force_soft=True,
+                allow_reassoc=allow_reassoc,
             )
             p.plan_module()
             planners.append(p)
@@ -209,6 +212,7 @@ def build_plan(
         plan = best.finish(analyzed.name, requested="auto", pinned=False)
         plan.provenance = {
             "pipeline_groups": best.pipeline_notes,
+            "scan_loops": best.scan_notes,
             "mode": "auto",
             "workers": workers,
             "calibrated": bool(measured),
@@ -238,11 +242,13 @@ def build_plan(
         scalar_env, model, use_kernels, bool(options.use_windows),
         use_collapse=use_collapse, tier=tier,
         force_default=soft_strategy, force_soft=True,
+        allow_reassoc=allow_reassoc,
     )
     planner.plan_module()
     plan = planner.finish(analyzed.name, requested=requested, pinned=True)
     plan.provenance = {
         "pipeline_groups": planner.pipeline_notes,
+        "scan_loops": planner.scan_notes,
         "mode": "pinned",
         "workers": workers,
         "calibrated": False,
@@ -295,6 +301,7 @@ def forced_plan(
         tier=tier,
         force_default=default,
         force_overrides=overrides or {},
+        allow_reassoc=bool(getattr(options, "allow_reassoc", False)),
     )
     planner.plan_module()
     return planner.finish(analyzed.name, requested=backend, pinned=True)
@@ -306,7 +313,17 @@ def valid_strategies(
     """The strategies a parallel loop may be forced to (property tests draw
     from this set)."""
     if not desc.parallel:
-        return ["serial"]
+        out = ["serial"]
+        from repro.schedule.scan_detect import scan_info
+
+        info = scan_info(analyzed, flowchart, desc, use_windows)
+        if info is not None and (
+            not info.is_float or info.op in ("min", "max")
+        ):
+            # Bit-exact scans only: forcing a float +/* scan needs the
+            # caller to opt into reassociation via allow_reassoc.
+            out.append("scan")
+        return out
     out = ["serial", "vector", "iterate"]
     if nest_fusable(desc, analyzed, flowchart, use_windows):
         out.append("nest")
@@ -336,6 +353,7 @@ class _Planner:
         force_default: str | None = None,
         force_overrides: dict[tuple[int, ...], str] | None = None,
         force_soft: bool = False,
+        allow_reassoc: bool = False,
     ):
         self.analyzed = analyzed
         self.flowchart = flowchart
@@ -351,9 +369,12 @@ class _Planner:
         self.force_default = force_default
         self.force_overrides = force_overrides or {}
         self.force_soft = force_soft
+        self.allow_reassoc = allow_reassoc
         self.entries: list[PlanEntry] = []
         #: one provenance note per pipeline group considered (chosen or not)
         self.pipeline_notes: list[dict] = []
+        #: one provenance note per recognized scan/recurrence loop considered
+        self.scan_notes: list[dict] = []
         #: True while planning the body of a pipeline sequential stage that
         #: cannot fuse — inner DOALLs must stay off the pool (the stage
         #: already runs *on* a pool worker)
@@ -703,6 +724,16 @@ class _Planner:
                     "default, not per loop"
                 )
             return None
+        if forced == "scan":
+            # Scan is a sequential-DO strategy (see _scan_decision); a
+            # DOALL met under a forced-scan *default* plans normally, but
+            # pinning it per loop is a contradiction.
+            if path in self.force_overrides:
+                raise PlanError(
+                    f"cannot force 'scan' on DOALL {desc.index}: 'scan' "
+                    f"applies to sequential DO recurrences"
+                )
+            return None
 
         def invalid(why: str) -> str | None:
             if self.force_soft:
@@ -853,6 +884,171 @@ class _Planner:
             desc, self.analyzed, self.flowchart, self.use_windows, "seq"
         )
 
+    # -- scan pricing ------------------------------------------------------
+
+    def _scan_gated(self, info) -> bool:
+        """Float ``+``/``*`` scans reassociate rounding; they need the
+        explicit ``allow_reassoc`` opt-in. Int ops wrap bit-exactly and
+        min/max are exactly associative, so those are always eligible."""
+        return (
+            info.is_float
+            and info.op not in ("min", "max")
+            and not self.allow_reassoc
+        )
+
+    def _price_scan(self, desc: LoopDescriptor, info) -> dict:
+        """Cycles for the three-phase blocked scan of a recognized
+        recurrence, plus the comparators: the in-order walk (the strategy
+        actually replaced) and the ``"seq"`` fused kernel (what a pipeline
+        sequential stage would stream — recorded in provenance)."""
+        from repro.machine.cost import expression_cost
+
+        m = self.model
+        t = self._trip_est(desc)
+        eq = desc.body[0].node.equation
+        per_el = m.element_cost(eq, "native")
+        parts = max(1, min(self.workers, t // 2 if t >= 4 else 1))
+        p = max(1, min(parts, self.parallelism))
+        # Coefficient vectors evaluate once, vectorized over the subrange —
+        # priced on the coefficient sub-expressions, not the whole equation.
+        coeff = (
+            m.vector_setup
+            + t * expression_cost(info.b_expr, m) * m.vector_element_factor
+        )
+        if info.a_expr is not None:
+            coeff += (
+                m.vector_setup
+                + t * expression_cost(info.a_expr, m) * m.vector_element_factor
+            )
+        work = t * per_el
+        cycles = (
+            m.doall_fork
+            + m.doall_barrier
+            + 2 * m.scan_phase_barrier
+            + 2 * parts * m.chunk_dispatch
+            + coeff
+            + 2 * m.native_call_overhead
+            + work * m.scan_reduce_factor / p
+            + parts * m.loop_overhead
+            + work * m.scan_fixup_factor / p
+        )
+        serial = self._cost_serial_root(desc)
+        seq: float | None = None
+        if self._native_ok(desc, "seq"):
+            seq = m.native_call_overhead + sum(
+                self._cost(d, "native", t) for d in desc.body
+            )
+        elif self._seq_fusable(desc):
+            seq = m.vector_setup + sum(
+                self._cost(d, "nest", t) for d in desc.body
+            )
+        return {"cycles": cycles, "serial": serial, "seq": seq, "parts": parts}
+
+    def _scan_decision(self, desc: LoopDescriptor, path) -> dict | None:
+        """Decide one sequential DO loop met on the walk: a dict for
+        :meth:`_emit_scan` when the blocked scan is taken, None to fall
+        through to the in-order serial plan. Every *recognized* loop leaves
+        a provenance note either way — ``repro plan`` must be able to say
+        why scan won or was rejected."""
+        from repro.schedule.scan_detect import scan_info
+
+        info = scan_info(self.analyzed, self.flowchart, desc, self.use_windows)
+        forced_name = self.force_overrides.get(path, self.force_default)
+        forced = forced_name == "scan"
+        hard = forced and not self.force_soft
+        if info is None:
+            if hard and path in self.force_overrides:
+                raise PlanError(
+                    f"cannot force 'scan' on DO {desc.index}: not a "
+                    f"recognized reduction, scan, or linear recurrence"
+                )
+            return None
+        t = self._trip_est(desc)
+        note = {
+            "index": str(path),
+            "label": info.label,
+            "kind": info.kind,
+            "op": info.op,
+            "trip": t,
+            "scan_cycles": None,
+            "serial_cycles": None,
+            "seq_cycles": None,
+            "chosen": False,
+            "why": "",
+        }
+        self.scan_notes.append(note)
+
+        def reject(why: str) -> None:
+            note["why"] = why
+            if hard:
+                raise PlanError(
+                    f"cannot force 'scan' on DO {desc.index}: {why}"
+                )
+            return None
+
+        if not self.use_kernels:
+            return reject("kernels off")
+        if self._scan_gated(info):
+            return reject(
+                "float reassociation not allowed (pass --allow-reassoc)"
+            )
+        if self._in_stage:
+            return reject("inside pipeline stage")
+        priced = self._price_scan(desc, info)
+        note["scan_cycles"] = priced["cycles"]
+        note["serial_cycles"] = priced["serial"]
+        note["seq_cycles"] = priced["seq"]
+        if not forced:
+            if self.backend not in PIPELINE_BACKENDS:
+                return reject(f"no scan engine on backend {self.backend!r}")
+            if self.workers < 2 or t < 4:
+                return reject("nothing to split")
+            if priced["cycles"] >= priced["serial"]:
+                return reject("in-order walk is cheaper")
+        note["chosen"] = True
+        note["why"] = "forced" if forced else "blocked scan is cheaper"
+        return {"info": info, "forced": forced, **priced}
+
+    def _emit_scan(self, desc: LoopDescriptor, path, depth, decision) -> float:
+        info = decision["info"]
+        what = (
+            "linear recurrence" if info.kind == "linrec"
+            else f"{info.op}-scan"
+        )
+        lp = LoopPlan(
+            path, desc.index, desc.keyword, "scan",
+            parts=decision["parts"], trip=self.trip(desc),
+            cycles=decision["cycles"],
+            reason=("forced " if decision["forced"] else "parallel ") + what,
+        )
+        self._register(lp, depth)
+        eq = desc.body[0].node.equation
+        ep = EquationPlan(
+            eq.label, path + (0,),
+            kernel="native" if self.tier == "native" else "nest",
+            reason="scan phases",
+        )
+        self.equations[eq.label] = ep
+        self.entries.append(PlanEntry(depth + 1, equation=ep))
+        return decision["cycles"]
+
+    def _stage_scan_cost(self, loop: LoopDescriptor) -> dict | None:
+        """The blocked-scan price of a pipeline sequential stage's member
+        loop, or None when the stage cannot run as a scan (unrecognized,
+        float-gated, or no scan engine on this backend)."""
+        if not self.use_kernels or self.backend not in PIPELINE_BACKENDS:
+            return None
+        if self.workers < 2:
+            return None
+        from repro.schedule.scan_detect import scan_info
+
+        info = scan_info(self.analyzed, self.flowchart, loop, self.use_windows)
+        if info is None or self._scan_gated(info):
+            return None
+        if self._trip_est(loop) < 4:
+            return None
+        return self._price_scan(loop, info)
+
     def _price_pipeline(self, group) -> dict | None:
         """Price the decoupled execution of ``group``. None when the team
         cannot host one *running* task per stage — the engine's
@@ -872,26 +1068,20 @@ class _Planner:
         if self.workers < n_stages:
             return None
         t = self._trip_est(group.loops[0])
-        n_seq = sum(1 for s in stages if s.kind == "sequential")
-        n_rep = n_stages - n_seq
-        avail = self.workers - n_seq
-        stage_workers: list[int] = []
-        rep_seen = 0
-        for s in stages:
-            if s.kind == "sequential":
-                stage_workers.append(1)
-            else:
-                w = avail // n_rep + (1 if rep_seen < avail % n_rep else 0)
-                stage_workers.append(max(1, w))
-                rep_seen += 1
-        workers_used = sum(stage_workers)
         blocks = max(1, min(t, 4 * self.workers))
         block = ceil(t / blocks)
         blocks = ceil(t / block)
 
-        stage_times: list[float] = []
-        total_work = 0.0
-        for s, w in zip(stages, stage_workers):
+        # Stage kinds and per-stage total work. A sequential stage whose
+        # member is a recognized recurrence is promoted to a "scan" stage
+        # when the blocked scan beats streaming the recurrence in order;
+        # the engine then runs it up front on the whole pool (see
+        # exec_pipeline_group) rather than holding a worker for the
+        # group's lifetime.
+        kinds: list[str] = []
+        works: list[float] = []
+        scan_parts: dict[int, int] = {}
+        for idx, s in enumerate(stages):
             if s.kind == "sequential":
                 loop = group.loops[s.members[0]]
                 if self._native_ok(loop, "seq"):
@@ -907,8 +1097,14 @@ class _Planner:
                         m.loop_overhead
                         + sum(self._cost(d, "walk", 1) for d in loop.body)
                     )
-                time = work
+                kind = "sequential"
+                if len(s.members) == 1:
+                    sp = self._stage_scan_cost(loop)
+                    if sp is not None and sp["cycles"] < work:
+                        kind, work = "scan", sp["cycles"]
+                        scan_parts[idx] = sp["parts"]
             else:
+                kind = s.kind
                 work = 0.0
                 for mem in s.members:
                     loop = group.loops[mem]
@@ -925,29 +1121,69 @@ class _Planner:
                             sum(r for r, _ in pairs)
                             + sum(b for _, b in pairs)
                         )
-                time = work / max(1, w)
-            stage_times.append(time)
-            total_work += work
-        compute = max(max(stage_times), total_work / max(1, self.parallelism))
+            kinds.append(kind)
+            works.append(work)
+
+        # Worker assignment: scan stages run up front on the whole pool and
+        # hold no engine worker; each remaining sequential stage pins one;
+        # replicated stages split what is left.
+        n_seq = sum(1 for k in kinds if k == "sequential")
+        n_rep = sum(1 for k in kinds if k == "replicated")
+        avail = self.workers - n_seq
+        stage_workers: list[int] = []
+        rep_seen = 0
+        for idx, k in enumerate(kinds):
+            if k == "sequential":
+                stage_workers.append(1)
+            elif k == "scan":
+                stage_workers.append(scan_parts[idx])
+            else:
+                w = avail // n_rep + (1 if rep_seen < avail % n_rep else 0)
+                stage_workers.append(max(1, w))
+                rep_seen += 1
+        workers_used = sum(
+            w for k, w in zip(kinds, stage_workers) if k != "scan"
+        )
+
+        # Scan stages complete before the engine starts; the streamed
+        # stages then bottleneck as before.
+        scan_up_front = sum(
+            work for k, work in zip(kinds, works) if k == "scan"
+        )
+        engine_times = [
+            work / max(1, w) if k == "replicated" else work
+            for k, work, w in zip(kinds, works, stage_workers)
+            if k != "scan"
+        ]
+        engine_work = sum(
+            work for k, work in zip(kinds, works) if k != "scan"
+        )
+        n_engine = len(engine_times)
+        if engine_times:
+            compute = scan_up_front + max(
+                max(engine_times), engine_work / max(1, self.parallelism)
+            )
+        else:
+            compute = scan_up_front
         cycles = (
             m.doall_fork
             + m.doall_barrier
             + workers_used * m.pipeline_stage_spinup
             + compute
-            + blocks * (n_stages - 1) * m.pipeline_link_overhead
+            + blocks * max(0, n_engine - 1) * m.pipeline_link_overhead
         )
         undecoupled = sum(
             self._cost(loop, "walk", 1) for loop in group.loops
         )
         stage_plans = [
-            StagePlan(s.kind, s.members, s.labels, workers=w)
-            for s, w in zip(stages, stage_workers)
+            StagePlan(k, s.members, s.labels, workers=w)
+            for s, k, w in zip(stages, kinds, stage_workers)
         ]
         return {
             "cycles": cycles,
             "serial_cycles": undecoupled,
             "stage_plans": stage_plans,
-            "workers_used": workers_used,
+            "workers_used": max(1, workers_used),
             "block": block,
             "trip": t,
         }
@@ -1024,7 +1260,16 @@ class _Planner:
             self._register(lp, depth)
             te = self._trip_est(loop)
             prev_native = self._native_root
-            if stage.kind == "sequential":
+            if stage.kind == "scan":
+                eq = loop.body[0].node.equation
+                ep = EquationPlan(
+                    eq.label, path + (0,),
+                    kernel="native" if self.tier == "native" else "nest",
+                    reason="scan phases",
+                )
+                self.equations[eq.label] = ep
+                self.entries.append(PlanEntry(depth + 1, equation=ep))
+            elif stage.kind == "sequential":
                 if seq_fuse:
                     self._native_root = self._native_ok(loop, "seq")
                     try:
@@ -1165,6 +1410,9 @@ class _Planner:
 
         # ctx == "walk"
         if not desc.parallel:
+            scan = self._scan_decision(desc, path)
+            if scan is not None:
+                return self._emit_scan(desc, path, depth, scan)
             lp = LoopPlan(path, desc.index, desc.keyword, "serial", trip=t)
             self._register(lp, depth)
             body = self._emit_siblings(desc.body, path, depth + 1, "walk", 1.0)

@@ -237,7 +237,26 @@ class ExecutionBackend:
         if desc.parallel:
             self.exec_parallel_loop(state, desc, lo, hi, env, vector_names)
         else:
+            if not vector_names:
+                plan = state.plan_of(desc, self.name)
+                if plan is not None and plan.strategy == "scan":
+                    self.exec_scan_loop(state, desc, lo, hi, env)
+                    return
             self.exec_sequential_loop(state, desc, lo, hi, env, vector_names)
+
+    def exec_scan_loop(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+    ) -> None:
+        """Run a ``DO`` loop planned as a blocked scan. The base backend
+        has no worker pool, so this is the in-order reference fallback
+        (serial/vectorized/process); the threaded backends override it
+        with the three-phase parallel engine."""
+        self.exec_sequential_loop(state, desc, lo, hi, env, [])
 
     def exec_sequential_loop(
         self,

@@ -88,6 +88,11 @@ class ExecutionOptions:
     #: asks the planner to take every partitionable sibling-loop run as a
     #: pipeline group regardless of predicted price.
     strategy: str | None = None
+    #: permit the parallel ``scan`` strategy to reassociate float ``+``/``*``
+    #: recurrences (results differ from the in-order reference by rounding,
+    #: typically ~1e-12 relative). Off, float scans stay in order; integer
+    #: and min/max scans are bit-exact and never need this.
+    allow_reassoc: bool = False
 
     @classmethod
     def resolve(
@@ -303,6 +308,7 @@ def _callee_plan(
         options.use_windows, options.use_kernels, options.debug_windows,
         options.use_collapse, getattr(options, "kernel_tier", "native"),
         getattr(options, "strategy", None),
+        getattr(options, "allow_reassoc", False),
     )
     plan = memo.get(key)
     if plan is None:

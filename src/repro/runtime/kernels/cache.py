@@ -220,6 +220,16 @@ class KernelCache:
                             group.loops[m], use_windows, variant="seq", tier=tier
                         )
 
+        # Recognized recurrences warm their three-phase scan bundle (one
+        # static C library covers every op x dtype, so the first loop pays
+        # the compile and the rest just dlopen-share it).
+        from repro.schedule.scan_detect import scan_loops
+
+        for spath in scan_loops(self.analyzed, self.flowchart, use_windows):
+            sdesc = self.flowchart.descriptor_at(spath)
+            if isinstance(sdesc, LoopDescriptor):
+                self.scan_kernel_for(sdesc, use_windows, tier=tier)
+
     def span_kernel_for(
         self,
         desc: LoopDescriptor,
@@ -254,6 +264,54 @@ class KernelCache:
                 fn = None
         self._native[key] = fn
         return fn
+
+    def scan_kernel_for(
+        self,
+        desc: LoopDescriptor,
+        use_windows: bool,
+        tier: str = "native",
+    ):
+        """The three-phase scan kernel bundle for a recognized recurrence
+        ``DO`` loop (see :mod:`repro.runtime.kernels.scan`), or ``None``
+        when the loop is unrecognized — the backend then walks it in
+        order. ``tier="native"`` serves the compiled bundle when the
+        static scan library loads on this machine, degrading to the NumPy
+        bundle otherwise; memoized under the reserved variant keys
+        ``"scan-native"`` / ``"scan-numpy"``."""
+        from repro.runtime.kernels import scan as scan_mod
+        from repro.schedule.scan_detect import scan_info
+
+        info = scan_info(self.analyzed, self.flowchart, desc, use_windows)
+        if info is None:
+            return None
+        path = self.flowchart.path_of(desc)
+        if path is None:
+            return None
+        if tier == "native":
+            key = (path, bool(use_windows), "scan-native")
+            try:
+                bundle = self._native[key]
+            except KeyError:
+                bundle = None
+                if native_mod.native_supported():
+                    try:
+                        bundle = scan_mod.native_kernels(info)
+                    except KernelError:
+                        bundle = None
+                    except Exception:
+                        # Same degradation contract as the nest tier.
+                        bundle = None
+                self._native[key] = bundle
+            if bundle is not None:
+                return bundle
+        key = (path, bool(use_windows), "scan-numpy")
+        try:
+            return self._nests[key]
+        except KeyError:
+            pass
+        bundle = scan_mod.numpy_kernels(info)
+        self._nests[key] = bundle
+        return bundle
 
     def stats(self) -> dict[str, int]:
         compiled = sum(1 for v in self._compiled.values() if v is not None)

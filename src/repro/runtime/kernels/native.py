@@ -753,10 +753,14 @@ def _compile_so(source: str, digest: str) -> Path:
     return so_path
 
 
-def _load(spec: NativeKernelSpec) -> tuple:
+def load_library(source: str, cdef: str) -> tuple:
+    """Compile (or reuse from cache) one C translation unit and dlopen it,
+    returning ``(lib, ffi)``. Raises :class:`KernelError` when no compiler
+    or cffi is available. Shared by the per-nest kernel specs and the
+    static scan kernel library (:mod:`repro.runtime.kernels.scan`)."""
     # The flags are part of the artifact's semantics (-ffp-contract=off,
     # -fwrapv): a .so built under different flags must not be reused.
-    key = spec.source + "|" + " ".join(C_FLAGS)
+    key = source + "|" + " ".join(C_FLAGS)
     digest = hashlib.sha256(key.encode()).hexdigest()
     entry = _loaded.get(digest)
     if entry is None:
@@ -766,13 +770,17 @@ def _load(spec: NativeKernelSpec) -> tuple:
                 cffi = _ffi_module()
                 if cffi is None:
                     raise KernelError("cffi is not available")
-                so_path = _compile_so(spec.source, digest)
+                so_path = _compile_so(source, digest)
                 ffi = cffi.FFI()
-                ffi.cdef(spec.cdef)
+                ffi.cdef(cdef)
                 lib = ffi.dlopen(str(so_path))
                 entry = (lib, ffi)
                 _loaded[digest] = entry
     return entry
+
+
+def _load(spec: NativeKernelSpec) -> tuple:
+    return load_library(spec.source, spec.cdef)
 
 
 def _wrap_spec(spec: NativeKernelSpec) -> Callable:

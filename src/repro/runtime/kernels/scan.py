@@ -1,0 +1,242 @@
+"""Three-phase blocked scan kernels (NumPy and native C tiers).
+
+The ``scan`` strategy executes a recognized recurrence (see
+:mod:`repro.schedule.scan_detect`) Blelloch-style over ``p`` contiguous
+blocks:
+
+1. **block sweep** (parallel): each block runs the recurrence locally
+   from the operator's neutral starting point — for associative scans an
+   in-block inclusive scan of ``b``; for linear recurrences the
+   seed-free local solution plus the running coefficient product ``ap``;
+2. **carry scan** (serial, ``p`` steps): an exclusive scan of the block
+   summaries yields each block's true incoming value — associative
+   combine for scans, ``(a, b)`` monoid composition for recurrences;
+3. **fix-up sweep** (parallel): each block folds its incoming carry into
+   every element (``OP(carry, t_i)``; ``t_i + ap_i * carry``).
+
+Int ``+``/``*`` are bit-exact (two's-complement wraparound distributes,
+and the C tier compiles with ``-fwrapv`` to match NumPy), min/max are
+exactly associative, and the float variants reassociate rounding — the
+planner only emits them under ``allow_reassoc``. Both tiers implement
+identical arithmetic; phase 2 always runs the NumPy scalar path (it is
+``p`` operations).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.codegen.clower import C_PRELUDE
+from repro.schedule.scan_detect import ScanInfo
+
+_OP_UFUNC = {
+    "+": np.add, "*": np.multiply, "min": np.minimum, "max": np.maximum,
+}
+_OP_CNAME = {"+": "add", "*": "mul", "min": "min", "max": "max"}
+
+
+def scan_dtype(info: ScanInfo) -> np.dtype:
+    """The storage dtype of the recurrence target."""
+    return np.dtype(np.float64 if info.is_float else np.int64)
+
+
+# ---------------------------------------------------------------------------
+# NumPy tier
+# ---------------------------------------------------------------------------
+
+
+class _NumpyScanKernels:
+    """Reference tier: ufunc accumulates for scans, a NumPy-scalar loop
+    for linear-recurrence blocks (correctness path — the native tier is
+    the performance path)."""
+
+    native = False
+
+    def __init__(self, info: ScanInfo, dtype: np.dtype):
+        self.info = info
+        self.dtype = dtype
+        self._ufunc = _OP_UFUNC[info.op] if info.kind == "scan" else None
+
+    def block(self, t, b, a=None, ap=None) -> None:
+        if self.info.kind == "scan":
+            self._ufunc.accumulate(b, out=t)
+            return
+        with np.errstate(over="ignore"):
+            acc = self.dtype.type(0)
+            accp = self.dtype.type(1)
+            for i in range(t.shape[0]):
+                acc = a[i] * acc + b[i]
+                t[i] = acc
+                accp = accp * a[i]
+                ap[i] = accp
+
+    def combine(self, incoming, t_block, ap_block=None):
+        if self.info.kind == "scan":
+            return self._ufunc(incoming, t_block[-1])
+        with np.errstate(over="ignore"):
+            return t_block[-1] + ap_block[-1] * incoming
+
+    def fix(self, t, incoming, ap=None) -> None:
+        if self.info.kind == "scan":
+            self._ufunc(incoming, t, out=t)
+            return
+        with np.errstate(over="ignore"):
+            np.add(t, ap * incoming, out=t)
+
+
+# ---------------------------------------------------------------------------
+# Native tier: one static translation unit covering every op x dtype
+# ---------------------------------------------------------------------------
+
+
+def _combine_c(op: str, suffix: str) -> str:
+    if op == "+":
+        return "({a} + {b})"
+    if op == "*":
+        return "({a} * {b})"
+    fn = ("ps_min" if op == "min" else "ps_max") + (
+        "_i" if suffix == "i64" else ""
+    )
+    return fn + "({a}, {b})"
+
+
+def _build_c() -> tuple[str, str]:
+    src = [C_PRELUDE]
+    cdef = []
+    for op, cname in _OP_CNAME.items():
+        for suffix, ctype in (("i64", "int64_t"), ("f64", "double")):
+            comb = _combine_c(op, suffix)
+            block = f"scan_block_{cname}_{suffix}"
+            fix = f"scan_fix_{cname}_{suffix}"
+            src.append(f"""
+void {block}({ctype} *t, const {ctype} *b, i64 n) {{
+    {ctype} acc = b[0];
+    t[0] = acc;
+    for (i64 i = 1; i < n; ++i) {{
+        acc = {comb.format(a="acc", b="b[i]")};
+        t[i] = acc;
+    }}
+}}
+void {fix}({ctype} *t, i64 n, {ctype} c) {{
+    for (i64 i = 0; i < n; ++i)
+        t[i] = {comb.format(a="c", b="t[i]")};
+}}
+""")
+            cdef.append(f"void {block}({ctype} *t, {ctype} *b, int64_t n);")
+            cdef.append(f"void {fix}({ctype} *t, int64_t n, {ctype} c);")
+    for suffix, ctype, zero, one in (
+        ("i64", "int64_t", "0", "1"), ("f64", "double", "0.0", "1.0"),
+    ):
+        block = f"linrec_block_{suffix}"
+        fix = f"linrec_fix_{suffix}"
+        src.append(f"""
+void {block}({ctype} *t, {ctype} *ap, const {ctype} *a, const {ctype} *b,
+             i64 n) {{
+    {ctype} acc = {zero};
+    {ctype} accp = {one};
+    for (i64 i = 0; i < n; ++i) {{
+        acc = a[i] * acc + b[i];
+        t[i] = acc;
+        accp = accp * a[i];
+        ap[i] = accp;
+    }}
+}}
+void {fix}({ctype} *t, const {ctype} *ap, i64 n, {ctype} c) {{
+    for (i64 i = 0; i < n; ++i)
+        t[i] = t[i] + ap[i] * c;
+}}
+""")
+        cdef.append(
+            f"void {block}({ctype} *t, {ctype} *ap, {ctype} *a, "
+            f"{ctype} *b, int64_t n);"
+        )
+        cdef.append(
+            f"void {fix}({ctype} *t, {ctype} *ap, int64_t n, {ctype} c);"
+        )
+    return "".join(src), "\n".join(cdef)
+
+
+SCAN_C_SOURCE, SCAN_C_CDEF = _build_c()
+
+#: False = not attempted yet; None = unavailable; else (lib, ffi)
+_native_lib: tuple | None | bool = False
+_native_lock = threading.Lock()
+
+
+def _library() -> tuple | None:
+    global _native_lib
+    if _native_lib is False:
+        with _native_lock:
+            if _native_lib is False:
+                from repro.runtime.kernels import native
+
+                lib: tuple | None
+                try:
+                    if native.native_supported():
+                        lib = native.load_library(SCAN_C_SOURCE, SCAN_C_CDEF)
+                    else:
+                        lib = None
+                except Exception:
+                    lib = None
+                _native_lib = lib
+    return _native_lib
+
+
+class _NativeScanKernels:
+    """Compiled tier: the block and fix-up sweeps run in C with the GIL
+    released (cffi ABI mode), phase 2 stays on the NumPy scalar path."""
+
+    native = True
+
+    def __init__(self, info: ScanInfo, dtype: np.dtype, lib, ffi):
+        self.info = info
+        self.dtype = dtype
+        self._ffi = ffi
+        suffix = "f64" if info.is_float else "i64"
+        self._ptr = "double *" if info.is_float else "int64_t *"
+        self._scalar = float if info.is_float else int
+        if info.kind == "scan":
+            cname = _OP_CNAME[info.op]
+            self._block = getattr(lib, f"scan_block_{cname}_{suffix}")
+            self._fix = getattr(lib, f"scan_fix_{cname}_{suffix}")
+        else:
+            self._block = getattr(lib, f"linrec_block_{suffix}")
+            self._fix = getattr(lib, f"linrec_fix_{suffix}")
+        self._np = _NumpyScanKernels(info, dtype)
+
+    def _cast(self, arr):
+        return self._ffi.cast(self._ptr, arr.ctypes.data)
+
+    def block(self, t, b, a=None, ap=None) -> None:
+        if self.info.kind == "scan":
+            self._block(self._cast(t), self._cast(b), t.shape[0])
+        else:
+            self._block(
+                self._cast(t), self._cast(ap), self._cast(a), self._cast(b),
+                t.shape[0],
+            )
+
+    def combine(self, incoming, t_block, ap_block=None):
+        return self._np.combine(incoming, t_block, ap_block)
+
+    def fix(self, t, incoming, ap=None) -> None:
+        c = self._scalar(incoming)
+        if self.info.kind == "scan":
+            self._fix(self._cast(t), t.shape[0], c)
+        else:
+            self._fix(self._cast(t), self._cast(ap), t.shape[0], c)
+
+
+def numpy_kernels(info: ScanInfo):
+    """The NumPy-tier kernel bundle (always available)."""
+    return _NumpyScanKernels(info, scan_dtype(info))
+
+
+def native_kernels(info: ScanInfo):
+    """The compiled-tier bundle, or ``None`` without a compiler/cffi."""
+    lib = _library()
+    if lib is None:
+        return None
+    return _NativeScanKernels(info, scan_dtype(info), *lib)

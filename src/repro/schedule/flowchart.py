@@ -276,9 +276,11 @@ def annotate_flowchart(flowchart: Flowchart, analyzed) -> None:
     # stage analysis consumes the dependence graph machinery, which must
     # not become a schedule-time import cycle).
     from repro.schedule.pipeline_stages import pipeline_groups
+    from repro.schedule.scan_detect import scan_loops
 
     for use_windows in (False, True):
         pipeline_groups(analyzed, flowchart, use_windows)
+        scan_loops(analyzed, flowchart, use_windows)
 
 
 def split_range(lo: int, hi: int, parts: int) -> list[tuple[int, int]]:

@@ -157,6 +157,25 @@ GOLDEN_FORCED = {
             eq.4 [kernel=native]
         DOALL I -> pipeline; trip 64; stage 2/2
             eq.5 [kernel=native]""",
+    # The standalone scan workloads have no consumer siblings, so there is
+    # no group to force: at trip 64 the blocked scan loses to the in-order
+    # walk and the loops stay serial (tests/plan/test_scan_plan.py pins
+    # the forced-scan texts).
+    "isum": """\
+        plan ISum: backend=threaded workers=4 kernels=native windows=off [pinned]
+        eq.1 [kernel=scalar]
+        DO I -> serial; trip 64
+            eq.2 [kernel=scalar]""",
+    "runmax": """\
+        plan RunMax: backend=threaded workers=4 kernels=native windows=off [pinned]
+        eq.1 [kernel=scalar]
+        DO I -> serial; trip 64
+            eq.2 [kernel=scalar]""",
+    "ilinrec": """\
+        plan ILinRec: backend=threaded workers=4 kernels=native windows=off [pinned]
+        eq.1 [kernel=scalar]
+        DO I -> serial; trip 64
+            eq.2 [kernel=scalar]""",
     "line_sweep": """\
         plan LineSweep: backend=threaded workers=4 kernels=native windows=off [pinned]
         DOALL J -> chunk x4; trip 10

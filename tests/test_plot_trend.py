@@ -38,6 +38,29 @@ class TestRender:
         assert "2.40x" in svg  # latest value direct-labeled
         assert "baseline" in table and "run-1" in table
 
+    def test_below_gate_points_are_flagged(self, tmp_path):
+        """A value under its gate renders in the alert hue with the
+        verdict in its tooltip; passing values stay in the series hue."""
+        dirs = [
+            _run_dir(tmp_path, "baseline", 2.0),
+            _run_dir(tmp_path, "run-1", 1.2),  # under the 1.5 gate
+        ]
+        svg, _ = plot_trend.render(dirs)
+        xml.dom.minidom.parseString(svg)
+        assert plot_trend.ALERT in svg
+        assert "run-1: 1.2x — below gate" in svg
+        # The passing point keeps the series hue and a plain tooltip.
+        assert "baseline: 2x</title>" in svg
+
+    def test_passing_points_carry_no_alert(self, tmp_path):
+        dirs = [
+            _run_dir(tmp_path, "baseline", 2.0),
+            _run_dir(tmp_path, "run-1", 2.4),
+        ]
+        svg, _ = plot_trend.render(dirs)
+        assert plot_trend.ALERT not in svg
+        assert "below gate" not in svg
+
     def test_missing_runs_tolerated(self, tmp_path):
         """A key absent from one run plots the points it has."""
         d1 = _run_dir(tmp_path, "a", 2.0)
