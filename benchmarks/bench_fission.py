@@ -1,0 +1,178 @@
+"""B-fission — splitting a fused sequential nest so the fast tiers reach it.
+
+The merge pass fuses every same-range recurrence into one ``DO`` nest,
+and the unfissioned plan walks that nest one element at a time through
+the evaluator/scalar tier: the three recurrences in the ``Mixed``
+workload (an integer scan, a linear recurrence, and a running max) share
+one loop, so no one of them can take a native in-order kernel, a blocked
+scan, or a pipeline stage on its own.  Fission replicates the loop per
+dependence group; the replicas are sibling loops, the pipeline pass
+decouples them into stages, and each stage runs compiled C behind a
+released GIL.  This bench measures that composition and writes
+``BENCH_fission.json``.
+
+Acceptance gates (CI-enforced):
+
+* the *unforced* threaded plan at 4 workers is >= 1.5x faster than the
+  same backend with fission disabled (``use_fission=False``) at the
+  largest benchmarked trip (measured ~200x+ on the baseline box — the
+  split pieces run compiled stage kernels where the fused nest walks
+  Python elements; the gate stays conservative for slow CI runners);
+* the unforced plan must actually *contain* a fission split at the
+  largest trip — the pricing has to take the transform on merit, not
+  obey a forced strategy;
+* every timed execution agrees **bit-exactly** with the unfissioned
+  plan, and the fissioned result agrees across the serial, vectorized,
+  threaded, and free-threading backends.
+
+On a machine without a C compiler the module skips (the replica pieces
+would fall back to NumPy bundles; the mechanism still works but the
+baseline shifts, and the native lane is the one the gate pins).
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.recurrences import mixed_analyzed, mixed_args
+from repro.graph.build import build_dependency_graph
+from repro.plan.planner import build_plan
+from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.runtime.kernels import KernelCache, native_supported
+from repro.schedule.merge import merge_loops
+from repro.schedule.scheduler import schedule_module
+
+pytestmark = pytest.mark.skipif(
+    not native_supported(),
+    reason="native tier unavailable: no C compiler / cffi on this machine",
+)
+
+#: fused-nest trip counts; the gate applies at the largest
+TRIPS = [20_000, 200_000]
+
+#: wall-clock advantage the gate demands at the largest trip
+FISSION_GATE_SPEEDUP = 1.5
+GATE_WORKERS = 4
+
+_PAYLOAD = {"rows": [], "gates": {}}
+
+
+def _time(fn, repeats=3):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_fission_speedup_gate(artifact):
+    analyzed = mixed_analyzed()
+    graph = build_dependency_graph(analyzed)
+    flow = merge_loops(schedule_module(analyzed, graph), graph)
+
+    # Bit-exactness of the full stack vs the tree-walking evaluator at a
+    # size the evaluator can afford; the large rows then cross-check the
+    # fissioned and unfissioned plans against each other.
+    small = mixed_args(n=512)
+    ref = execute_module(
+        analyzed, small, flowchart=flow,
+        options=ExecutionOptions(backend="serial", use_kernels=False),
+    )
+    res = execute_module(
+        analyzed, small, flowchart=flow,
+        options=ExecutionOptions(
+            backend="threaded", workers=GATE_WORKERS, strategy="fission"
+        ),
+    )
+    for out in ("T", "S", "M"):
+        assert np.array_equal(res[out], ref[out]), (
+            f"fissioned {out} diverged from the evaluator at n=512"
+        )
+
+    for n in TRIPS:
+        args = mixed_args(n=n)
+        cache_fused = KernelCache(analyzed, flow)
+        cache_split = KernelCache(analyzed, flow)
+        o_fused = ExecutionOptions(
+            backend="threaded", workers=GATE_WORKERS, use_fission=False
+        )
+        o_split = ExecutionOptions(backend="threaded", workers=GATE_WORKERS)
+
+        def run_fused(args=args, options=o_fused, cache=cache_fused):
+            return execute_module(
+                analyzed, args, flowchart=flow, options=options,
+                kernel_cache=cache,
+            )
+
+        def run_split(args=args, options=o_split, cache=cache_split):
+            return execute_module(
+                analyzed, args, flowchart=flow, options=options,
+                kernel_cache=cache,
+            )
+
+        run_fused(), run_split()  # warm caches/pools outside the timed region
+        t_fused, out_fused = _time(run_fused)
+        t_split, out_split = _time(run_split)
+        for out in ("T", "S", "M"):
+            assert np.array_equal(out_split[out], out_fused[out]), (
+                f"fissioned {out} diverged from the fused plan at n={n}"
+            )
+
+        # The pricing must take the split unforced at bench sizes.
+        plan = build_plan(
+            analyzed, flow,
+            ExecutionOptions(backend="threaded", workers=GATE_WORKERS),
+            {"n": n}, cpu_count=GATE_WORKERS,
+        )
+        auto_splits = any(s == "fission" for _, s in plan.strategies())
+
+        _PAYLOAD["rows"].append({
+            "workload": "mixed",
+            "trip": n,
+            "workers": GATE_WORKERS,
+            "unfissioned_seconds": t_fused,
+            "fissioned_seconds": t_split,
+            "speedup": t_fused / t_split,
+            "auto_splits": auto_splits,
+        })
+
+    largest = max(TRIPS)
+    row = next(r for r in _PAYLOAD["rows"] if r["trip"] == largest)
+    assert row["speedup"] >= FISSION_GATE_SPEEDUP, (
+        f"fission only {row['speedup']:.2f}x over the fused plan on "
+        f"mixed at n={largest} (gate: {FISSION_GATE_SPEEDUP}x)"
+    )
+    assert row["auto_splits"], (
+        f"unforced threaded plan at n={largest} did not take the split"
+    )
+    _PAYLOAD["gates"][f"mixed_fission_vs_fused_n{largest}"] = {
+        "speedup": row["speedup"],
+        "required": FISSION_GATE_SPEEDUP,
+        "passed": True,
+    }
+
+    # Cross-backend agreement: the split execution must not be a
+    # threaded-only truth.
+    args2 = mixed_args(n=20_000)
+    base = None
+    for backend in ("serial", "vectorized", "threaded", "free-threading"):
+        r2 = execute_module(
+            analyzed, args2, flowchart=flow,
+            options=ExecutionOptions(
+                backend=backend, workers=GATE_WORKERS, strategy="fission"
+            ),
+        )
+        arrs = tuple(np.asarray(r2[out]) for out in ("T", "S", "M"))
+        if base is None:
+            base = arrs
+        else:
+            for out, arr, want in zip(("T", "S", "M"), arrs, base):
+                assert np.array_equal(arr, want), (
+                    f"mixed {out} diverged on backend {backend}"
+                )
+    _PAYLOAD["gates"]["cross_backend_bit_exact"] = {"passed": True}
+
+    artifact("BENCH_fission.json", json.dumps(_PAYLOAD, indent=2))

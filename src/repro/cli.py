@@ -34,12 +34,20 @@ from repro.ps.printer import format_module
 from repro.ps.semantics import analyze_module
 from repro.runtime.backends import available_backends
 from repro.runtime.executor import ExecutionOptions, execute_module
+from repro.schedule.merge import merge_loops
 from repro.schedule.scheduler import schedule_module
 
 
 def _read_module(path: str):
     with open(path, encoding="utf-8") as fh:
         return parse_module(fh.read())
+
+
+def _flowchart(analyzed, merge: bool):
+    if not merge:
+        return schedule_module(analyzed)
+    graph = build_dependency_graph(analyzed)
+    return merge_loops(schedule_module(analyzed, graph), graph)
 
 
 def _cmd_schedule(args) -> int:
@@ -123,6 +131,7 @@ def _execution_options(args, vectorize: bool = True) -> ExecutionOptions:
         use_windows=args.windows,
         use_kernels=not args.no_kernels,
         use_collapse=not args.no_collapse,
+        use_fission=False if getattr(args, "no_fission", False) else None,
         kernel_tier=args.kernel_tier,
         strategy=getattr(args, "strategy", None),
         allow_reassoc=getattr(args, "allow_reassoc", False) or None,
@@ -134,7 +143,7 @@ def _cmd_plan(args) -> int:
     from repro.plan.planner import build_plan
 
     analyzed = analyze_module(_read_module(args.module))
-    flow = schedule_module(analyzed)
+    flow = _flowchart(analyzed, getattr(args, "merge", False))
     options = _execution_options(args)
     scalars = _parse_assignments(args.set or [])
     # The durable per-machine store, so the provenance block reports the
@@ -188,7 +197,12 @@ def _cmd_run(args) -> int:
             f"with --backend {args.backend}"
         )
     options = _execution_options(args, vectorize=not args.scalar)
-    results = execute_module(analyzed, run_args, options=options)
+    flow = (
+        _flowchart(analyzed, True) if getattr(args, "merge", False) else None
+    )
+    results = execute_module(
+        analyzed, run_args, flowchart=flow, options=options
+    )
     with np.printoptions(precision=6, suppress=True):
         for name, value in results.items():
             print(f"{name} =")
@@ -300,6 +314,8 @@ def _add_execution_flags(p: argparse.ArgumentParser) -> None:
                    help="disable compiled kernels (reference evaluator only)")
     p.add_argument("--no-collapse", action="store_true",
                    help="disable flattening of perfect DOALL nests")
+    p.add_argument("--no-fission", action="store_true",
+                   help="disable dependence-driven loop splitting")
     p.add_argument("--kernel-tier", default="native",
                    choices=["native", "numpy", "evaluator"],
                    help="highest kernel tier (default: native)")
@@ -362,6 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="plan for evaluator-only execution")
     p.add_argument("--no-collapse", action="store_true",
                    help="disable flattening of perfect DOALL nests")
+    p.add_argument("--no-fission", action="store_true",
+                   help="disable dependence-driven loop splitting")
+    p.add_argument("--merge", action="store_true",
+                   help="apply the loop-merging pass before planning "
+                        "(merged nests are what fission splits)")
     p.add_argument("--kernel-tier", default="native",
                    choices=["native", "numpy", "evaluator"],
                    help="highest kernel tier the plan budgets for "
@@ -407,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-collapse", action="store_true",
                    help="disable flattening of perfect DOALL nests into "
                         "one chunked iteration space")
+    p.add_argument("--no-fission", action="store_true",
+                   help="disable dependence-driven splitting of sequential "
+                        "loops into independent replica loops")
+    p.add_argument("--merge", action="store_true",
+                   help="apply the loop-merging pass before execution")
     p.add_argument("--kernel-tier", default="native",
                    choices=["native", "numpy", "evaluator"],
                    help="highest kernel tier DOALL nests may use: native "

@@ -150,7 +150,10 @@ class CompileResult:
             execution.backend, execution.workers, execution.vectorize,
             execution.use_windows, execution.use_kernels,
             execution.debug_windows, execution.use_collapse,
+            getattr(execution, "use_fission", True),
             getattr(execution, "kernel_tier", "native"),
+            getattr(execution, "strategy", None),
+            getattr(execution, "allow_reassoc", False),
             tuple(sorted(scalars.items())),
         )
         # Calibration only influences the auto decision, so pinned-backend

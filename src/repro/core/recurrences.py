@@ -135,6 +135,28 @@ define
 end ILinRec;
 """
 
+MIXED_SOURCE = """\
+(* Three independent integer recurrences over one subrange. The
+   loop-merging pass fuses them into a single DO nest, which is the
+   fission gate workload: the split recovers one replica loop per
+   recurrence, and the replicas decouple as pipeline stages or blocked
+   scans. *)
+Mixed: module (X: array[1 .. n] of int; A: array[1 .. n] of int;
+               B: array[1 .. n] of int; n: int):
+       [T: array[0 .. n] of int; S: array[0 .. n] of int;
+        M: array[0 .. n] of int];
+type
+    I = 1 .. n;
+define
+    T[0] = 0;
+    S[0] = 0;
+    M[0] = X[1];
+    T[I] = T[I-1] + X[I];
+    S[I] = A[I] * S[I-1] + B[I];
+    M[I] = max(M[I-1], X[I]);
+end Mixed;
+"""
+
 
 def scan_analyzed() -> AnalyzedModule:
     return analyze_module(parse_module(SCAN_SOURCE))
@@ -158,6 +180,10 @@ def runmax_analyzed() -> AnalyzedModule:
 
 def ilinrec_analyzed() -> AnalyzedModule:
     return analyze_module(parse_module(ILINREC_SOURCE))
+
+
+def mixed_analyzed() -> AnalyzedModule:
+    return analyze_module(parse_module(MIXED_SOURCE))
 
 
 def scan_args(n: int = 64, seed: int = 11) -> dict:
@@ -189,6 +215,16 @@ def runmax_args(n: int = 64, seed: int = 15) -> dict:
     return {"X": rng.random(n), "n": n}
 
 
+def mixed_args(n: int = 64, seed: int = 17) -> dict:
+    rng = np.random.default_rng(seed)
+    return {
+        "X": rng.integers(-9, 10, n),
+        "A": rng.integers(-1, 2, n),
+        "B": rng.integers(-9, 10, n),
+        "n": n,
+    }
+
+
 def ilinrec_args(n: int = 64, seed: int = 16) -> dict:
     # a in {0, 1} keeps the products bounded (any int coefficient would be
     # *correct* under two's-complement wraparound, but bounded values make
@@ -210,4 +246,5 @@ RECURRENCE_WORKLOADS = (
     ("isum", isum_analyzed, isum_args, "T"),
     ("runmax", runmax_analyzed, runmax_args, "M"),
     ("ilinrec", ilinrec_analyzed, ilinrec_args, "S"),
+    ("mixed", mixed_analyzed, mixed_args, "S"),
 )

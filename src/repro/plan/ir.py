@@ -56,6 +56,16 @@ Loop strategies
     fix-up sweep. Int and min/max scans are bit-exact; float ``+``/``*``
     requires ``allow_reassoc``. Backends without a scan engine fall back
     to the in-order walk.
+``fission``
+    A multi-unit loop body splits along its dependence structure into
+    ``parts`` replica loops over the same subrange, one per minimal
+    dependence group (see :mod:`repro.schedule.fission`), each planned
+    independently: pieces that come out all-DOALL regain
+    ``nest``/``chunk``/``collapse``, lone recurrences regain ``scan``,
+    and the replica run itself may plan as a ``pipeline`` group. Replica
+    LoopPlans live at marker paths ``loop_path + (-1, k)``; the original
+    loop carries the ``fission`` strategy and is executed by planning its
+    replicas in order, each equation exactly once over the full subrange.
 """
 
 from __future__ import annotations
@@ -67,7 +77,7 @@ from repro.errors import ReproError
 #: valid LoopPlan.strategy values
 STRATEGIES = (
     "serial", "nest", "vector", "chunk", "iterate", "collapse", "pipeline",
-    "scan",
+    "scan", "fission",
 )
 
 #: valid EquationPlan.kernel values — "native" marks an equation whose
@@ -164,7 +174,7 @@ class LoopPlan:
 
     def annotation(self) -> str:
         bits = [self.strategy]
-        if self.strategy in ("chunk", "collapse", "scan") and self.parts:
+        if self.strategy in ("chunk", "collapse", "scan", "fission") and self.parts:
             bits[-1] += f" x{self.parts}"
         if self.strategy == "pipeline" and self.stages:
             if self.parts:
@@ -259,6 +269,19 @@ class ExecutionPlan:
                 stack.extend(
                     (path + (i,), d) for i, d in enumerate(desc.body)
                 )
+        # Fission replica plans live at marker paths (a -1 component) that
+        # the main-tree walk above never visits: resolve them through the
+        # flowchart's split memo. Replica *bodies* are the original shared
+        # descriptors, already indexed by their main-tree paths.
+        for path, plan in self.loops.items():
+            if -1 not in path:
+                continue
+            try:
+                desc = flowchart.descriptor_at(path)
+            except (LookupError, IndexError):
+                continue
+            if isinstance(desc, LoopDescriptor):
+                by_id[id(desc)] = plan
         self._by_id = by_id
         self._bound_to = id(flowchart)
         return self
@@ -371,5 +394,36 @@ class ExecutionPlan:
                 )
             if note.get("why"):
                 row += f" ({note['why']})"
+            lines.append(row)
+        for note in p.get("fission_loops", []):
+            verdict = "chosen" if note.get("chosen") else "rejected"
+            if note.get("parts"):
+                shape = (
+                    f"{note['parts']} pieces "
+                    f"[{' | '.join(note.get('pieces', []))}]"
+                )
+            else:
+                shape = "no legal split"
+            row = (
+                f"  fission @{note['index']} ({note['keyword']} "
+                f"{note['loop_index']}): {shape}, trip {note['trip']} — "
+                f"{verdict}"
+            )
+            if note.get("fission_cycles") is not None:
+                row += (
+                    f": predicted ~{note['fission_cycles']:.0f} vs "
+                    f"~{note['unfissioned_cycles']:.0f} cycles unfissioned"
+                )
+            if note.get("why"):
+                row += f" ({note['why']})"
+            lines.append(row)
+        for note in p.get("slow_loops", []):
+            row = (
+                f"  slow loop @{note['index']} ({note['keyword']} "
+                f"{note['loop_index']}): {note['label']} not kernelizable "
+                f"— {note['reason']}"
+            )
+            if note.get("fission"):
+                row += f"; {note['fission']}"
             lines.append(row)
         return "\n".join(lines)

@@ -42,6 +42,7 @@ from repro.plan.ir import (
 from repro.runtime.kernels.emit import (
     equation_affine_fast_path,
     kernelizable,
+    kernelizable_reason,
     nest_fusable,
 )
 from repro.runtime.kernels.native import native_emittable, native_span_emittable
@@ -90,6 +91,7 @@ def _default_options() -> Any:
         workers=None,
         use_kernels=True,
         use_collapse=True,
+        use_fission=True,
         kernel_tier="native",
         allow_reassoc=False,
     )
@@ -141,6 +143,7 @@ def build_plan(
     effective = max(1, min(workers, cpu_count if cpu_count is not None else ncpu))
     use_kernels = bool(options.use_kernels) and not options.debug_windows
     use_collapse = bool(getattr(options, "use_collapse", True))
+    use_fission = bool(getattr(options, "use_fission", True))
     tier = getattr(options, "kernel_tier", "native")
     allow_reassoc = bool(getattr(options, "allow_reassoc", False))
     if tier == "evaluator":
@@ -188,7 +191,8 @@ def build_plan(
             p = _Planner(
                 analyzed, flowchart, candidate, workers, effective,
                 scalar_env, model, use_kernels, bool(options.use_windows),
-                use_collapse=use_collapse, tier=tier,
+                use_collapse=use_collapse, use_fission=use_fission,
+                tier=tier,
                 force_default=soft_strategy, force_soft=True,
                 allow_reassoc=allow_reassoc,
             )
@@ -213,6 +217,8 @@ def build_plan(
         plan.provenance = {
             "pipeline_groups": best.pipeline_notes,
             "scan_loops": best.scan_notes,
+            "fission_loops": best.fission_notes,
+            "slow_loops": best.slow_notes(),
             "mode": "auto",
             "workers": workers,
             "calibrated": bool(measured),
@@ -240,7 +246,7 @@ def build_plan(
     planner = _Planner(
         analyzed, flowchart, requested, workers, effective,
         scalar_env, model, use_kernels, bool(options.use_windows),
-        use_collapse=use_collapse, tier=tier,
+        use_collapse=use_collapse, use_fission=use_fission, tier=tier,
         force_default=soft_strategy, force_soft=True,
         allow_reassoc=allow_reassoc,
     )
@@ -249,6 +255,8 @@ def build_plan(
     plan.provenance = {
         "pipeline_groups": planner.pipeline_notes,
         "scan_loops": planner.scan_notes,
+        "fission_loops": planner.fission_notes,
+        "slow_loops": planner.slow_notes(),
         "mode": "pinned",
         "workers": workers,
         "calibrated": False,
@@ -298,6 +306,7 @@ def forced_plan(
         use_kernels,
         bool(options.use_windows),
         use_collapse=bool(getattr(options, "use_collapse", True)),
+        use_fission=bool(getattr(options, "use_fission", True)),
         tier=tier,
         force_default=default,
         force_overrides=overrides or {},
@@ -312,6 +321,8 @@ def valid_strategies(
 ) -> list[str]:
     """The strategies a parallel loop may be forced to (property tests draw
     from this set)."""
+    from repro.schedule.fission import fission_split
+
     if not desc.parallel:
         out = ["serial"]
         from repro.schedule.scan_detect import scan_info
@@ -323,6 +334,8 @@ def valid_strategies(
             # Bit-exact scans only: forcing a float +/* scan needs the
             # caller to opt into reassociation via allow_reassoc.
             out.append("scan")
+        if fission_split(analyzed, flowchart, desc, use_windows) is not None:
+            out.append("fission")
         return out
     out = ["serial", "vector", "iterate"]
     if nest_fusable(desc, analyzed, flowchart, use_windows):
@@ -331,6 +344,8 @@ def valid_strategies(
         out.append("chunk")
     if loop_collapse_safe(desc, analyzed, flowchart.windows, use_windows):
         out.append("collapse")
+    if fission_split(analyzed, flowchart, desc, use_windows) is not None:
+        out.append("fission")
     return out
 
 
@@ -349,6 +364,7 @@ class _Planner:
         use_kernels: bool,
         use_windows: bool,
         use_collapse: bool = True,
+        use_fission: bool = True,
         tier: str = "native",
         force_default: str | None = None,
         force_overrides: dict[tuple[int, ...], str] | None = None,
@@ -365,6 +381,7 @@ class _Planner:
         self.use_kernels = use_kernels
         self.use_windows = use_windows
         self.use_collapse = use_collapse
+        self.use_fission = use_fission
         self.tier = tier
         self.force_default = force_default
         self.force_overrides = force_overrides or {}
@@ -375,6 +392,8 @@ class _Planner:
         self.pipeline_notes: list[dict] = []
         #: one provenance note per recognized scan/recurrence loop considered
         self.scan_notes: list[dict] = []
+        #: one provenance note per fission-considered loop (split or not)
+        self.fission_notes: list[dict] = []
         #: True while planning the body of a pipeline sequential stage that
         #: cannot fuse — inner DOALLs must stay off the pool (the stage
         #: already runs *on* a pool worker)
@@ -734,6 +753,13 @@ class _Planner:
                     f"applies to sequential DO recurrences"
                 )
             return None
+        if forced == "fission":
+            # Fission is decided before _choose ever runs (_fission_decision
+            # in the walk emission, which also raises on an invalid hard
+            # per-path pin). Reaching here means the loop was not split —
+            # either it has no legal split under a soft default, or it is a
+            # replica/inner loop below a split — so it plans normally.
+            return None
 
         def invalid(why: str) -> str | None:
             if self.force_soft:
@@ -1031,6 +1057,183 @@ class _Planner:
         self.equations[eq.label] = ep
         self.entries.append(PlanEntry(depth + 1, equation=ep))
         return decision["cycles"]
+
+    # -- fission -----------------------------------------------------------
+
+    def _fission_decision(self, desc: LoopDescriptor, path) -> dict | None:
+        """Decide one multi-unit loop met on the walk: a dict for
+        :meth:`_emit_fission` when splitting wins (or is forced), None to
+        fall through to the unfissioned plan. Every loop with a legal split
+        — and every multi-unit loop whose split was *rejected* — leaves a
+        provenance note, so ``repro plan`` can explain both verdicts."""
+        if self._in_stage or not self.use_fission:
+            return None
+        from repro.schedule.fission import fission_reject, fission_split
+
+        forced_name = self.force_overrides.get(path, self.force_default)
+        forced = forced_name == "fission"
+        hard = forced and not self.force_soft
+        split = fission_split(
+            self.analyzed, self.flowchart, desc, self.use_windows
+        )
+        if split is None:
+            why = fission_reject(
+                self.analyzed, self.flowchart, desc, self.use_windows
+            )
+            if why is not None:
+                self.fission_notes.append({
+                    "index": str(path), "keyword": desc.keyword,
+                    "loop_index": desc.index, "parts": None,
+                    "trip": self._trip_est(desc), "pieces": [],
+                    "fission_cycles": None, "unfissioned_cycles": None,
+                    "chosen": False, "why": why,
+                })
+            if hard and path in self.force_overrides:
+                raise PlanError(
+                    f"cannot force 'fission' on {desc.keyword} {desc.index}: "
+                    + (why or "the body is a single dependence unit")
+                )
+            return None
+        note = {
+            "index": str(path), "keyword": desc.keyword,
+            "loop_index": desc.index, "parts": split.parts,
+            "trip": self._trip_est(desc), "pieces": split.describe(),
+            "fission_cycles": None, "unfissioned_cycles": None,
+            "chosen": False, "why": "",
+        }
+        self.fission_notes.append(note)
+        fissioned = self._price_fission(split, path)
+        unfissioned = (
+            self._choose(desc)[2] if desc.parallel
+            else self._cost_serial_root(desc)
+        )
+        note["fission_cycles"] = fissioned
+        note["unfissioned_cycles"] = unfissioned
+        if not forced and fissioned >= unfissioned:
+            note["why"] = "unfissioned plan is cheaper"
+            return None
+        note["chosen"] = True
+        note["why"] = "forced" if forced else "split pieces are cheaper"
+        return {"split": split, "cycles": fissioned, "forced": forced}
+
+    def _piece_cost(self, piece: LoopDescriptor) -> float:
+        """What one replica loop will cost when emitted: parallel pieces
+        price through the normal strategy choice, sequential pieces through
+        the in-order walk or — under exactly the gates ``_scan_decision``
+        applies on merit — the blocked scan."""
+        if piece.parallel:
+            return self._choose(piece)[2]
+        serial = self._cost_serial_root(piece)
+        if not self.use_kernels:
+            return serial
+        from repro.schedule.scan_detect import scan_info
+
+        info = scan_info(
+            self.analyzed, self.flowchart, piece, self.use_windows
+        )
+        if (
+            info is None
+            or self._scan_gated(info)
+            or self.backend not in PIPELINE_BACKENDS
+            or self.workers < 2
+            or self._trip_est(piece) < 4
+        ):
+            return serial
+        return min(serial, self._price_scan(piece, info)["cycles"])
+
+    def _price_fission(self, split, path) -> float:
+        """The cost of the replica run exactly as :meth:`_emit_fission`
+        will emit it — including pipeline groups over the replicas (a
+        recurrence piece feeding DOALL pieces is the DSWP shape), priced
+        here without emitting their provenance notes."""
+        container = path + (-1,)
+        pieces = list(split.pieces)
+        total = 0.0
+        i = 0
+        while i < len(pieces):
+            group = self._pipeline_group_at(container, i)
+            if group is not None:
+                priced = self._price_pipeline(group)
+                if priced is not None and (
+                    self.force_default == "pipeline"
+                    or priced["cycles"] < priced["serial_cycles"]
+                ):
+                    total += priced["cycles"]
+                    i += group.size
+                    continue
+            total += self._piece_cost(pieces[i])
+            i += 1
+        return total
+
+    def _emit_fission(self, desc: LoopDescriptor, path, depth, decision) -> float:
+        """Emit one taken split: the original loop's LoopPlan carries the
+        ``fission`` strategy and the piece count, the replicas plan as an
+        ordinary sibling list at the marker container ``path + (-1,)`` —
+        each equation lands in exactly one replica over the full subrange,
+        so evaluation counts match the unfissioned walk exactly."""
+        split = decision["split"]
+        lp = LoopPlan(
+            path, desc.index, desc.keyword, "fission",
+            parts=split.parts, trip=self.trip(desc),
+            reason=(
+                "forced dependence split" if decision["forced"]
+                else "dependence split"
+            ),
+        )
+        self._register(lp, depth)
+        cost = self._emit_siblings(
+            list(split.pieces), path + (-1,), depth + 1, "walk", 1.0
+        )
+        lp.cycles = cost
+        return cost
+
+    def slow_notes(self) -> list[dict]:
+        """Per-loop why-not provenance for nests left on the slow path: the
+        first non-kernelizable equation (with the emitter's reason) and the
+        fission verdict for its loop. Outermost loop wins when an equation
+        sits under several; replicas defer to their original loop."""
+        from repro.schedule.fission import fission_reject
+
+        notes: list[dict] = []
+        if not self.use_kernels:
+            return notes
+        seen: set[str] = set()
+        for lp in self.loops.values():
+            if -1 in lp.path:
+                continue
+            try:
+                desc = self.flowchart.descriptor_at(lp.path)
+            except (LookupError, IndexError):
+                continue
+            if not isinstance(desc, LoopDescriptor):
+                continue
+            label = why = None
+            for eq in desc.nested_equations():
+                r = kernelizable_reason(eq, self.analyzed)
+                if r is not None:
+                    label, why = eq.label, r
+                    break
+            if label is None or label in seen:
+                continue
+            seen.add(label)
+            fission = None
+            if lp.strategy == "fission":
+                fission = "split: the offender runs in its own loop"
+            else:
+                r = fission_reject(
+                    self.analyzed, self.flowchart, desc, self.use_windows
+                )
+                if r is not None:
+                    fission = f"fission rejected: {r}"
+            notes.append({
+                "index": str(lp.path),
+                "keyword": lp.keyword,
+                "loop_index": lp.index,
+                "label": label,
+                "reason": why,
+                "fission": fission,
+            })
+        return notes
 
     def _stage_scan_cost(self, loop: LoopDescriptor) -> dict | None:
         """The blocked-scan price of a pipeline sequential stage's member
@@ -1409,6 +1612,9 @@ class _Planner:
             return cost
 
         # ctx == "walk"
+        fis = self._fission_decision(desc, path)
+        if fis is not None:
+            return self._emit_fission(desc, path, depth, fis)
         if not desc.parallel:
             scan = self._scan_decision(desc, path)
             if scan is not None:

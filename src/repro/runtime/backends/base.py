@@ -234,15 +234,44 @@ class ExecutionBackend:
         hi = eval_bound(desc.subrange.hi, scalar_env)
         if hi < lo:
             return
+        plan = None if vector_names else state.plan_of(desc, self.name)
+        if plan is not None and plan.strategy == "fission":
+            self.exec_fission_loop(state, desc, lo, hi, env)
+            return
         if desc.parallel:
             self.exec_parallel_loop(state, desc, lo, hi, env, vector_names)
         else:
-            if not vector_names:
-                plan = state.plan_of(desc, self.name)
-                if plan is not None and plan.strategy == "scan":
-                    self.exec_scan_loop(state, desc, lo, hi, env)
-                    return
+            if plan is not None and plan.strategy == "scan":
+                self.exec_scan_loop(state, desc, lo, hi, env)
+                return
             self.exec_sequential_loop(state, desc, lo, hi, env, vector_names)
+
+    def exec_fission_loop(
+        self,
+        state: ExecutionState,
+        desc: LoopDescriptor,
+        lo: int,
+        hi: int,
+        env: dict[str, Any],
+    ) -> None:
+        """Run a loop planned as a dependence split: one replica loop per
+        group, in topological order over the full subrange. The replicas
+        are planned descriptors in their own right (marker paths), so the
+        ordinary sibling walk applies — a promoted piece runs its DOALL
+        strategy, a lone recurrence its scan, a decoupled replica run its
+        pipeline group. Each equation lands in exactly one replica, so
+        evaluation counts match the unfissioned walk."""
+        from repro.schedule.fission import fission_split
+
+        split = fission_split(
+            state.analyzed, state.flowchart, desc, state.options.use_windows
+        )
+        if split is None:
+            # Memoized at annotate time; missing means a foreign flowchart
+            # copy — run the loop as scheduled (bit-exact, just unsplit).
+            self.exec_sequential_loop(state, desc, lo, hi, env, [])
+            return
+        self.exec_descriptor_list(state, list(split.pieces), env, [])
 
     def exec_scan_loop(
         self,
@@ -344,6 +373,9 @@ class ExecutionBackend:
             # hand-driven walk of one descriptor): run the subrange as one
             # span — bit-exact, just undecoupled.
             self.exec_chunk_span(state, desc, lo, hi, env, vector_names)
+        elif strategy == "fission":
+            # Normally intercepted in exec_descriptor; kept for direct calls.
+            self.exec_fission_loop(state, desc, lo, hi, env)
         else:
             raise ExecutionError(f"unknown plan strategy {strategy!r}")
 

@@ -81,6 +81,12 @@ class ExecutionOptions:
     #: chunked iteration space executed by fused flat kernels (off, nests
     #: plan with the per-loop strategies only — the escape hatch)
     use_collapse: bool = True
+    #: let the planner split ("fission") a sequential loop whose body
+    #: partitions into independent dependence groups into one replica loop
+    #: per group — pieces then plan independently (a DOALL piece regains
+    #: the kernel strategies, a lone recurrence regains scan/pipeline).
+    #: Off, every nest plans as scheduled (the escape hatch).
+    use_fission: bool = True
     #: soft strategy preference (``repro run/plan --strategy``): every loop
     #: the strategy validly applies to takes it, everything else plans
     #: normally — unlike :func:`repro.plan.planner.forced_plan`, an
@@ -307,6 +313,7 @@ def _callee_plan(
         name, options.backend, options.workers, options.vectorize,
         options.use_windows, options.use_kernels, options.debug_windows,
         options.use_collapse, getattr(options, "kernel_tier", "native"),
+        getattr(options, "use_fission", True),
         getattr(options, "strategy", None),
         getattr(options, "allow_reassoc", False),
     )

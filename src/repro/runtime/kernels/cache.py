@@ -205,6 +205,30 @@ class KernelCache:
             ):
                 self.span_kernel_for(desc, use_windows)
 
+        # Fission replicas live outside the main tree (marker paths), so
+        # the loops() walk above never meets them; a promoted piece is a
+        # DOALL kernel root in its own right. Lazy import: fission sits
+        # above the kernel layer.
+        from repro.schedule.fission import fission_splits
+
+        for split in fission_splits(self.analyzed, self.flowchart).values():
+            if not split.usable(use_windows):
+                continue
+            for piece in split.pieces:
+                if not piece.parallel:
+                    continue
+                self.nest_kernel_for(piece, use_windows, tier=tier)
+                if loop_collapse_safe(
+                    piece, self.analyzed, self.flowchart.windows, use_windows
+                ):
+                    self.nest_kernel_for(
+                        piece, use_windows, variant="flat", tier=tier
+                    )
+                if tier == "native" and loop_chunk_safe(
+                    piece, self.analyzed, self.flowchart.windows, use_windows
+                ):
+                    self.span_kernel_for(piece, use_windows)
+
         # Lazy import: pipeline_stages sits above the kernel layer.
         from repro.schedule.pipeline_stages import pipeline_groups
 

@@ -89,14 +89,30 @@ def kernelizable(eq: AnalyzedEquation, analyzed: AnalyzedModule) -> bool:
     as the evaluator would. Everything rejected here falls back to the
     evaluator.
     """
-    if eq.atomic or len(eq.targets) != 1:
-        return False
+    return kernelizable_reason(eq, analyzed) is None
+
+
+def kernelizable_reason(
+    eq: AnalyzedEquation, analyzed: AnalyzedModule
+) -> str | None:
+    """Why :func:`kernelizable` rejects this equation — ``None`` when it
+    compiles. The single source of truth for the check itself, and the
+    reason string ``plan.explain()`` prints for evaluator-bound nests."""
+    if eq.atomic:
+        return "atomic equation"
+    if len(eq.targets) != 1:
+        return "multi-target equation"
     exprs: list[Expr] = [eq.rhs]
     exprs.extend(eq.targets[0].subscripts)
+    found: list[str] = []
+
+    def fail(why: str) -> bool:
+        found.append(why)
+        return False
 
     def scan(expr: Expr) -> bool:
         if isinstance(expr, FieldRef):
-            return False
+            return fail("record-field access")
         if isinstance(expr, Call):
             if not is_builtin(expr.func):
                 # An index-independent module call evaluates to one value
@@ -105,16 +121,19 @@ def kernelizable(eq: AnalyzedEquation, analyzed: AnalyzedModule) -> bool:
                 index_names = set(eq.index_names)
                 for a in expr.args:
                     if names_in(a) & index_names:
-                        return False
+                        return fail(
+                            f"calls module {expr.func} with "
+                            f"index-dependent arguments"
+                        )
             return all(scan(a) for a in expr.args)
         if isinstance(expr, Index):
             if not isinstance(expr.base, Name):
-                return False
+                return fail("computed array base")
             sym = analyzed.table.symbol(expr.base.ident)
             if sym is None or not isinstance(sym.type, ArrayType):
-                return False
+                return fail(f"subscripted non-array {expr.base.ident}")
             if len(expr.subscripts) != sym.type.rank:
-                return False
+                return fail(f"partial-rank indexing of {expr.base.ident}")
             return all(scan(s) for s in expr.subscripts)
         if isinstance(expr, Name):
             ident = expr.ident
@@ -123,14 +142,20 @@ def kernelizable(eq: AnalyzedEquation, analyzed: AnalyzedModule) -> bool:
             sym = analyzed.table.symbol(ident)
             if sym is not None:
                 # A bare array name is a whole-array value — evaluator only.
-                return not isinstance(sym.type, ArrayType)
-            return ident in analyzed.table.enum_members
+                if isinstance(sym.type, ArrayType):
+                    return fail(f"whole-array value {ident}")
+                return True
+            if ident in analyzed.table.enum_members:
+                return True
+            return fail(f"unknown name {ident}")
         for child in _children(expr):
             if not scan(child):
                 return False
         return True
 
-    return all(scan(e) for e in exprs)
+    if all(scan(e) for e in exprs):
+        return None
+    return found[0]
 
 
 def equation_affine_fast_path(

@@ -272,12 +272,15 @@ def annotate_flowchart(flowchart: Flowchart, analyzed) -> None:
                 equation_vector_safe(eq)
         elif desc.node.is_equation:
             equation_vector_safe(desc.node.equation)
-    # Pipeline stage partitioning over sibling-loop runs (lazy import: the
-    # stage analysis consumes the dependence graph machinery, which must
-    # not become a schedule-time import cycle).
+    # Fission candidates first (pipeline and scan recognition extend over
+    # the replica loops), then pipeline stage partitioning and scan shapes
+    # (lazy imports: all three consume the dependence graph machinery,
+    # which must not become a schedule-time import cycle).
+    from repro.schedule.fission import fission_splits
     from repro.schedule.pipeline_stages import pipeline_groups
     from repro.schedule.scan_detect import scan_loops
 
+    fission_splits(analyzed, flowchart)
     for use_windows in (False, True):
         pipeline_groups(analyzed, flowchart, use_windows)
         scan_loops(analyzed, flowchart, use_windows)
@@ -370,7 +373,12 @@ class Flowchart:
     def path_of(self, target: Descriptor) -> tuple[int, ...] | None:
         """The child-index path of ``target`` in the descriptor tree — a
         picklable descriptor handle the process backend sends to persistent
-        workers (which resolve it against their inherited flowchart)."""
+        workers (which resolve it against their inherited flowchart).
+
+        Fission replica loops (which live outside the main tree but share
+        its body descriptors) resolve to *marker paths*
+        ``loop_path + (-1, k)``; the inner descriptors themselves resolve
+        to their main-tree paths."""
 
         def search(descs: list[Descriptor], prefix: tuple[int, ...]):
             for i, d in enumerate(descs):
@@ -382,14 +390,37 @@ class Flowchart:
                         return found
             return None
 
-        return search(self.descriptors, ())
+        found = search(self.descriptors, ())
+        if found is not None:
+            return found
+        for lpath, split in getattr(self, "_fission_splits", {}).items():
+            for k, piece in enumerate(split.pieces):
+                if piece is target:
+                    return lpath + (-1, k)
+        return None
 
     def descriptor_at(self, path: tuple[int, ...]) -> Descriptor:
+        """The descriptor named by a :meth:`path_of` path. A ``-1``
+        component routes through the memoized fission split of the loop at
+        the preceding prefix: ``path[:i] + (-1, k)`` is replica ``k`` of
+        that loop, and further components descend into its body."""
         descs = self.descriptors
         desc: Descriptor | None = None
-        for i in path:
-            desc = descs[i]
+        i = 0
+        while i < len(path):
+            c = path[i]
+            if c == -1:
+                prefix = tuple(path[:i])
+                split = getattr(self, "_fission_splits", {}).get(prefix)
+                if split is None:
+                    raise LookupError(f"no fission split at {prefix!r}")
+                desc = split.pieces[path[i + 1]]
+                descs = desc.body
+                i += 2
+                continue
+            desc = descs[c]
             descs = desc.body if isinstance(desc, LoopDescriptor) else []
+            i += 1
         if desc is None:
             raise IndexError("empty descriptor path")
         return desc

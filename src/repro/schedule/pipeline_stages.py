@@ -328,6 +328,14 @@ def pipeline_groups(
     if key in memo:
         return memo[key]
 
+    # Fission replica runs are sibling lists too: the replicas of a split
+    # loop share one subrange, so a recurrence piece feeding a DOALL piece
+    # is exactly the DSWP shape. They live at marker containers
+    # ``loop_path + (-1,)`` (lazy import: fission also rides the
+    # dependence-graph machinery).
+    from repro.schedule.fission import fission_splits
+
+    splits = fission_splits(analyzed, flowchart)
     found: dict[tuple[int, ...], list[PipelineGroup]] = {}
 
     def scan(siblings: list[Descriptor], prefix: tuple[int, ...]) -> None:
@@ -335,7 +343,20 @@ def pipeline_groups(
         if groups:
             found[prefix] = groups
         for k, d in enumerate(siblings):
-            if isinstance(d, LoopDescriptor) and not d.parallel:
+            if not isinstance(d, LoopDescriptor):
+                continue
+            split = splits.get((*prefix, k))
+            if split is not None and split.usable(use_windows):
+                pieces = list(split.pieces)
+                fgroups = partition_siblings(
+                    pieces, analyzed, flowchart, use_windows
+                )
+                if fgroups:
+                    found[(*prefix, k, -1)] = fgroups
+                for kk, piece in enumerate(pieces):
+                    if not piece.parallel:
+                        scan(piece.body, (*prefix, k, -1, kk))
+            if not d.parallel:
                 scan(d.body, (*prefix, k))
 
     scan(flowchart.descriptors, ())

@@ -170,6 +170,21 @@ def scan_loops(analyzed, flowchart: Flowchart,
             path = flowchart.path_of(desc)
             if path is not None:
                 found[path] = info
+    # Fission replicas: a split can leave a lone recurrence in its own
+    # replica loop, which is exactly the shape the scan engine wants.
+    # Replicas key by their marker paths (lazy import: fission also rides
+    # the dependence-graph machinery).
+    from repro.schedule.fission import fission_splits
+
+    for lpath, split in fission_splits(analyzed, flowchart).items():
+        if not split.usable(key):
+            continue
+        for k, piece in enumerate(split.pieces):
+            if piece.parallel:
+                continue
+            info = _classify(analyzed, flowchart, piece, key)
+            if info is not None:
+                found[lpath + (-1, k)] = info
     memo[key] = found
     return found
 

@@ -176,6 +176,21 @@ GOLDEN_FORCED = {
         eq.1 [kernel=scalar]
         DO I -> serial; trip 64
             eq.2 [kernel=scalar]""",
+    # Unmerged, the three recurrences interleave with their base-case
+    # nodes, so no sibling run of loops forms and there is no group to
+    # force (merged, this workload is the fission gate —
+    # tests/plan/test_fission_plan.py pins those texts).
+    "mixed": """\
+        plan Mixed: backend=threaded workers=4 kernels=native windows=off [pinned]
+        eq.1 [kernel=scalar]
+        DO I -> serial; trip 64
+            eq.4 [kernel=scalar]
+        eq.2 [kernel=scalar]
+        DO I -> serial; trip 64
+            eq.5 [kernel=scalar]
+        eq.3 [kernel=scalar]
+        DO I -> serial; trip 64
+            eq.6 [kernel=scalar]""",
     "line_sweep": """\
         plan LineSweep: backend=threaded workers=4 kernels=native windows=off [pinned]
         DOALL J -> chunk x4; trip 10
